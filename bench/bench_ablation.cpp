@@ -1,0 +1,95 @@
+// Ablation: the offset-aware interference refinement of the holistic
+// backend vs. the classical independent-periodic-with-jitter formulation.
+//
+// All applications release in phase, so the backend can place interferer
+// jobs in absolute windows and discard provably-finished or not-yet-released
+// ones.  This bench quantifies what that buys: per-benchmark WCRT tightness
+// (sum of graph bounds under a fixed candidate) and the feasibility rate of
+// random repaired candidates under each backend.
+#include <iostream>
+
+#include "ftmc/benchmarks/cruise.hpp"
+#include "ftmc/benchmarks/dream.hpp"
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/util/table.hpp"
+
+using namespace ftmc;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double offset_feasible = 0;   // % of random candidates feasible
+  double classic_feasible = 0;
+  double tightness_gain = 0;    // mean bound inflation of classic vs offset
+};
+
+Row measure(const benchmarks::Benchmark& bench) {
+  sched::HolisticAnalysis::Options classic_options;
+  classic_options.precedence_aware = false;
+  const sched::HolisticAnalysis offset_backend;
+  const sched::HolisticAnalysis classic_backend(classic_options);
+  const core::Evaluator offset_eval(bench.arch, bench.apps, offset_backend);
+  const core::Evaluator classic_eval(bench.arch, bench.apps, classic_backend);
+
+  const dse::Decoder decoder(bench.arch, bench.apps);
+  util::Rng rng(31337);
+
+  constexpr int kCandidates = 60;
+  int offset_ok = 0, classic_ok = 0;
+  double inflation_sum = 0.0;
+  int inflation_count = 0;
+  for (int trial = 0; trial < kCandidates; ++trial) {
+    dse::Chromosome chromosome =
+        dse::random_chromosome(decoder.shape(), rng);
+    const core::Candidate candidate = decoder.decode(chromosome, rng);
+    const auto offset = offset_eval.evaluate(candidate);
+    const auto classic = classic_eval.evaluate(candidate);
+    offset_ok += offset.feasible() ? 1 : 0;
+    classic_ok += classic.feasible() ? 1 : 0;
+    for (std::size_t g = 0; g < offset.graph_wcrt.size(); ++g) {
+      const auto tight = offset.graph_wcrt[g];
+      const auto loose = classic.graph_wcrt[g];
+      if (tight <= 0 || tight >= sched::kUnschedulable ||
+          loose >= sched::kUnschedulable)
+        continue;
+      inflation_sum += static_cast<double>(loose) /
+                       static_cast<double>(tight);
+      ++inflation_count;
+    }
+  }
+  Row row;
+  row.name = bench.name;
+  row.offset_feasible = 100.0 * offset_ok / kCandidates;
+  row.classic_feasible = 100.0 * classic_ok / kCandidates;
+  row.tightness_gain =
+      inflation_count == 0 ? 0.0 : inflation_sum / inflation_count;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table(
+      "Backend ablation: offset-aware vs classical jitter-only analysis\n"
+      "(60 random repaired candidates per benchmark)");
+  table.set_header({"Benchmark", "feasible % (offset-aware)",
+                    "feasible % (classic)", "classic/offset bound ratio"});
+  bool offset_never_worse = true;
+  for (const auto& bench :
+       {benchmarks::synth_benchmark(1), benchmarks::dt_med_benchmark(),
+        benchmarks::cruise_benchmark()}) {
+    const Row row = measure(bench);
+    offset_never_worse &= row.offset_feasible >= row.classic_feasible;
+    table.add_row({row.name, util::Table::cell(row.offset_feasible, 1),
+                   util::Table::cell(row.classic_feasible, 1),
+                   util::Table::cell(row.tightness_gain, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nOffset-aware accepts at least as many candidates: "
+            << (offset_never_worse ? "yes" : "NO") << '\n';
+  return 0;
+}

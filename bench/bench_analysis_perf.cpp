@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the analysis stack, exercising the
+// complexity claim of Section 3: Algorithm 1 costs O(|V|^2 + |V| * C) on top
+// of the backend's C, so wall time should grow roughly polynomially in the
+// task count.  Also measures the simulator and a full candidate evaluation
+// (the DSE inner loop).
+#include <benchmark/benchmark.h>
+
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sim/simulator.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+struct Instance {
+  model::Architecture arch;
+  model::ApplicationSet apps;
+  core::Candidate candidate;
+  hardening::HardenedSystem system;
+};
+
+/// Synthetic instance with ~`tasks` tasks and a repaired random candidate.
+Instance make_instance(std::size_t tasks) {
+  benchmarks::SynthParams params;
+  params.seed = 99 + tasks;
+  params.graph_count = std::max<std::size_t>(2, tasks / 6);
+  params.min_tasks = 5;
+  params.max_tasks = 7;
+  params.graph_utilization = 0.5 / static_cast<double>(params.graph_count);
+  auto apps = benchmarks::synthetic_applications(params);
+  auto arch = model::ArchitectureBuilder{}
+                  .add_processors({"pe", 0, 50.0, 150.0, 2e-9, 1.0}, 4)
+                  .bandwidth(100.0)
+                  .build();
+  const dse::Decoder decoder(arch, apps);
+  util::Rng rng(tasks);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  core::Candidate candidate = decoder.decode(chromosome, rng);
+  auto system = hardening::apply_hardening(apps, candidate.plan,
+                                           candidate.base_mapping,
+                                           arch.processor_count());
+  return Instance{std::move(arch), std::move(apps), std::move(candidate),
+                  std::move(system)};
+}
+
+void BM_HolisticBackend(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  const sched::HolisticAnalysis backend;
+  const auto bounds = core::nominal_bounds_of(instance.system);
+  const auto priorities = sched::assign_priorities(instance.system.apps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.analyze(
+        instance.arch, instance.system.apps, instance.system.mapping, bounds,
+        priorities));
+  }
+  state.SetLabel(std::to_string(instance.system.apps.task_count()) +
+                 " tasks");
+}
+BENCHMARK(BM_HolisticBackend)->Arg(12)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_McAnalysisProposed(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.analyze(instance.arch, instance.system,
+                                              instance.candidate.drop));
+  }
+  state.SetLabel(std::to_string(instance.system.apps.task_count()) +
+                 " tasks");
+}
+BENCHMARK(BM_McAnalysisProposed)->Arg(12)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_SimulatorHyperperiod(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  const auto priorities = sched::assign_priorities(instance.system.apps);
+  const sim::Simulator simulator(instance.arch, instance.system,
+                                 instance.candidate.drop, priorities);
+  util::Rng rng(7);
+  sim::RandomFaults faults(rng.split(), 0.3);
+  sim::UniformExecution durations(rng.split());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run(faults, durations));
+  }
+}
+BENCHMARK(BM_SimulatorHyperperiod)->Arg(24)->Arg(96);
+
+void BM_FullCandidateEvaluation(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  const sched::HolisticAnalysis backend;
+  const core::Evaluator evaluator(instance.arch, instance.apps, backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(instance.candidate));
+  }
+}
+BENCHMARK(BM_FullCandidateEvaluation)->Arg(24)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Reproduces Figure 5: co-optimization of service and power for DT-med.
+//
+// Bi-objective DSE (minimize expected power, maximize post-dropping QoS)
+// over the DT-med benchmark, whose droppable applications t1/t2/t3 carry
+// service values 1/2/4.  The paper reports five Pareto-optimal points
+// spanning the range from "drop everything" (phi; lowest power) to "drop
+// nothing" ({t1,t2,t3}; maximum service).
+//
+// Environment knobs: FTMC_GENERATIONS (default 80), FTMC_POPULATION (50),
+// FTMC_SEED (5).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "ftmc/benchmarks/dream.hpp"
+#include "ftmc/dse/ga.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/util/table.hpp"
+
+using namespace ftmc;
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Figure-5-style label: the set of *alive* droppable applications.
+std::string alive_label(const model::ApplicationSet& apps,
+                        const core::DropSet& drop) {
+  std::string label = "{";
+  bool first = true;
+  for (const model::GraphId g : apps.droppable_graphs()) {
+    if (drop[g.value]) continue;
+    if (!first) label += ",";
+    label += apps.graph(g).name();
+    first = false;
+  }
+  label += "}";
+  return label == "{}" ? "phi" : label;
+}
+
+}  // namespace
+
+int main() {
+  const auto bench = benchmarks::dt_med_benchmark();
+  const sched::HolisticAnalysis backend;
+  dse::GeneticOptimizer optimizer(bench.arch, bench.apps, backend);
+
+  dse::GaOptions options;
+  options.population = env_or("FTMC_POPULATION", 50);
+  options.offspring = options.population;
+  options.generations = env_or("FTMC_GENERATIONS", 80);
+  options.seed = env_or("FTMC_SEED", 5);
+  options.optimize_service = true;
+
+  std::cout << "Figure 5 reproduction: power/service Pareto front for "
+            << bench.name << " (population " << options.population << ", "
+            << options.generations << " generations; paper: 100 x 5000)\n";
+
+  auto result = optimizer.run(options);
+
+  std::sort(result.pareto.begin(), result.pareto.end(),
+            [](const dse::Individual& a, const dse::Individual& b) {
+              return a.evaluation.power < b.evaluation.power;
+            });
+
+  util::Table table("\nPareto-optimal designs (service = sum of sv over "
+                    "non-dropped droppable applications)");
+  table.set_header({"alive droppable apps", "service", "power [mW]"});
+  for (const auto& individual : result.pareto) {
+    table.add_row({alive_label(bench.apps, individual.candidate.drop),
+                   util::Table::cell(individual.evaluation.service, 1),
+                   util::Table::cell(individual.evaluation.power, 1)});
+  }
+  table.print(std::cout);
+
+  // Shape checks: the front is monotone (more service costs more power) and
+  // spans from low-service/low-power towards high-service/high-power.
+  bool monotone = true;
+  for (std::size_t i = 1; i < result.pareto.size(); ++i) {
+    monotone &= result.pareto[i].evaluation.service >
+                result.pareto[i - 1].evaluation.service;
+  }
+  std::cout << "\nPareto points found: " << result.pareto.size()
+            << " (paper: 5)\n"
+            << "Front monotone in (power, service): "
+            << (monotone ? "yes" : "NO") << '\n'
+            << "Evaluations: " << result.evaluations << '\n';
+  return result.pareto.empty() ? 1 : 0;
+}

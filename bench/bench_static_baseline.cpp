@@ -1,0 +1,72 @@
+// Compares the paper's static hardening-mapping / DYNAMIC scheduling flow
+// against the static contingency-schedule baseline of prior work ([2], [3]
+// in Table 1) on the same hardened designs.
+//
+// The paper's Section 1 argument, made measurable:
+//   "At compile time, a static schedule should be synthesized for each
+//    possible fault scenario.  For instance, in [2], 19 different schedules
+//    had to be pre-calculated at compile time for an application with five
+//    tasks.  The static scheduling may simplify the optimization complexity
+//    but it is inefficient in terms of resource usage, and too rigid to be
+//    reactive to dynamic system mode changes."
+//
+// For each benchmark's Table-2-style hardened design we report: the number
+// of contingency schedule tables (and their total entries) the static
+// runtime must store as the tolerated-fault budget grows, whether the
+// static tables meet all deadlines (they cannot drop anything), and the
+// dynamic-flow verdict (Algorithm 1, with dropping) on the same design.
+#include <iostream>
+
+#include "ftmc/baseline/static_schedule.hpp"
+#include "ftmc/benchmarks/cruise.hpp"
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/util/table.hpp"
+
+using namespace ftmc;
+
+int main() {
+  const auto cruise = benchmarks::cruise_benchmark();
+  const auto configs = benchmarks::cruise_sample_configs(cruise);
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(backend);
+
+  util::Table table(
+      "Static contingency scheduling ([2]-style) vs the paper's dynamic "
+      "flow\n(Cruise benchmark, the three Table-2 sample designs)");
+  table.set_header({"Design", "fault budget", "schedules", "table entries",
+                    "static deadlines", "dynamic verdict (w/ dropping)"});
+
+  for (const auto& config : configs) {
+    const auto system = hardening::apply_hardening(
+        cruise.apps, config.candidate.plan, config.candidate.base_mapping,
+        cruise.arch.processor_count());
+    const auto priorities = sched::assign_priorities(system.apps);
+
+    const auto verdict =
+        analysis.analyze(cruise.arch, system, config.candidate.drop);
+    const std::string dynamic = verdict.schedulable()
+                                    ? "schedulable"
+                                    : "not schedulable";
+
+    for (const int budget : {1, 2}) {
+      const auto contingency = baseline::contingency_analysis(
+          cruise.arch, system, budget, priorities);
+      table.add_row(
+          {config.name, std::to_string(budget),
+           util::Table::cell(contingency.schedule_count),
+           util::Table::cell(contingency.table_entries),
+           contingency.all_deadlines_met ? "met" : "MISSED",
+           dynamic});
+    }
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nReading: one fault already needs a table per hardened job, two\n"
+      "faults square that — the \"19 schedules for 5 tasks\" blow-up of\n"
+      "[2].  The dynamic flow stores no tables and stays schedulable by\n"
+      "dropping low-criticality load exactly in the scenarios where the\n"
+      "rigid static tables overrun deadlines.\n";
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "ftmc/baseline/static_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ftmc/hardening/reliability.hpp"  // scaled_time
+
+namespace ftmc::baseline {
+
+namespace {
+
+struct JobLayout {
+  std::vector<std::size_t> base;      // first job index per flat task
+  std::vector<std::size_t> releases;  // instances per flat task
+  std::size_t total = 0;
+};
+
+JobLayout layout(const hardening::HardenedSystem& system) {
+  const model::ApplicationSet& apps = system.apps;
+  const model::Time hyper = apps.hyperperiod();
+  JobLayout result;
+  result.base.resize(apps.task_count());
+  result.releases.resize(apps.task_count());
+  for (std::size_t i = 0; i < apps.task_count(); ++i) {
+    result.base[i] = result.total;
+    result.releases[i] = static_cast<std::size_t>(
+        hyper / apps.graph(apps.task_ref(i).graph_id()).period());
+    result.total += result.releases[i];
+  }
+  return result;
+}
+
+/// Re-execution budget of each job (0 for everything that cannot fault
+/// into extra attempts).
+std::vector<int> job_budgets(const hardening::HardenedSystem& system,
+                             const JobLayout& jobs) {
+  std::vector<int> budgets(jobs.total, 0);
+  for (std::size_t i = 0; i < system.apps.task_count(); ++i) {
+    const int k = system.info[i].reexecutions;
+    if (k <= 0) continue;
+    for (std::size_t r = 0; r < jobs.releases[i]; ++r)
+      budgets[jobs.base[i] + r] = k;
+  }
+  return budgets;
+}
+
+}  // namespace
+
+std::size_t job_count(const hardening::HardenedSystem& system) {
+  return layout(system).total;
+}
+
+std::vector<FaultScenario> enumerate_scenarios(
+    const hardening::HardenedSystem& system, int max_faults,
+    std::size_t limit) {
+  const JobLayout jobs = layout(system);
+  const std::vector<int> budgets = job_budgets(system, jobs);
+
+  std::vector<FaultScenario> scenarios;
+  FaultScenario current(jobs.total, 0);
+  // DFS over jobs; only jobs with a budget branch.
+  auto recurse = [&](auto&& self, std::size_t job, int remaining) -> void {
+    if (job == jobs.total) {
+      if (scenarios.size() >= limit)
+        throw std::length_error(
+            "enumerate_scenarios: scenario space exceeds limit");
+      scenarios.push_back(current);
+      return;
+    }
+    const int budget = std::min(budgets[job], remaining);
+    for (int extra = 0; extra <= budget; ++extra) {
+      current[job] = extra;
+      self(self, job + 1, remaining - extra);
+    }
+    current[job] = 0;
+  };
+  recurse(recurse, 0, max_faults);
+  return scenarios;
+}
+
+StaticSchedule synthesize_schedule(
+    const model::Architecture& arch, const hardening::HardenedSystem& system,
+    const FaultScenario& scenario,
+    const std::vector<std::uint32_t>& priorities) {
+  const model::ApplicationSet& apps = system.apps;
+  const JobLayout jobs = layout(system);
+  if (scenario.size() != jobs.total)
+    throw std::invalid_argument("synthesize_schedule: scenario size");
+  if (priorities.size() != apps.task_count())
+    throw std::invalid_argument("synthesize_schedule: priorities size");
+
+  // Per-job execution time under this scenario.  Static tables must
+  // reserve passive standbys unconditionally (the table cannot know at
+  // compile time whether the voter will request them).
+  std::vector<model::Time> exec(jobs.total, 0);
+  std::vector<model::Time> release(jobs.total, 0);
+  for (std::size_t i = 0; i < apps.task_count(); ++i) {
+    const model::TaskRef ref = apps.task_ref(i);
+    const model::Task& task = apps.task(ref);
+    const hardening::HardenedTaskInfo& info = system.info[i];
+    const model::Processor& pe =
+        arch.processor(system.mapping.processor_of_flat(i));
+    const model::Time period = apps.graph(ref.graph_id()).period();
+    model::Time attempt = task.wcet;
+    if (info.pays_detection) attempt += task.detection_overhead;
+    const model::Time scaled = hardening::scaled_time(pe, attempt);
+    for (std::size_t r = 0; r < jobs.releases[i]; ++r) {
+      const std::size_t j = jobs.base[i] + r;
+      exec[j] = scaled * (1 + scenario[j]);
+      release[j] = static_cast<model::Time>(r) * period;
+    }
+  }
+
+  // Precedence edges (same instance index within a graph).
+  std::vector<std::vector<std::pair<std::size_t, model::Time>>> in_edges(
+      jobs.total);
+  std::vector<std::size_t> pending(jobs.total, 0);
+  for (std::uint32_t g = 0; g < apps.graph_count(); ++g) {
+    const model::TaskGraph& graph = apps.graph(model::GraphId{g});
+    for (const model::Channel& channel : graph.channels()) {
+      const std::size_t src = apps.flat_index({g, channel.src});
+      const std::size_t dst = apps.flat_index({g, channel.dst});
+      const model::Time delay =
+          system.mapping.processor_of_flat(src) ==
+                  system.mapping.processor_of_flat(dst)
+              ? 0
+              : arch.transfer_time(channel.size_bytes);
+      for (std::size_t r = 0; r < jobs.releases[src]; ++r) {
+        in_edges[jobs.base[dst] + r].push_back({jobs.base[src] + r, delay});
+        ++pending[jobs.base[dst] + r];
+      }
+    }
+  }
+
+  // Priority-ordered, earliest-start list scheduling (non-preemptive).
+  StaticSchedule schedule;
+  schedule.entries.reserve(jobs.total);
+  std::vector<model::Time> finish(jobs.total, 0);
+  std::vector<bool> scheduled(jobs.total, false);
+  std::vector<model::Time> pe_free(arch.processor_count(), 0);
+  std::vector<std::size_t> ready;
+  for (std::size_t j = 0; j < jobs.total; ++j)
+    if (pending[j] == 0) ready.push_back(j);
+
+  auto flat_of = [&](std::size_t job) {
+    const auto it = std::upper_bound(jobs.base.begin(), jobs.base.end(), job);
+    return static_cast<std::size_t>(it - jobs.base.begin()) - 1;
+  };
+
+  for (std::size_t step = 0; step < jobs.total; ++step) {
+    if (ready.empty())
+      throw std::logic_error("synthesize_schedule: no ready job (cycle?)");
+    // Highest priority first; release time breaks ties.
+    std::size_t pick = 0;
+    for (std::size_t c = 1; c < ready.size(); ++c) {
+      const std::size_t a = ready[c], b = ready[pick];
+      const auto pa = priorities[flat_of(a)], pb = priorities[flat_of(b)];
+      if (pa < pb || (pa == pb && release[a] < release[b])) pick = c;
+    }
+    const std::size_t job = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    const std::size_t flat = flat_of(job);
+    model::Time est = release[job];
+    for (const auto& [src, delay] : in_edges[job])
+      est = std::max(est, finish[src] + delay);
+    const model::ProcessorId pe = system.mapping.processor_of_flat(flat);
+    const model::Time start = std::max(est, pe_free[pe.value]);
+    finish[job] = start + exec[job];
+    pe_free[pe.value] = finish[job];
+    scheduled[job] = true;
+    schedule.entries.push_back(
+        {flat, job - jobs.base[flat], start, finish[job], pe});
+    schedule.makespan = std::max(schedule.makespan, finish[job]);
+
+    const model::Time deadline =
+        apps.graph(apps.task_ref(flat).graph_id()).deadline();
+    if (finish[job] > release[job] + deadline)
+      schedule.deadlines_met = false;
+
+    for (std::size_t j = 0; j < jobs.total; ++j) {
+      if (scheduled[j] || pending[j] == 0) continue;
+      bool now_ready = true;
+      for (const auto& [src, delay] : in_edges[j])
+        now_ready &= scheduled[src];
+      if (now_ready) {
+        pending[j] = 0;
+        ready.push_back(j);
+      }
+    }
+  }
+  return schedule;
+}
+
+ContingencyResult contingency_analysis(
+    const model::Architecture& arch, const hardening::HardenedSystem& system,
+    int max_faults, const std::vector<std::uint32_t>& priorities) {
+  ContingencyResult result;
+  for (const FaultScenario& scenario :
+       enumerate_scenarios(system, max_faults)) {
+    const StaticSchedule schedule =
+        synthesize_schedule(arch, system, scenario, priorities);
+    ++result.schedule_count;
+    result.table_entries += schedule.entries.size();
+    result.worst_makespan = std::max(result.worst_makespan,
+                                     schedule.makespan);
+    result.all_deadlines_met &= schedule.deadlines_met;
+  }
+  return result;
+}
+
+}  // namespace ftmc::baseline

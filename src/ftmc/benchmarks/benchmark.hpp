@@ -1,0 +1,17 @@
+// A packaged benchmark instance: platform + application set.
+#pragma once
+
+#include <string>
+
+#include "ftmc/model/application_set.hpp"
+#include "ftmc/model/architecture.hpp"
+
+namespace ftmc::benchmarks {
+
+struct Benchmark {
+  std::string name;
+  model::Architecture arch;
+  model::ApplicationSet apps;
+};
+
+}  // namespace ftmc::benchmarks

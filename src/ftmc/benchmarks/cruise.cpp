@@ -1,0 +1,190 @@
+#include "ftmc/benchmarks/cruise.hpp"
+
+#include "ftmc/benchmarks/platforms.hpp"
+
+namespace ftmc::benchmarks {
+
+namespace {
+
+using model::Time;
+constexpr Time ms = model::kMillisecond;
+
+model::TaskGraph speed_ctrl() {
+  model::TaskGraphBuilder builder("speed_ctrl");
+  //                          name        bcet     wcet     ve     dt
+  const auto ws_front = builder.add_task("ws_front", 20 * ms, 35 * ms, 8 * ms, 5 * ms);
+  const auto ws_rear = builder.add_task("ws_rear", 20 * ms, 35 * ms, 8 * ms, 5 * ms);
+  const auto fusion = builder.add_task("fusion", 40 * ms, 70 * ms, 8 * ms, 5 * ms);
+  const auto ctrl = builder.add_task("ctrl_law", 80 * ms, 140 * ms, 8 * ms, 5 * ms);
+  const auto throttle = builder.add_task("throttle", 50 * ms, 90 * ms, 8 * ms, 5 * ms);
+  const auto supervisor = builder.add_task("supervisor", 30 * ms, 55 * ms, 8 * ms, 5 * ms);
+  builder.connect(ws_front, fusion, 1024)
+      .connect(ws_rear, fusion, 1024)
+      .connect(fusion, ctrl, 2048)
+      .connect(ctrl, throttle, 512)
+      .connect(ctrl, supervisor, 512)
+      .period(1000 * ms)
+      .reliability(1.0e-12);  // failures per microsecond
+  return builder.build();
+}
+
+model::TaskGraph brake_mon() {
+  model::TaskGraphBuilder builder("brake_mon");
+  const auto pedal = builder.add_task("pedal", 25 * ms, 40 * ms, 8 * ms, 5 * ms);
+  const auto validator = builder.add_task("validator", 45 * ms, 75 * ms, 8 * ms, 5 * ms);
+  const auto arbiter = builder.add_task("arbiter", 55 * ms, 95 * ms, 8 * ms, 5 * ms);
+  const auto cutoff = builder.add_task("cutoff", 35 * ms, 60 * ms, 8 * ms, 5 * ms);
+  builder.connect(pedal, validator, 512)
+      .connect(validator, arbiter, 1024)
+      .connect(arbiter, cutoff, 256)
+      .period(1000 * ms)
+      .reliability(1.0e-12);
+  return builder.build();
+}
+
+model::TaskGraph nav_display() {
+  model::TaskGraphBuilder builder("nav_display");
+  const auto route = builder.add_task("route", 70 * ms, 125 * ms, 6 * ms, 4 * ms);
+  const auto render = builder.add_task("render_map", 125 * ms, 215 * ms, 6 * ms, 4 * ms);
+  const auto hud = builder.add_task("hud", 65 * ms, 110 * ms, 6 * ms, 4 * ms);
+  builder.connect(route, render, 4096)
+      .connect(render, hud, 2048)
+      .period(1000 * ms)
+      .droppable(3.0);
+  return builder.build();
+}
+
+model::TaskGraph diag_log() {
+  model::TaskGraphBuilder builder("diag_log");
+  const auto sample = builder.add_task("sample", 15 * ms, 25 * ms, 6 * ms, 4 * ms);
+  const auto compress = builder.add_task("compress", 25 * ms, 45 * ms, 6 * ms, 4 * ms);
+  const auto store = builder.add_task("store", 10 * ms, 20 * ms, 6 * ms, 4 * ms);
+  builder.connect(sample, compress, 2048)
+      .connect(compress, store, 1024)
+      .period(250 * ms)
+      .droppable(2.0);
+  return builder.build();
+}
+
+model::TaskGraph media() {
+  model::TaskGraphBuilder builder("media");
+  const auto decode = builder.add_task("decode", 145 * ms, 250 * ms, 6 * ms, 4 * ms);
+  const auto output = builder.add_task("output", 45 * ms, 85 * ms, 6 * ms, 4 * ms);
+  builder.connect(decode, output, 4096).period(1000 * ms).droppable(1.0);
+  return builder.build();
+}
+
+}  // namespace
+
+Benchmark cruise_benchmark() {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(speed_ctrl());
+  graphs.push_back(brake_mon());
+  graphs.push_back(nav_display());
+  graphs.push_back(diag_log());
+  graphs.push_back(media());
+  return Benchmark{"Cruise", automotive_platform(),
+                   model::ApplicationSet(std::move(graphs))};
+}
+
+std::vector<NamedConfig> cruise_sample_configs(const Benchmark& cruise) {
+  const model::ApplicationSet& apps = cruise.apps;
+  const std::size_t pes = cruise.arch.processor_count();
+
+  // Shared hardening: every control task re-executable once; `fusion`
+  // passively replicated (primaries on the lockstep pair, standby on
+  // `perf`, voter on lockstep_a).
+  auto base_plan = [&]() {
+    hardening::HardeningPlan plan(apps.task_count());
+    auto set_reexec = [&](const char* graph, const char* task, int k) {
+      const model::GraphId g = apps.find_graph(graph);
+      const model::TaskGraph& tg = apps.graph(g);
+      for (std::uint32_t v = 0; v < tg.task_count(); ++v) {
+        if (tg.task(v).name != task) continue;
+        hardening::TaskHardening decision;
+        decision.technique = hardening::Technique::kReexecution;
+        decision.reexecutions = k;
+        plan[apps.flat_index({g.value, v})] = decision;
+      }
+    };
+    set_reexec("speed_ctrl", "ws_front", 1);
+    set_reexec("speed_ctrl", "ws_rear", 1);
+    set_reexec("speed_ctrl", "ctrl_law", 1);
+    set_reexec("speed_ctrl", "throttle", 1);
+    set_reexec("speed_ctrl", "supervisor", 1);
+    set_reexec("brake_mon", "pedal", 1);
+    set_reexec("brake_mon", "validator", 1);
+    set_reexec("brake_mon", "arbiter", 1);
+    set_reexec("brake_mon", "cutoff", 1);
+
+    const model::GraphId g = apps.find_graph("speed_ctrl");
+    const model::TaskGraph& tg = apps.graph(g);
+    for (std::uint32_t v = 0; v < tg.task_count(); ++v) {
+      if (tg.task(v).name != "fusion") continue;
+      hardening::TaskHardening decision;
+      decision.technique = hardening::Technique::kPassiveReplication;
+      decision.replica_pes = {model::ProcessorId{0}, model::ProcessorId{1},
+                              model::ProcessorId{2}};
+      decision.voter_pe = model::ProcessorId{0};
+      plan[apps.flat_index({g.value, v})] = decision;
+    }
+    return plan;
+  };
+
+  auto make_candidate = [&](const std::vector<std::uint32_t>& flat_mapping) {
+    core::Candidate candidate;
+    candidate.allocation.assign(pes, true);
+    candidate.drop.resize(apps.graph_count());
+    for (std::uint32_t g = 0; g < apps.graph_count(); ++g)
+      candidate.drop[g] = apps.graph(model::GraphId{g}).droppable();
+    candidate.plan = base_plan();
+    candidate.base_mapping.reserve(apps.task_count());
+    for (std::size_t i = 0; i < apps.task_count(); ++i)
+      candidate.base_mapping.push_back(
+          model::ProcessorId{flat_mapping[i % flat_mapping.size()] %
+                             static_cast<std::uint32_t>(pes)});
+    return candidate;
+  };
+
+  // Flat task order: speed_ctrl(6), brake_mon(4), nav_display(3),
+  // diag_log(3), media(2) = 18 tasks.  Loads are balanced so that the
+  // all-faults critical state stays near (but mostly below) 100% per PE,
+  // the regime Table 2 exercises.
+  std::vector<NamedConfig> configs;
+  configs.push_back(
+      {"Mapping 1", make_candidate({// speed_ctrl alternating locksteps
+                                    0, 1, 0, 0, 1, 0,
+                                    // brake_mon: pedal on lockstep_b, rest on perf
+                                    1, 2, 2, 2,
+                                    // nav_display on perf
+                                    2, 2, 2,
+                                    // diag_log spread over both locksteps and perf
+                                    0, 1, 2,
+                                    // media on eco
+                                    3, 3})});
+  configs.push_back(
+      {"Mapping 2", make_candidate({// speed_ctrl spread, control on perf
+                                    0, 1, 2, 2, 0, 1,
+                                    // brake_mon clustered on eco
+                                    3, 3, 3, 3,
+                                    // nav_display on lockstep_b
+                                    1, 1, 1,
+                                    // diag_log spread over lockstep_b, perf, lockstep_a
+                                    1, 2, 0,
+                                    // media on eco
+                                    3, 3})});
+  configs.push_back(
+      {"Mapping 3", make_candidate({// speed_ctrl on the lockstep pair
+                                    0, 0, 1, 1, 0, 1,
+                                    // brake_mon on perf
+                                    2, 2, 2, 2,
+                                    // nav_display on eco
+                                    3, 3, 3,
+                                    // diag_log spread over perf and both locksteps
+                                    2, 0, 1,
+                                    // media on lockstep_b
+                                    1, 1})});
+  return configs;
+}
+
+}  // namespace ftmc::benchmarks

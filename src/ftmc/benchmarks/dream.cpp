@@ -1,0 +1,151 @@
+#include "ftmc/benchmarks/dream.hpp"
+
+#include "ftmc/benchmarks/platforms.hpp"
+
+namespace ftmc::benchmarks {
+
+namespace {
+
+using model::Time;
+constexpr Time ms = model::kMillisecond;
+
+struct ChainTask {
+  const char* name;
+  Time bcet_ms;
+  Time wcet_ms;
+};
+
+/// Linear end-to-end chain with uniform channel size; the workhorse shape
+/// of the DREAM benchmarks.
+model::TaskGraph chain(const char* name, Time period_ms,
+                       std::initializer_list<ChainTask> tasks,
+                       double reliability_or_negative, double service,
+                       std::uint64_t channel_bytes = 1024,
+                       Time ve_ms = 6, Time dt_ms = 4) {
+  model::TaskGraphBuilder builder(name);
+  std::uint32_t previous = 0;
+  bool first = true;
+  for (const ChainTask& task : tasks) {
+    const std::uint32_t id =
+        builder.add_task(task.name, task.bcet_ms * ms, task.wcet_ms * ms,
+                         ve_ms * ms, dt_ms * ms);
+    if (!first) builder.connect(previous, id, channel_bytes);
+    previous = id;
+    first = false;
+  }
+  builder.period(period_ms * ms);
+  if (reliability_or_negative > 0)
+    builder.reliability(reliability_or_negative);
+  else
+    builder.droppable(service);
+  return builder.build();
+}
+
+}  // namespace
+
+Benchmark dt_med_benchmark() {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(chain("crit_flight", 1000,
+                         {{"sense", 25, 45},
+                          {"filter", 35, 65},
+                          {"law", 55, 95},
+                          {"mix", 30, 55},
+                          {"actuate", 25, 45}},
+                         1.0e-12, 0.0));
+  graphs.push_back(chain("crit_nav", 2000,
+                         {{"gps", 40, 70},
+                          {"imu", 35, 60},
+                          {"kalman", 90, 160},
+                          {"guidance", 70, 120},
+                          {"waypoint", 45, 80},
+                          {"report", 30, 55}},
+                         1.0e-12, 0.0));
+  graphs.push_back(chain("crit_comm", 1000,
+                         {{"rx", 20, 40},
+                          {"decode_cmd", 35, 65},
+                          {"validate", 30, 55},
+                          {"dispatch", 20, 40}},
+                         2.0e-12, 0.0));
+  // The droppable applications carry a substantial share of the load: in
+  // the critical state (all critical tasks at their Eq.(1) budgets) the
+  // platform cannot host them on the power-optimal allocation, which is
+  // what makes task dropping pay off in Section 5.2.
+  graphs.push_back(chain("t1", 1000,
+                         {{"t1_src", 60, 105},
+                          {"t1_proc", 110, 195},
+                          {"t1_sink", 50, 90}},
+                         -1.0, 1.0));
+  graphs.push_back(chain("t2", 2000,
+                         {{"t2_src", 90, 150},
+                          {"t2_proc_a", 150, 270},
+                          {"t2_proc_b", 135, 230},
+                          {"t2_sink", 60, 110}},
+                         -1.0, 2.0));
+  graphs.push_back(chain("t3", 1000,
+                         {{"t3_src", 75, 120},
+                          {"t3_proc", 155, 275},
+                          {"t3_merge", 95, 170},
+                          {"t3_sink", 50, 90}},
+                         -1.0, 4.0));
+  return Benchmark{"DT-med", symmetric_platform(4),
+                   model::ApplicationSet(std::move(graphs))};
+}
+
+Benchmark dt_large_benchmark() {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(chain("crit_engine", 1000,
+                         {{"crank", 20, 40},
+                          {"phase", 30, 55},
+                          {"inject", 60, 105},
+                          {"ignite", 45, 80},
+                          {"knock", 35, 65},
+                          {"limp", 25, 45}},
+                         1.0e-12, 0.0));
+  graphs.push_back(chain("crit_gear", 2000,
+                         {{"shaft", 30, 55},
+                          {"slip", 45, 85},
+                          {"strategy", 85, 150},
+                          {"clutch", 55, 95},
+                          {"confirm", 30, 55}},
+                         1.0e-12, 0.0));
+  graphs.push_back(chain("crit_stability", 500,
+                         {{"yaw", 12, 22},
+                          {"estimator", 25, 45},
+                          {"torque_vec", 30, 55},
+                          {"brake_cmd", 15, 28}},
+                         2.0e-12, 0.0));
+  graphs.push_back(chain("crit_battery", 2000,
+                         {{"cell_scan", 50, 90},
+                          {"soc", 70, 125},
+                          {"thermal", 60, 105},
+                          {"balance", 55, 95},
+                          {"contactor", 25, 45},
+                          {"bms_log", 30, 55}},
+                         2.0e-12, 0.0));
+  graphs.push_back(chain("d1_telemetry", 1000,
+                         {{"d1_pack", 70, 120},
+                          {"d1_crypt", 120, 210},
+                          {"d1_tx", 55, 100}},
+                         -1.0, 1.0));
+  graphs.push_back(chain("d2_comfort", 2000,
+                         {{"d2_cabin", 100, 175},
+                          {"d2_climate", 145, 255},
+                          {"d2_vent", 75, 130},
+                          {"d2_panel", 55, 100}},
+                         -1.0, 2.0));
+  graphs.push_back(chain("d3_vision", 1000,
+                         {{"d3_grab", 90, 150},
+                          {"d3_detect", 175, 310},
+                          {"d3_track", 115, 205},
+                          {"d3_overlay", 70, 120}},
+                         -1.0, 3.0));
+  graphs.push_back(chain("d4_audio", 500,
+                         {{"d4_decode", 40, 70},
+                          {"d4_mix", 25, 45},
+                          {"d4_out", 12, 24}},
+                         -1.0, 1.5));
+  return Benchmark{"DT-large", large_platform(),
+                   model::ApplicationSet(std::move(graphs))};
+}
+
+}  // namespace ftmc::benchmarks

@@ -1,0 +1,22 @@
+// DT-med / DT-large: control benchmarks inspired by the DREAM tool's
+// "medium/large distributed non-preemptive real-time CORBA application"
+// [21].  Following the paper, invocation periods and execution times of the
+// original task sets are scaled by 20x to add complexity and uncertainty.
+// The original parameter tables are not public; these reconstructions keep
+// the benchmarks' shape — several distributed end-to-end chains with
+// harmonic periods — and the paper's droppable/critical split (DT-med has
+// exactly the three droppable applications t1..t3 of Figure 5).
+#pragma once
+
+#include "ftmc/benchmarks/benchmark.hpp"
+
+namespace ftmc::benchmarks {
+
+/// 4 identical PEs; 3 critical chains + droppable t1 (sv 1), t2 (sv 2),
+/// t3 (sv 4).
+Benchmark dt_med_benchmark();
+
+/// 6 heterogeneous PEs; 4 critical + 4 droppable applications, ~45 tasks.
+Benchmark dt_large_benchmark();
+
+}  // namespace ftmc::benchmarks

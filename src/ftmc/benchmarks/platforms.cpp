@@ -1,0 +1,46 @@
+#include "ftmc/benchmarks/platforms.hpp"
+
+namespace ftmc::benchmarks {
+
+using model::Architecture;
+using model::ArchitectureBuilder;
+using model::Processor;
+
+Architecture symmetric_platform(std::size_t count,
+                                double bandwidth_bytes_per_us) {
+  ArchitectureBuilder builder;
+  Processor prototype;
+  prototype.name = "pe";
+  prototype.type = 0;
+  prototype.static_power = 80.0;
+  prototype.dynamic_power = 220.0;
+  prototype.fault_rate = 2.0e-9;  // per us
+  prototype.speed_factor = 1.0;
+  builder.add_processors(prototype, count);
+  builder.bandwidth(bandwidth_bytes_per_us);
+  return builder.build();
+}
+
+Architecture automotive_platform() {
+  ArchitectureBuilder builder;
+  builder.add_processor({"lockstep_a", 0, 120.0, 300.0, 2.0e-9, 1.0});
+  builder.add_processor({"lockstep_b", 0, 120.0, 300.0, 2.0e-9, 1.0});
+  builder.add_processor({"perf", 1, 90.0, 260.0, 5.0e-9, 0.8});
+  builder.add_processor({"eco", 2, 40.0, 120.0, 1.0e-8, 1.5});
+  builder.bandwidth(2.0);  // bytes per us (CAN-FD-ish once messages ~kB)
+  return builder.build();
+}
+
+Architecture large_platform() {
+  ArchitectureBuilder builder;
+  builder.add_processor({"fast_0", 0, 110.0, 280.0, 2.0e-9, 0.9});
+  builder.add_processor({"fast_1", 0, 110.0, 280.0, 2.0e-9, 0.9});
+  builder.add_processor({"mid_0", 1, 80.0, 210.0, 3.0e-9, 1.0});
+  builder.add_processor({"mid_1", 1, 80.0, 210.0, 3.0e-9, 1.0});
+  builder.add_processor({"eco_0", 2, 45.0, 130.0, 6.0e-9, 1.4});
+  builder.add_processor({"eco_1", 2, 45.0, 130.0, 6.0e-9, 1.4});
+  builder.bandwidth(4.0);
+  return builder.build();
+}
+
+}  // namespace ftmc::benchmarks

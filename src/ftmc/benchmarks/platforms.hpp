@@ -1,0 +1,22 @@
+// Reference MPSoC platforms used by the benchmark suite and the experiment
+// benches.  Power numbers are in mW, fault rates per microsecond (Section
+// 2.1; magnitudes follow soft-error-rate literature [11][12]: a 100 ms
+// execution sees a fault with probability ~1e-3..1e-4).
+#pragma once
+
+#include "ftmc/model/architecture.hpp"
+
+namespace ftmc::benchmarks {
+
+/// `count` identical PEs ("pe_0".."pe_{count-1}") on a shared bus.
+model::Architecture symmetric_platform(std::size_t count,
+                                       double bandwidth_bytes_per_us = 2.0);
+
+/// Heterogeneous 4-PE automotive-style platform: two fast lockstep-class
+/// cores, one mid, one slow low-power core.
+model::Architecture automotive_platform();
+
+/// Larger 6-PE heterogeneous platform for the DT-large benchmark.
+model::Architecture large_platform();
+
+}  // namespace ftmc::benchmarks

@@ -1,0 +1,105 @@
+#include "ftmc/benchmarks/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ftmc/benchmarks/platforms.hpp"
+
+namespace ftmc::benchmarks {
+
+namespace {
+
+model::TaskGraph random_graph(const SynthParams& params, util::Rng& rng,
+                              std::size_t index, bool droppable) {
+  const std::size_t task_count = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.min_tasks),
+                      static_cast<std::int64_t>(params.max_tasks)));
+  const model::Time period =
+      params.period_menu[rng.index(params.period_menu.size())];
+
+  // Split the WCET budget over tasks with random positive weights.
+  const double budget =
+      params.graph_utilization * static_cast<double>(period);
+  std::vector<double> weights(task_count);
+  double weight_sum = 0.0;
+  for (double& weight : weights) {
+    weight = rng.uniform_real(0.5, 1.5);
+    weight_sum += weight;
+  }
+
+  std::string prefix = "g";
+  prefix += std::to_string(index);
+  prefix += "_v";
+  model::TaskGraphBuilder builder("synth" + std::to_string(index));
+  for (std::size_t v = 0; v < task_count; ++v) {
+    const auto wcet = std::max<model::Time>(
+        1000, static_cast<model::Time>(budget * weights[v] / weight_sum));
+    const auto bcet = std::max<model::Time>(
+        1, static_cast<model::Time>(
+               static_cast<double>(wcet) *
+               params.bcet_fraction * rng.uniform_real(0.8, 1.2)));
+    builder.add_task(prefix + std::to_string(v), std::min(bcet, wcet), wcet,
+                     params.voting_overhead, params.detection_overhead);
+  }
+
+  // Random tree spine + extra forward edges.
+  for (std::uint32_t v = 1; v < task_count; ++v) {
+    const auto parent = static_cast<std::uint32_t>(rng.index(v));
+    builder.connect(parent, v,
+                    1 + rng.index(params.max_channel_bytes));
+  }
+  for (std::uint32_t u = 0; u + 1 < task_count; ++u)
+    for (std::uint32_t v = u + 1; v < task_count; ++v)
+      if (rng.chance(params.extra_edge_probability))
+        builder.connect(u, v, 1 + rng.index(params.max_channel_bytes));
+
+  builder.period(period);
+  if (droppable) {
+    builder.droppable(static_cast<double>(rng.uniform_int(1, 5)));
+  } else {
+    const double log_min = std::log10(params.reliability_min);
+    const double log_max = std::log10(params.reliability_max);
+    builder.reliability(std::pow(10.0, rng.uniform_real(log_min, log_max)));
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+model::ApplicationSet synthetic_applications(const SynthParams& params) {
+  util::Rng rng(params.seed);
+  std::vector<model::TaskGraph> graphs;
+  graphs.reserve(params.graph_count);
+  for (std::size_t g = 0; g < params.graph_count; ++g) {
+    // Keep graph 0 critical so every instance has a reliability constraint.
+    const bool droppable =
+        g != 0 && rng.chance(params.droppable_fraction);
+    graphs.push_back(random_graph(params, rng, g, droppable));
+  }
+  return model::ApplicationSet(std::move(graphs));
+}
+
+Benchmark synth_benchmark(int index) {
+  SynthParams params;
+  switch (index) {
+    case 1:
+      params.seed = 1001;
+      params.graph_count = 4;
+      params.graph_utilization = 0.15;
+      break;
+    case 2:
+      params.seed = 2002;
+      params.graph_count = 5;
+      params.min_tasks = 5;
+      params.max_tasks = 9;
+      params.graph_utilization = 0.12;
+      break;
+    default:
+      throw std::invalid_argument("synth_benchmark: index must be 1 or 2");
+  }
+  return Benchmark{"Synth-" + std::to_string(index),
+                   symmetric_platform(index == 1 ? 4 : 5),
+                   synthetic_applications(params)};
+}
+
+}  // namespace ftmc::benchmarks

@@ -1,0 +1,50 @@
+// TGFF-style synthetic task-graph generator, used for the paper's Synth-1
+// and Synth-2 benchmarks and for property-test fuzzing.
+//
+// Graphs are random DAGs grown as a random tree (each task after the first
+// picks one earlier parent) plus extra forward edges, so every graph is
+// connected and acyclic by construction.  Periods come from a harmonic menu
+// (keeping the hyperperiod small), and per-graph WCET budgets are set as a
+// fraction of the period so the generated systems are loaded but feasible —
+// the "deadline far from makespan" regime in which the paper measures tiny
+// rescue ratios for Synth-1/2.
+#pragma once
+
+#include "ftmc/benchmarks/benchmark.hpp"
+#include "ftmc/util/rng.hpp"
+
+namespace ftmc::benchmarks {
+
+struct SynthParams {
+  std::uint64_t seed = 1;
+  std::size_t graph_count = 4;
+  std::size_t min_tasks = 4;
+  std::size_t max_tasks = 8;
+  /// Harmonic period menu [us].
+  std::vector<model::Time> period_menu = {500 * model::kMillisecond,
+                                          1000 * model::kMillisecond,
+                                          2000 * model::kMillisecond};
+  /// Sum of task WCETs per graph, as a fraction of its period.
+  double graph_utilization = 0.18;
+  double bcet_fraction = 0.6;  ///< bcet ~= fraction * wcet (jittered)
+  /// Probability of an extra forward edge between any earlier/later pair.
+  double extra_edge_probability = 0.15;
+  double droppable_fraction = 0.5;
+  model::Time detection_overhead = 2 * model::kMillisecond;
+  model::Time voting_overhead = 3 * model::kMillisecond;
+  std::uint64_t max_channel_bytes = 2048;
+  /// Reliability constraints drawn log-uniformly from this range
+  /// [failures per us].
+  double reliability_min = 1.0e-13;
+  double reliability_max = 1.0e-11;
+};
+
+/// Generates the application set for the given parameters (deterministic in
+/// `params.seed`).  At least one graph is kept non-droppable.
+model::ApplicationSet synthetic_applications(const SynthParams& params);
+
+/// The two synthetic benchmarks of the paper's evaluation (fixed seeds,
+/// Synth-2 larger and busier than Synth-1).
+Benchmark synth_benchmark(int index);
+
+}  // namespace ftmc::benchmarks

@@ -1,0 +1,90 @@
+// Candidate evaluation: feasibility (reliability + schedulability + mapping
+// validity) and objective values (expected power, quality of service) for a
+// fully decoded design point.  This is the fitness function behind the DSE
+// engine and is also usable standalone (examples/quickstart.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/core/objectives.hpp"
+#include "ftmc/hardening/reliability.hpp"
+#include "ftmc/sched/analysis.hpp"
+
+namespace ftmc::core {
+
+/// A decoded design point (the GA's phenotype, Figure 4): which PEs are
+/// powered, which droppable applications are sacrificed in the critical
+/// state, how every task is hardened, and where every original task runs.
+struct Candidate {
+  Allocation allocation;                         ///< per PE
+  DropSet drop;                                  ///< per application
+  hardening::HardeningPlan plan;                 ///< per original task
+  std::vector<model::ProcessorId> base_mapping;  ///< per original task
+};
+
+/// Evaluation verdict + objectives.
+struct Evaluation {
+  bool mapping_valid = false;      ///< all used PEs are allocated
+  bool reliability_ok = false;     ///< every f_t constraint holds
+  bool normal_schedulable = false;
+  bool critical_schedulable = false;
+  bool feasible() const noexcept {
+    return mapping_valid && reliability_ok && normal_schedulable &&
+           critical_schedulable;
+  }
+
+  /// Expected power [mW]; includes the infeasibility penalty when the
+  /// candidate is infeasible (paper: "penalize the solution with an
+  /// exceedingly bad fitness value").
+  double power = 0.0;
+  /// QoS after dropping (to be maximized).
+  double service = 0.0;
+  /// Transition scenarios analyzed by Algorithm 1.
+  std::size_t scenario_count = 0;
+  /// WCRT bound of every graph (flat over graphs of T'), for reporting.
+  std::vector<model::Time> graph_wcrt;
+};
+
+class Evaluator {
+ public:
+  struct Options {
+    McAnalysis::Mode mode = McAnalysis::Mode::kProposed;
+    sched::PriorityPolicy policy =
+        sched::PriorityPolicy::kRateMonotonic;
+    /// Added to the power of infeasible candidates.
+    double infeasibility_penalty = 1.0e9;
+    /// When false, candidates whose drop set is non-empty are rejected
+    /// (used for the "no task dropping" ablation of Section 5.2).
+    bool allow_dropping = true;
+  };
+
+  /// All references must outlive the evaluator.
+  Evaluator(const model::Architecture& arch,
+            const model::ApplicationSet& apps,
+            const sched::SchedulingAnalysis& backend);
+  Evaluator(const model::Architecture& arch,
+            const model::ApplicationSet& apps,
+            const sched::SchedulingAnalysis& backend, Options options);
+
+  const model::Architecture& architecture() const noexcept { return *arch_; }
+  const model::ApplicationSet& applications() const noexcept { return *apps_; }
+  const Options& options() const noexcept { return options_; }
+
+  /// Structural sanity of a candidate (sizes, PE ranges, replica counts).
+  /// Returns an empty string when valid, else a description.
+  std::string structural_error(const Candidate& candidate) const;
+
+  /// Full evaluation.  Throws std::invalid_argument on structural errors
+  /// (the DSE decoder repairs candidates before calling this).
+  Evaluation evaluate(const Candidate& candidate) const;
+
+ private:
+  const model::Architecture* arch_;
+  const model::ApplicationSet* apps_;
+  const sched::SchedulingAnalysis* backend_;
+  Options options_;
+};
+
+}  // namespace ftmc::core

@@ -1,0 +1,87 @@
+#include "ftmc/dse/chromosome.hpp"
+
+namespace ftmc::dse {
+
+std::uint8_t random_reexec_degree(util::Rng& rng) {
+  const double roll = rng.uniform_real();
+  if (roll < 0.60) return 1;
+  if (roll < 0.90) return 2;
+  return static_cast<std::uint8_t>(
+      rng.uniform_int(3, kMaxReexecGene));
+}
+
+Chromosome random_chromosome(const ChromosomeShape& shape, util::Rng& rng) {
+  Chromosome chromosome;
+  chromosome.allocation.resize(shape.processors);
+  for (auto& bit : chromosome.allocation) bit = rng.chance(0.7) ? 1 : 0;
+  chromosome.keep.resize(shape.graphs);
+  for (auto& bit : chromosome.keep) bit = rng.chance(0.5) ? 1 : 0;
+  chromosome.tasks.resize(shape.tasks);
+  for (std::size_t t = 0; t < shape.tasks; ++t) {
+    TaskGenes& genes = chromosome.tasks[t];
+    // Bias: most tasks start unhardened (the reliability repair hardens
+    // where f_t demands, and light hardening keeps the critical state
+    // schedulable); droppable applications rarely need any hardening.
+    const bool droppable =
+        shape.graph_of_task.size() == shape.tasks &&
+        shape.graph_droppable.size() == shape.graphs &&
+        shape.graph_droppable[shape.graph_of_task[t]] != 0;
+    const double hardened_share = droppable ? 0.1 : 0.5;
+    const double roll = rng.uniform_real();
+    if (roll > hardened_share)
+      genes.technique = TechniqueGene::kNone;
+    else if (roll > hardened_share * 0.4)
+      genes.technique = TechniqueGene::kReexecution;
+    else if (roll > hardened_share * 0.2)
+      genes.technique = TechniqueGene::kActive;
+    else
+      genes.technique = TechniqueGene::kPassive;
+    genes.reexec = random_reexec_degree(rng);
+    genes.active_n = static_cast<std::uint8_t>(rng.uniform_int(2, 3));
+    genes.base_pe = static_cast<std::uint16_t>(rng.index(shape.processors));
+    for (auto& pe : genes.replica_pe)
+      pe = static_cast<std::uint16_t>(rng.index(shape.processors));
+    genes.voter_pe = static_cast<std::uint16_t>(rng.index(shape.processors));
+  }
+
+  // Clustered seeding: map some graphs entirely onto one allocated PE.
+  if (shape.graph_of_task.size() == shape.tasks) {
+    std::vector<std::uint16_t> allocated;
+    for (std::uint16_t p = 0; p < shape.processors; ++p)
+      if (chromosome.allocation[p]) allocated.push_back(p);
+    if (!allocated.empty()) {
+      std::vector<std::int32_t> cluster_pe(shape.graphs, -1);
+      for (std::size_t g = 0; g < shape.graphs; ++g)
+        if (rng.chance(0.5))
+          cluster_pe[g] = allocated[rng.index(allocated.size())];
+      for (std::size_t t = 0; t < shape.tasks; ++t) {
+        const std::int32_t pe = cluster_pe[shape.graph_of_task[t]];
+        if (pe >= 0)
+          chromosome.tasks[t].base_pe = static_cast<std::uint16_t>(pe);
+      }
+    }
+  }
+  return chromosome;
+}
+
+bool shape_ok(const Chromosome& chromosome, const ChromosomeShape& shape) {
+  if (chromosome.allocation.size() != shape.processors) return false;
+  if (chromosome.keep.size() != shape.graphs) return false;
+  if (chromosome.tasks.size() != shape.tasks) return false;
+  for (const std::uint8_t bit : chromosome.allocation)
+    if (bit > 1) return false;
+  for (const std::uint8_t bit : chromosome.keep)
+    if (bit > 1) return false;
+  for (const TaskGenes& genes : chromosome.tasks) {
+    if (genes.technique > TechniqueGene::kPassive) return false;
+    if (genes.reexec < 1 || genes.reexec > kMaxReexecGene) return false;
+    if (genes.active_n < 2 || genes.active_n > kReplicaSlots) return false;
+    if (genes.base_pe >= shape.processors) return false;
+    for (const std::uint16_t pe : genes.replica_pe)
+      if (pe >= shape.processors) return false;
+    if (genes.voter_pe >= shape.processors) return false;
+  }
+  return true;
+}
+
+}  // namespace ftmc::dse

@@ -1,0 +1,103 @@
+// GA genotype, mirroring Figure 4 of the paper.
+//
+// Three sections:
+//   1. allocation   — one bit per processor (powered or not),
+//   2. keep         — one bit per application: 1 = never dropped on mode
+//                     change (the paper's "selection of non-droppable
+//                     applications"); forced to 1 for graphs that are
+//                     non-droppable by specification,
+//   3. tasks        — per original task: the hardening technique, the
+//                     re-execution degree, the base mapping, the mappings of
+//                     up to three replicas, and the voter mapping.
+//
+// The genotype deliberately stores more genes than any single technique
+// reads (e.g. replica PEs while technique == re-execution); crossover and
+// mutation keep them as dormant genetic material, exactly like Opt4J's
+// composite genotypes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ftmc/model/application_set.hpp"
+#include "ftmc/model/architecture.hpp"
+#include "ftmc/util/rng.hpp"
+
+namespace ftmc::dse {
+
+/// Upper bound on re-executions explored by the GA (matches the transform's
+/// validation limit).
+inline constexpr int kMaxReexecGene = 4;
+/// Replica slots carried in the genotype (active uses 2..3, passive all 3).
+inline constexpr std::size_t kReplicaSlots = 3;
+
+enum class TechniqueGene : std::uint8_t {
+  kNone = 0,
+  kReexecution = 1,
+  kActive = 2,
+  kPassive = 3,
+};
+
+struct TaskGenes {
+  TechniqueGene technique = TechniqueGene::kNone;
+  std::uint8_t reexec = 1;       ///< k in [1, kMaxReexecGene]
+  std::uint8_t active_n = 2;     ///< active replica count in [2, 3]
+  std::uint16_t base_pe = 0;
+  std::array<std::uint16_t, kReplicaSlots> replica_pe{};
+  std::uint16_t voter_pe = 0;
+
+  bool operator==(const TaskGenes&) const = default;
+};
+
+struct Chromosome {
+  std::vector<std::uint8_t> allocation;  ///< per PE, 0/1
+  std::vector<std::uint8_t> keep;        ///< per graph, 0/1
+  std::vector<TaskGenes> tasks;          ///< per original task (flat)
+
+  bool operator==(const Chromosome&) const = default;
+};
+
+/// Dimensions every chromosome of a problem instance must have.
+struct ChromosomeShape {
+  std::size_t processors = 0;
+  std::size_t graphs = 0;
+  std::size_t tasks = 0;
+  /// Graph of each task in flat order; optional (used only to seed
+  /// communication-friendly clustered mappings during initialization).
+  std::vector<std::uint32_t> graph_of_task;
+  /// Droppability per graph; optional (biases initial hardening away from
+  /// droppable applications, which have no reliability constraint).
+  std::vector<std::uint8_t> graph_droppable;
+
+  static ChromosomeShape of(const model::Architecture& arch,
+                            const model::ApplicationSet& apps) {
+    ChromosomeShape shape{arch.processor_count(), apps.graph_count(),
+                          apps.task_count(), {}, {}};
+    shape.graph_of_task.reserve(apps.task_count());
+    for (std::size_t i = 0; i < apps.task_count(); ++i)
+      shape.graph_of_task.push_back(apps.task_ref(i).graph);
+    shape.graph_droppable.reserve(apps.graph_count());
+    for (std::uint32_t g = 0; g < apps.graph_count(); ++g)
+      shape.graph_droppable.push_back(
+          apps.graph(model::GraphId{g}).droppable() ? 1 : 0);
+    return shape;
+  }
+};
+
+/// Re-execution degree biased towards small k (heavy re-execution makes the
+/// critical state unschedulable far more often than it buys reliability).
+std::uint8_t random_reexec_degree(util::Rng& rng);
+
+/// Uniformly random chromosome (hardening biased towards kNone so initial
+/// populations are not drowned in replicas).  When the shape carries
+/// graph-of-task information, half of the graphs are mapped as clusters
+/// (whole graph on one random PE) — random per-task scatterings are almost
+/// always communication-bound on bus platforms, and a population without
+/// any clustered individual rarely reaches feasibility.
+Chromosome random_chromosome(const ChromosomeShape& shape, util::Rng& rng);
+
+/// Structural check (sizes and gene ranges).
+bool shape_ok(const Chromosome& chromosome, const ChromosomeShape& shape);
+
+}  // namespace ftmc::dse

@@ -1,0 +1,163 @@
+#include "ftmc/dse/ga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "ftmc/util/thread_pool.hpp"
+
+namespace ftmc::dse {
+
+GeneticOptimizer::GeneticOptimizer(const model::Architecture& arch,
+                                   const model::ApplicationSet& apps,
+                                   const sched::SchedulingAnalysis& backend)
+    : arch_(&arch), apps_(&apps), backend_(&backend) {}
+
+namespace {
+
+ObjectiveVector objectives_of(const core::Evaluation& evaluation,
+                              bool optimize_service) {
+  if (!optimize_service) return {evaluation.power};
+  return {evaluation.power, -evaluation.service};
+}
+
+/// Binary tournament on SPEA2 fitness (lower wins).
+std::size_t tournament(const std::vector<double>& fitness, util::Rng& rng) {
+  const std::size_t a = rng.index(fitness.size());
+  const std::size_t b = rng.index(fitness.size());
+  return fitness[a] <= fitness[b] ? a : b;
+}
+
+}  // namespace
+
+GaResult GeneticOptimizer::run(const GaOptions& options) const {
+  if (options.population == 0 || options.offspring == 0)
+    throw std::invalid_argument("GeneticOptimizer: empty population");
+
+  const Decoder decoder(*arch_, *apps_, options.decoder);
+  const core::Evaluator evaluator(*arch_, *apps_, *backend_,
+                                  options.evaluator);
+  const ChromosomeShape shape = decoder.shape();
+
+  util::Rng master(options.seed);
+  util::ThreadPool pool(options.threads);
+  std::mutex observer_mutex;
+
+  GaResult result;
+  result.best_feasible_power = std::numeric_limits<double>::quiet_NaN();
+
+  // Evaluates a batch of chromosomes in parallel; repair mutates the
+  // chromosomes in place (Lamarckian), so the batch is taken by reference.
+  auto evaluate_batch = [&](std::vector<Chromosome>& batch,
+                            std::uint64_t stream_salt) {
+    std::vector<Individual> individuals(batch.size());
+    pool.parallel_for(batch.size(), [&](std::size_t index) {
+      util::Rng rng(options.seed ^ (stream_salt + 0x9e3779b97f4a7c15ULL *
+                                                      (index + 1)));
+      Individual& individual = individuals[index];
+      individual.candidate = decoder.decode(batch[index], rng);
+      individual.chromosome = batch[index];
+      individual.evaluation = evaluator.evaluate(individual.candidate);
+      individual.objectives =
+          objectives_of(individual.evaluation, options.optimize_service);
+      if (observer_) {
+        std::lock_guard lock(observer_mutex);
+        observer_(individual.candidate, individual.evaluation);
+      }
+    });
+    result.evaluations += batch.size();
+    return individuals;
+  };
+
+  // --- Initial population -------------------------------------------------
+  std::vector<Chromosome> seeds;
+  seeds.reserve(options.population);
+  for (std::size_t i = 0; i < options.population; ++i)
+    seeds.push_back(random_chromosome(shape, master));
+  std::vector<Individual> population = evaluate_batch(seeds, 0);
+  std::vector<Individual> archive;
+
+  for (std::size_t generation = 0; generation <= options.generations;
+       ++generation) {
+    // --- Environmental selection over archive + population ----------------
+    std::vector<Individual> combined;
+    combined.reserve(archive.size() + population.size());
+    for (auto& individual : archive) combined.push_back(std::move(individual));
+    for (auto& individual : population)
+      combined.push_back(std::move(individual));
+    archive.clear();
+    population.clear();
+
+    std::vector<ObjectiveVector> points;
+    points.reserve(combined.size());
+    for (const Individual& individual : combined)
+      points.push_back(individual.objectives);
+    const std::vector<std::size_t> keep =
+        spea2_select(points, options.population);
+    archive.reserve(keep.size());
+    for (std::size_t index : keep)
+      archive.push_back(std::move(combined[index]));
+
+    // --- Statistics --------------------------------------------------------
+    GenerationStats stats;
+    stats.generation = generation;
+    for (const Individual& individual : archive) {
+      if (!individual.evaluation.feasible()) continue;
+      ++stats.feasible_in_archive;
+      if (std::isnan(result.best_feasible_power) ||
+          individual.evaluation.power < result.best_feasible_power)
+        result.best_feasible_power = individual.evaluation.power;
+    }
+    stats.best_feasible_power = result.best_feasible_power;
+    result.history.push_back(stats);
+    if (options.on_generation) options.on_generation(stats);
+
+    if (generation == options.generations) break;
+
+    // --- Mating selection + variation --------------------------------------
+    std::vector<ObjectiveVector> archive_points;
+    archive_points.reserve(archive.size());
+    for (const Individual& individual : archive)
+      archive_points.push_back(individual.objectives);
+    const std::vector<double> fitness = spea2_fitness(archive_points);
+
+    std::vector<Chromosome> offspring;
+    offspring.reserve(options.offspring);
+    for (std::size_t i = 0; i < options.offspring; ++i) {
+      const Chromosome& parent_a =
+          archive[tournament(fitness, master)].chromosome;
+      const Chromosome& parent_b =
+          archive[tournament(fitness, master)].chromosome;
+      Chromosome child = master.chance(options.variation.crossover_rate)
+                             ? crossover(parent_a, parent_b, shape, master)
+                             : parent_a;
+      mutate(child, shape, options.variation, master);
+      offspring.push_back(std::move(child));
+    }
+    population =
+        evaluate_batch(offspring, (generation + 1) * 0x100000001ULL);
+  }
+
+  // --- Feasible Pareto front (one representative per objective vector) ----
+  std::vector<std::size_t> feasible;
+  std::vector<ObjectiveVector> feasible_points;
+  for (std::size_t i = 0; i < archive.size(); ++i) {
+    if (!archive[i].evaluation.feasible()) continue;
+    feasible.push_back(i);
+    feasible_points.push_back(archive[i].objectives);
+  }
+  std::vector<ObjectiveVector> seen;
+  for (std::size_t index : pareto_front(feasible_points)) {
+    const Individual& individual = archive[feasible[index]];
+    if (std::find(seen.begin(), seen.end(), individual.objectives) !=
+        seen.end())
+      continue;
+    seen.push_back(individual.objectives);
+    result.pareto.push_back(individual);
+  }
+  result.archive = std::move(archive);
+  return result;
+}
+
+}  // namespace ftmc::dse

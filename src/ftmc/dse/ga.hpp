@@ -1,0 +1,88 @@
+// The design-space-exploration engine (Section 4): a (mu + lambda)
+// evolutionary algorithm with SPEA2 environmental selection, Lamarckian
+// candidate repair, and multithreaded candidate evaluation — an in-repo
+// stand-in for the paper's Opt4J + SPEA-II setup (population, parents, and
+// offspring all 100; 5,000 generations in the paper's experiments).
+//
+// Objectives (all minimized internally):
+//   [0] expected power (+ infeasibility penalty),
+//   [1] negated quality of service (only when optimize_service is set).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/dse/chromosome.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/dse/spea2.hpp"
+#include "ftmc/dse/variation.hpp"
+
+namespace ftmc::dse {
+
+/// One evaluated design point.
+struct Individual {
+  Chromosome chromosome;
+  core::Candidate candidate;
+  core::Evaluation evaluation;
+  ObjectiveVector objectives;
+};
+
+struct GenerationStats {
+  std::size_t generation = 0;
+  std::size_t feasible_in_archive = 0;
+  /// Best (lowest) feasible power seen so far; NaN until one exists.
+  double best_feasible_power = 0.0;
+};
+
+struct GaOptions {
+  std::size_t population = 100;  ///< archive size (= mu)
+  std::size_t offspring = 100;   ///< lambda
+  std::size_t generations = 100;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Bi-objective power/service exploration (Figure 5) vs. power only.
+  bool optimize_service = true;
+  VariationOptions variation;
+  Decoder::Options decoder;
+  core::Evaluator::Options evaluator;
+  /// Called after each generation's selection (from the driving thread).
+  std::function<void(const GenerationStats&)> on_generation;
+};
+
+struct GaResult {
+  /// Final SPEA2 archive.
+  std::vector<Individual> archive;
+  /// Feasible, non-dominated members of the archive.
+  std::vector<Individual> pareto;
+  std::size_t evaluations = 0;
+  /// Best feasible power (NaN if no feasible candidate was ever seen).
+  double best_feasible_power = 0.0;
+  std::vector<GenerationStats> history;
+};
+
+class GeneticOptimizer {
+ public:
+  /// Observes every evaluated candidate (called from worker threads under
+  /// an internal mutex).  Used by the Section-5.2 experiment to classify
+  /// candidates by dropping-enabled vs. dropping-disabled feasibility.
+  using EvalObserver = std::function<void(const core::Candidate&,
+                                          const core::Evaluation&)>;
+
+  /// References must outlive the optimizer.
+  GeneticOptimizer(const model::Architecture& arch,
+                   const model::ApplicationSet& apps,
+                   const sched::SchedulingAnalysis& backend);
+
+  void set_observer(EvalObserver observer) { observer_ = std::move(observer); }
+
+  GaResult run(const GaOptions& options) const;
+
+ private:
+  const model::Architecture* arch_;
+  const model::ApplicationSet* apps_;
+  const sched::SchedulingAnalysis* backend_;
+  EvalObserver observer_;
+};
+
+}  // namespace ftmc::dse

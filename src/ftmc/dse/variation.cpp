@@ -1,0 +1,81 @@
+#include "ftmc/dse/variation.hpp"
+
+#include <stdexcept>
+
+namespace ftmc::dse {
+
+Chromosome crossover(const Chromosome& a, const Chromosome& b,
+                     const ChromosomeShape& shape, util::Rng& rng) {
+  if (a.allocation.size() != b.allocation.size() ||
+      a.keep.size() != b.keep.size() || a.tasks.size() != b.tasks.size())
+    throw std::invalid_argument("crossover: incompatible chromosomes");
+  Chromosome child = a;
+  for (std::size_t p = 0; p < child.allocation.size(); ++p)
+    if (rng.chance(0.5)) child.allocation[p] = b.allocation[p];
+  for (std::size_t g = 0; g < child.keep.size(); ++g)
+    if (rng.chance(0.5)) child.keep[g] = b.keep[g];
+  for (std::size_t t = 0; t < child.tasks.size(); ++t)
+    if (rng.chance(0.5)) child.tasks[t] = b.tasks[t];
+
+  // Base mapping travels per application.
+  if (shape.graph_of_task.size() == child.tasks.size()) {
+    std::vector<bool> from_b(shape.graphs, false);
+    for (std::size_t g = 0; g < shape.graphs; ++g) from_b[g] = rng.chance(0.5);
+    for (std::size_t t = 0; t < child.tasks.size(); ++t) {
+      const Chromosome& source =
+          from_b[shape.graph_of_task[t]] ? b : a;
+      child.tasks[t].base_pe = source.tasks[t].base_pe;
+    }
+  }
+  return child;
+}
+
+void mutate(Chromosome& chromosome, const ChromosomeShape& shape,
+            const VariationOptions& options, util::Rng& rng) {
+  for (auto& bit : chromosome.allocation)
+    if (rng.chance(options.allocation_flip_rate)) bit ^= 1;
+  for (auto& bit : chromosome.keep)
+    if (rng.chance(options.keep_flip_rate)) bit ^= 1;
+
+  // Whole-graph re-clustering: occasionally migrate one application onto a
+  // single PE (the communication-friendly move GAs rarely find gene by
+  // gene).
+  if (shape.graph_of_task.size() == shape.tasks) {
+    for (std::uint32_t g = 0; g < shape.graphs; ++g) {
+      if (!rng.chance(options.graph_recluster_rate)) continue;
+      const auto pe = static_cast<std::uint16_t>(rng.index(shape.processors));
+      for (std::size_t t = 0; t < shape.tasks; ++t)
+        if (shape.graph_of_task[t] == g) chromosome.tasks[t].base_pe = pe;
+    }
+  }
+
+  for (TaskGenes& genes : chromosome.tasks) {
+    if (!rng.chance(options.task_mutation_rate)) continue;
+    switch (rng.index(6)) {
+      case 0:
+        genes.technique =
+            static_cast<TechniqueGene>(rng.uniform_int(0, 3));
+        break;
+      case 1:
+        genes.reexec = random_reexec_degree(rng);
+        break;
+      case 2:
+        genes.active_n = static_cast<std::uint8_t>(rng.uniform_int(2, 3));
+        break;
+      case 3:
+        genes.base_pe =
+            static_cast<std::uint16_t>(rng.index(shape.processors));
+        break;
+      case 4:
+        genes.replica_pe[rng.index(kReplicaSlots)] =
+            static_cast<std::uint16_t>(rng.index(shape.processors));
+        break;
+      case 5:
+        genes.voter_pe =
+            static_cast<std::uint16_t>(rng.index(shape.processors));
+        break;
+    }
+  }
+}
+
+}  // namespace ftmc::dse

@@ -1,0 +1,32 @@
+// Genetic operators over the Figure-4 chromosome: section-wise uniform
+// crossover and per-gene mutation.
+#pragma once
+
+#include "ftmc/dse/chromosome.hpp"
+#include "ftmc/util/rng.hpp"
+
+namespace ftmc::dse {
+
+struct VariationOptions {
+  double crossover_rate = 0.9;       ///< probability of crossing parents
+  double allocation_flip_rate = 0.05;  ///< per allocation bit
+  double keep_flip_rate = 0.1;       ///< per application keep bit
+  double task_mutation_rate = 0.08;  ///< per task: re-randomize one field
+  /// Per graph: migrate the whole application onto one random PE.
+  double graph_recluster_rate = 0.05;
+};
+
+/// Uniform crossover: each allocation bit, keep bit, and per-task gene block
+/// is inherited from either parent with probability 1/2 — except the base
+/// mapping, which is inherited per *application* when the shape carries
+/// graph information: mixing task-to-PE genes of one graph from two parents
+/// shreds communication-friendly clustered mappings, and on bus platforms
+/// those are the feasible ones.
+Chromosome crossover(const Chromosome& a, const Chromosome& b,
+                     const ChromosomeShape& shape, util::Rng& rng);
+
+/// In-place mutation; gene ranges follow `shape`.
+void mutate(Chromosome& chromosome, const ChromosomeShape& shape,
+            const VariationOptions& options, util::Rng& rng);
+
+}  // namespace ftmc::dse

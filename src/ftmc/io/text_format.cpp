@@ -1,0 +1,533 @@
+#include "ftmc/io/text_format.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ftmc/hardening/hardening.hpp"
+
+namespace ftmc::io {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+/// Splits the input into words and punctuation ({, }, ->), dropping
+/// #-comments, with 1-based line numbers.
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> tokens;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+        continue;
+      }
+      if (line[i] == '{' || line[i] == '}') {
+        tokens.push_back({std::string(1, line[i]), line_number});
+        ++i;
+        continue;
+      }
+      if (line[i] == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({"->", line_number});
+        i += 2;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[j])) &&
+             line[j] != '{' && line[j] != '}' &&
+             !(line[j] == '-' && j + 1 < line.size() && line[j + 1] == '>'))
+        ++j;
+      tokens.push_back({line.substr(i, j - i), line_number});
+      i = j;
+    }
+  }
+  return tokens;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  bool done() const noexcept { return index_ >= tokens_.size(); }
+  int line() const noexcept {
+    if (done())
+      return tokens_.empty() ? 1 : tokens_.back().line;
+    return tokens_[index_].line;
+  }
+  const std::string& peek() const {
+    if (done()) throw ParseError(line(), "unexpected end of input");
+    return tokens_[index_].text;
+  }
+  std::string next() {
+    if (done()) throw ParseError(line(), "unexpected end of input");
+    return tokens_[index_++].text;
+  }
+  void expect(const std::string& text) {
+    const int at = line();
+    const std::string got = next();
+    if (got != text)
+      throw ParseError(at, "expected '" + text + "', got '" + got + "'");
+  }
+  bool accept(const std::string& text) {
+    if (!done() && peek() == text) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+double parse_double(Cursor& cursor, const char* what) {
+  const int at = cursor.line();
+  const std::string text = cursor.next();
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError(at, std::string("expected a number for ") + what +
+                             ", got '" + text + "'");
+  }
+}
+
+long parse_int(Cursor& cursor, const char* what) {
+  const int at = cursor.line();
+  const std::string text = cursor.next();
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError(at, std::string("expected an integer for ") + what +
+                             ", got '" + text + "'");
+  }
+}
+
+/// Parses "250", "250us", "10ms", "1.5s" into microseconds.
+model::Time parse_time(Cursor& cursor, const char* what) {
+  const int at = cursor.line();
+  const std::string text = cursor.next();
+  double scale = 1.0;
+  std::string digits = text;
+  auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return digits.size() > n &&
+           digits.compare(digits.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("us")) {
+    digits.resize(digits.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1000.0;
+    digits.resize(digits.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1'000'000.0;
+    digits.resize(digits.size() - 1);
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(digits, &consumed);
+    if (consumed != digits.size()) throw std::invalid_argument(digits);
+    return static_cast<model::Time>(std::llround(value * scale));
+  } catch (const std::exception&) {
+    throw ParseError(at, std::string("expected a time for ") + what +
+                             " (e.g. 250us, 10ms, 1s), got '" + text + "'");
+  }
+}
+
+model::Processor parse_processor(Cursor& cursor) {
+  model::Processor pe;
+  pe.name = cursor.next();
+  cursor.expect("{");
+  while (!cursor.accept("}")) {
+    const int at = cursor.line();
+    const std::string key = cursor.next();
+    if (key == "type")
+      pe.type = static_cast<std::uint32_t>(parse_int(cursor, "type"));
+    else if (key == "static")
+      pe.static_power = parse_double(cursor, "static");
+    else if (key == "dynamic")
+      pe.dynamic_power = parse_double(cursor, "dynamic");
+    else if (key == "fault_rate")
+      pe.fault_rate = parse_double(cursor, "fault_rate");
+    else if (key == "speed")
+      pe.speed_factor = parse_double(cursor, "speed");
+    else
+      throw ParseError(at, "unknown processor field '" + key + "'");
+  }
+  return pe;
+}
+
+model::Architecture parse_platform(Cursor& cursor) {
+  cursor.expect("{");
+  std::vector<model::Processor> processors;
+  double bandwidth = 1.0;
+  while (!cursor.accept("}")) {
+    const int at = cursor.line();
+    const std::string key = cursor.next();
+    if (key == "bandwidth")
+      bandwidth = parse_double(cursor, "bandwidth");
+    else if (key == "processor")
+      processors.push_back(parse_processor(cursor));
+    else
+      throw ParseError(at, "unknown platform entry '" + key + "'");
+  }
+  return model::Architecture(std::move(processors), bandwidth);
+}
+
+model::TaskGraph parse_application(Cursor& cursor) {
+  const int name_line = cursor.line();
+  const std::string name = cursor.next();
+  cursor.expect("{");
+  model::TaskGraphBuilder builder(name);
+  std::map<std::string, std::uint32_t> task_ids;
+  bool have_period = false, have_criticality = false;
+  while (!cursor.accept("}")) {
+    const int at = cursor.line();
+    const std::string key = cursor.next();
+    if (key == "period") {
+      builder.period(parse_time(cursor, "period"));
+      have_period = true;
+    } else if (key == "reliability") {
+      builder.reliability(parse_double(cursor, "reliability"));
+      have_criticality = true;
+    } else if (key == "droppable") {
+      builder.droppable(parse_double(cursor, "service value"));
+      have_criticality = true;
+    } else if (key == "task") {
+      const std::string task_name = cursor.next();
+      if (task_ids.contains(task_name))
+        throw ParseError(at, "duplicate task '" + task_name + "'");
+      cursor.expect("{");
+      model::Time bcet = 0, wcet = 0, ve = 0, dt = 0;
+      while (!cursor.accept("}")) {
+        const int field_at = cursor.line();
+        const std::string field = cursor.next();
+        if (field == "bcet")
+          bcet = parse_time(cursor, "bcet");
+        else if (field == "wcet")
+          wcet = parse_time(cursor, "wcet");
+        else if (field == "ve")
+          ve = parse_time(cursor, "ve");
+        else if (field == "dt")
+          dt = parse_time(cursor, "dt");
+        else
+          throw ParseError(field_at, "unknown task field '" + field + "'");
+      }
+      task_ids[task_name] = builder.add_task(task_name, bcet, wcet, ve, dt);
+    } else if (key == "channel") {
+      const std::string src = cursor.next();
+      cursor.expect("->");
+      const std::string dst = cursor.next();
+      std::uint64_t bytes = 0;
+      if (cursor.accept("bytes"))
+        bytes = static_cast<std::uint64_t>(parse_int(cursor, "bytes"));
+      if (!task_ids.contains(src))
+        throw ParseError(at, "channel source '" + src + "' not declared");
+      if (!task_ids.contains(dst))
+        throw ParseError(at, "channel target '" + dst + "' not declared");
+      builder.connect(task_ids[src], task_ids[dst], bytes);
+    } else {
+      throw ParseError(at, "unknown application entry '" + key + "'");
+    }
+  }
+  if (!have_period)
+    throw ParseError(name_line, "application '" + name + "' needs a period");
+  if (!have_criticality)
+    throw ParseError(name_line, "application '" + name +
+                                    "' needs 'reliability' or 'droppable'");
+  return builder.build();
+}
+
+struct Resolver {
+  const model::Architecture& arch;
+  const model::ApplicationSet& apps;
+
+  model::ProcessorId processor(const std::string& name, int line) const {
+    for (std::uint32_t p = 0; p < arch.processor_count(); ++p)
+      if (arch.processor(model::ProcessorId{p}).name == name)
+        return model::ProcessorId{p};
+    throw ParseError(line, "unknown processor '" + name + "'");
+  }
+
+  model::GraphId graph(const std::string& name, int line) const {
+    try {
+      return apps.find_graph(name);
+    } catch (const std::out_of_range&) {
+      throw ParseError(line, "unknown application '" + name + "'");
+    }
+  }
+
+  /// "app.task" -> flat index.
+  std::size_t task(const std::string& dotted, int line) const {
+    const std::size_t dot = dotted.find('.');
+    if (dot == std::string::npos)
+      throw ParseError(line, "expected app.task, got '" + dotted + "'");
+    const model::GraphId g = graph(dotted.substr(0, dot), line);
+    const std::string task_name = dotted.substr(dot + 1);
+    const model::TaskGraph& tg = apps.graph(g);
+    for (std::uint32_t v = 0; v < tg.task_count(); ++v)
+      if (tg.task(v).name == task_name)
+        return apps.flat_index({g.value, v});
+    throw ParseError(line, "unknown task '" + dotted + "'");
+  }
+};
+
+core::Candidate parse_candidate(Cursor& cursor, const Resolver& resolver) {
+  cursor.expect("{");
+  core::Candidate candidate;
+  candidate.allocation.assign(resolver.arch.processor_count(), false);
+  candidate.drop.assign(resolver.apps.graph_count(), false);
+  candidate.plan.resize(resolver.apps.task_count());
+  candidate.base_mapping.assign(resolver.apps.task_count(),
+                                model::ProcessorId{0});
+  bool any_allocation = false;
+
+  auto is_keyword = [](const std::string& word) {
+    return word == "allocate" || word == "drop" || word == "map" ||
+           word == "harden" || word == "}" || word == "voter";
+  };
+
+  while (!cursor.accept("}")) {
+    const int at = cursor.line();
+    const std::string key = cursor.next();
+    if (key == "allocate") {
+      any_allocation = true;
+      while (!cursor.done() && !is_keyword(cursor.peek()))
+        candidate.allocation[resolver.processor(cursor.next(), at).value] =
+            true;
+    } else if (key == "drop") {
+      while (!cursor.done() && !is_keyword(cursor.peek()))
+        candidate.drop[resolver.graph(cursor.next(), at).value] = true;
+    } else if (key == "map") {
+      const std::size_t flat = resolver.task(cursor.next(), at);
+      candidate.base_mapping[flat] =
+          resolver.processor(cursor.next(), at);
+    } else if (key == "harden") {
+      const std::size_t flat = resolver.task(cursor.next(), at);
+      hardening::TaskHardening& decision = candidate.plan[flat];
+      const std::string technique = cursor.next();
+      if (technique == "reexec") {
+        decision.technique = hardening::Technique::kReexecution;
+        decision.reexecutions =
+            static_cast<int>(parse_int(cursor, "re-execution count"));
+      } else if (technique == "active" || technique == "passive") {
+        decision.technique =
+            technique == "active"
+                ? hardening::Technique::kActiveReplication
+                : hardening::Technique::kPassiveReplication;
+        decision.replica_pes.clear();
+        while (!cursor.done() && cursor.peek() != "voter")
+          decision.replica_pes.push_back(
+              resolver.processor(cursor.next(), at));
+        cursor.expect("voter");
+        decision.voter_pe = resolver.processor(cursor.next(), at);
+      } else {
+        throw ParseError(
+            at, "unknown hardening '" + technique +
+                    "' (expected reexec, active, or passive)");
+      }
+    } else {
+      throw ParseError(at, "unknown candidate entry '" + key + "'");
+    }
+  }
+  if (!any_allocation)
+    candidate.allocation.assign(resolver.arch.processor_count(), true);
+  return candidate;
+}
+
+}  // namespace
+
+SystemSpec parse_system(std::istream& in) {
+  Cursor cursor(tokenize(in));
+  std::optional<model::Architecture> arch;
+  std::vector<model::TaskGraph> graphs;
+  bool candidate_pending = false;
+  int candidate_line = 0;
+
+  while (!cursor.done()) {
+    const int at = cursor.line();
+    const std::string key = cursor.next();
+    if (key == "platform") {
+      if (arch.has_value())
+        throw ParseError(at, "duplicate platform block");
+      arch = parse_platform(cursor);
+    } else if (key == "application") {
+      graphs.push_back(parse_application(cursor));
+    } else if (key == "candidate") {
+      // Needs the full system for name resolution; parse it last.
+      candidate_pending = true;
+      candidate_line = at;
+      break;
+    } else {
+      throw ParseError(at, "unknown top-level entry '" + key + "'");
+    }
+  }
+  if (!arch.has_value())
+    throw ParseError(cursor.line(), "missing platform block");
+  if (graphs.empty())
+    throw ParseError(cursor.line(), "no application blocks");
+
+  model::ApplicationSet apps(std::move(graphs));
+  std::optional<core::Candidate> candidate;
+  if (candidate_pending) {
+    const Resolver resolver{*arch, apps};
+    candidate = parse_candidate(cursor, resolver);
+    if (!cursor.done())
+      throw ParseError(cursor.line(),
+                       "the candidate block must come last (got '" +
+                           cursor.peek() + "' after it)");
+    (void)candidate_line;
+  }
+  return SystemSpec{std::move(*arch), std::move(apps), std::move(candidate)};
+}
+
+SystemSpec parse_system_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_system(in);
+}
+
+SystemSpec parse_system_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return parse_system(in);
+}
+
+std::string format_time(model::Time value) {
+  if (value != 0 && value % 1'000'000 == 0)
+    return std::to_string(value / 1'000'000) + "s";
+  if (value != 0 && value % 1'000 == 0)
+    return std::to_string(value / 1'000) + "ms";
+  return std::to_string(value) + "us";
+}
+
+namespace {
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+void write_system(std::ostream& out, const model::Architecture& arch,
+                  const model::ApplicationSet& apps,
+                  const core::Candidate* candidate) {
+  out << "platform {\n  bandwidth " << format_double(arch.bandwidth())
+      << "\n";
+  for (const auto& pe : arch.processors()) {
+    out << "  processor " << pe.name << " { type " << pe.type << " static "
+        << format_double(pe.static_power) << " dynamic "
+        << format_double(pe.dynamic_power) << " fault_rate "
+        << format_double(pe.fault_rate) << " speed "
+        << format_double(pe.speed_factor) << " }\n";
+  }
+  out << "}\n";
+
+  for (std::uint32_t g = 0; g < apps.graph_count(); ++g) {
+    const model::TaskGraph& graph = apps.graph(model::GraphId{g});
+    out << "application " << graph.name() << " {\n  period "
+        << format_time(graph.period()) << "\n";
+    if (graph.droppable())
+      out << "  droppable " << format_double(graph.service_value()) << "\n";
+    else
+      out << "  reliability " << format_double(graph.reliability_constraint())
+          << "\n";
+    for (std::uint32_t v = 0; v < graph.task_count(); ++v) {
+      const model::Task& task = graph.task(v);
+      out << "  task " << task.name << " { bcet " << format_time(task.bcet)
+          << " wcet " << format_time(task.wcet);
+      if (task.voting_overhead != 0)
+        out << " ve " << format_time(task.voting_overhead);
+      if (task.detection_overhead != 0)
+        out << " dt " << format_time(task.detection_overhead);
+      out << " }\n";
+    }
+    for (const model::Channel& channel : graph.channels()) {
+      out << "  channel " << graph.task(channel.src).name << " -> "
+          << graph.task(channel.dst).name;
+      if (channel.size_bytes != 0) out << " bytes " << channel.size_bytes;
+      out << "\n";
+    }
+    out << "}\n";
+  }
+
+  if (candidate == nullptr) return;
+  out << "candidate {\n  allocate";
+  for (std::uint32_t p = 0; p < arch.processor_count(); ++p)
+    if (candidate->allocation[p])
+      out << ' ' << arch.processor(model::ProcessorId{p}).name;
+  out << "\n";
+  bool any_drop = false;
+  for (std::uint32_t g = 0; g < apps.graph_count(); ++g)
+    any_drop |= candidate->drop[g];
+  if (any_drop) {
+    out << "  drop";
+    for (std::uint32_t g = 0; g < apps.graph_count(); ++g)
+      if (candidate->drop[g])
+        out << ' ' << apps.graph(model::GraphId{g}).name();
+    out << "\n";
+  }
+  auto pe_name = [&](model::ProcessorId pe) {
+    return arch.processor(pe).name;
+  };
+  for (std::size_t i = 0; i < apps.task_count(); ++i) {
+    const model::TaskRef ref = apps.task_ref(i);
+    const std::string dotted =
+        apps.graph(ref.graph_id()).name() + "." + apps.task(ref).name;
+    out << "  map " << dotted << ' '
+        << pe_name(candidate->base_mapping[i]) << "\n";
+    const hardening::TaskHardening& decision = candidate->plan[i];
+    switch (decision.technique) {
+      case hardening::Technique::kNone:
+        break;
+      case hardening::Technique::kReexecution:
+        out << "  harden " << dotted << " reexec "
+            << decision.reexecutions << "\n";
+        break;
+      case hardening::Technique::kActiveReplication:
+      case hardening::Technique::kPassiveReplication: {
+        out << "  harden " << dotted << ' '
+            << (decision.technique ==
+                        hardening::Technique::kActiveReplication
+                    ? "active"
+                    : "passive");
+        for (const model::ProcessorId pe : decision.replica_pes)
+          out << ' ' << pe_name(pe);
+        out << " voter " << pe_name(decision.voter_pe) << "\n";
+        break;
+      }
+    }
+  }
+  out << "}\n";
+}
+
+std::string to_text(const model::Architecture& arch,
+                    const model::ApplicationSet& apps,
+                    const core::Candidate* candidate) {
+  std::ostringstream out;
+  write_system(out, arch, apps, candidate);
+  return out.str();
+}
+
+}  // namespace ftmc::io

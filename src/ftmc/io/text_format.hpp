@@ -1,0 +1,84 @@
+// Human-writable text format for platforms, application sets, and design
+// candidates — the interchange format of the `ftmc` CLI tool.
+//
+//   # comment
+//   platform {
+//     bandwidth 2.0                    # bytes per microsecond
+//     processor pe0 { type 0 static 50 dynamic 150 fault_rate 1e-8 speed 1.0 }
+//     processor pe1 { static 50 dynamic 150 }
+//   }
+//   application control {
+//     period 200ms                     # 250us / 10ms / 1s suffixes
+//     reliability 1e-12                # or: droppable 2.0
+//     task sense { bcet 10ms wcet 20ms ve 3ms dt 2ms }
+//     task act   { bcet 15ms wcet 30ms }
+//     channel sense -> act bytes 512
+//   }
+//   candidate {
+//     allocate pe0 pe1
+//     drop logger
+//     map control.sense pe0
+//     harden control.sense reexec 2
+//     harden control.act active pe0 pe1 voter pe0
+//     harden video.encode passive pe0 pe1 pe2 voter pe1
+//   }
+//
+// Defaults: every processor field is optional (type 0, powers 0, fault rate
+// 0, speed 1); task `ve`/`dt` default to 0; unmapped tasks go to the first
+// processor; a missing candidate block yields no candidate.
+//
+// Naming restriction: processor and application names must not collide with
+// the candidate-block keywords (allocate, drop, map, harden, voter) — the
+// list-valued entries end at the next keyword.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/model/application_set.hpp"
+#include "ftmc/model/architecture.hpp"
+
+namespace ftmc::io {
+
+/// Parse failure with 1-based line information.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// A parsed system description.
+struct SystemSpec {
+  model::Architecture arch;
+  model::ApplicationSet apps;
+  std::optional<core::Candidate> candidate;
+};
+
+/// Parses the text format; throws ParseError on malformed input and
+/// std::invalid_argument when the described system violates model
+/// invariants (cyclic graphs, bcet > wcet, ...).
+SystemSpec parse_system(std::istream& in);
+SystemSpec parse_system_string(const std::string& text);
+SystemSpec parse_system_file(const std::string& path);
+
+/// Emits a system (and optional candidate) in the same format; the output
+/// re-parses to an equivalent system.
+void write_system(std::ostream& out, const model::Architecture& arch,
+                  const model::ApplicationSet& apps,
+                  const core::Candidate* candidate = nullptr);
+std::string to_text(const model::Architecture& arch,
+                    const model::ApplicationSet& apps,
+                    const core::Candidate* candidate = nullptr);
+
+/// Formats a time value using the shortest exact unit (us/ms/s).
+std::string format_time(model::Time value);
+
+}  // namespace ftmc::io

@@ -1,0 +1,48 @@
+#include "ftmc/model/application_set.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ftmc::model {
+
+ApplicationSet::ApplicationSet(std::vector<TaskGraph> graphs)
+    : graphs_(std::move(graphs)) {
+  if (graphs_.empty())
+    throw std::invalid_argument("ApplicationSet: no task graphs");
+  std::unordered_set<std::string> names;
+  std::vector<Time> periods;
+  periods.reserve(graphs_.size());
+  graph_offset_.reserve(graphs_.size());
+  for (std::uint32_t g = 0; g < graphs_.size(); ++g) {
+    const TaskGraph& graph = graphs_[g];
+    if (!names.insert(graph.name()).second)
+      throw std::invalid_argument("ApplicationSet: duplicate graph name '" +
+                                  graph.name() + "'");
+    graph_offset_.push_back(flat_.size());
+    for (std::uint32_t v = 0; v < graph.task_count(); ++v)
+      flat_.push_back(TaskRef{g, v});
+    periods.push_back(graph.period());
+    if (graph.droppable())
+      droppable_.push_back(GraphId{g});
+    else
+      critical_.push_back(GraphId{g});
+  }
+  hyperperiod_ = model::hyperperiod(periods);
+}
+
+std::size_t ApplicationSet::flat_index(TaskRef ref) const {
+  if (ref.graph >= graphs_.size())
+    throw std::out_of_range("ApplicationSet::flat_index: bad graph");
+  if (ref.task >= graphs_[ref.graph].task_count())
+    throw std::out_of_range("ApplicationSet::flat_index: bad task");
+  return graph_offset_[ref.graph] + ref.task;
+}
+
+GraphId ApplicationSet::find_graph(const std::string& name) const {
+  for (std::uint32_t g = 0; g < graphs_.size(); ++g)
+    if (graphs_[g].name() == name) return GraphId{g};
+  throw std::out_of_range("ApplicationSet::find_graph: no graph named '" +
+                          name + "'");
+}
+
+}  // namespace ftmc::model

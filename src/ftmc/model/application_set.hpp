@@ -1,0 +1,59 @@
+// The application set T: all task graphs sharing the platform, with global
+// task indexing used by mappings, analyses, and the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ftmc/model/ids.hpp"
+#include "ftmc/model/task_graph.hpp"
+#include "ftmc/model/time.hpp"
+
+namespace ftmc::model {
+
+/// Immutable collection of task graphs with flat task enumeration.
+class ApplicationSet {
+ public:
+  explicit ApplicationSet(std::vector<TaskGraph> graphs);
+
+  std::size_t graph_count() const noexcept { return graphs_.size(); }
+  const TaskGraph& graph(GraphId id) const { return graphs_.at(id.value); }
+  const std::vector<TaskGraph>& graphs() const noexcept { return graphs_; }
+
+  /// Total task count across all graphs.
+  std::size_t task_count() const noexcept { return flat_.size(); }
+
+  /// Flat index <-> (graph, task) translation.  Flat order is graph-major,
+  /// task-minor, and stable across runs.
+  TaskRef task_ref(std::size_t flat_index) const { return flat_.at(flat_index); }
+  std::size_t flat_index(TaskRef ref) const;
+  const std::vector<TaskRef>& all_tasks() const noexcept { return flat_; }
+
+  const Task& task(TaskRef ref) const {
+    return graph(ref.graph_id()).task(ref.task);
+  }
+
+  /// LCM of all graph periods.
+  Time hyperperiod() const noexcept { return hyperperiod_; }
+
+  /// Graph ids of droppable / non-droppable applications.
+  const std::vector<GraphId>& droppable_graphs() const noexcept {
+    return droppable_;
+  }
+  const std::vector<GraphId>& critical_graphs() const noexcept {
+    return critical_;
+  }
+
+  /// Looks a graph up by name; throws if absent.
+  GraphId find_graph(const std::string& name) const;
+
+ private:
+  std::vector<TaskGraph> graphs_;
+  std::vector<TaskRef> flat_;
+  std::vector<std::size_t> graph_offset_;  // flat index of each graph's task 0
+  Time hyperperiod_ = 1;
+  std::vector<GraphId> droppable_;
+  std::vector<GraphId> critical_;
+};
+
+}  // namespace ftmc::model

@@ -1,0 +1,48 @@
+// Strongly-typed indices into the system model.
+//
+// A task is globally identified by (graph index, task index within graph);
+// processors by their index in the Architecture.  Keeping these as distinct
+// types prevents the classic index-mixup bugs in mapping/scheduling code.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ftmc::model {
+
+/// Index of a processor within an Architecture.
+struct ProcessorId {
+  std::uint32_t value = 0;
+  auto operator<=>(const ProcessorId&) const = default;
+};
+
+/// Index of a task graph within an ApplicationSet.
+struct GraphId {
+  std::uint32_t value = 0;
+  auto operator<=>(const GraphId&) const = default;
+};
+
+/// Global task reference: graph index + task index within that graph.
+struct TaskRef {
+  std::uint32_t graph = 0;
+  std::uint32_t task = 0;
+  auto operator<=>(const TaskRef&) const = default;
+  GraphId graph_id() const noexcept { return GraphId{graph}; }
+};
+
+}  // namespace ftmc::model
+
+template <>
+struct std::hash<ftmc::model::ProcessorId> {
+  std::size_t operator()(const ftmc::model::ProcessorId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<ftmc::model::TaskRef> {
+  std::size_t operator()(const ftmc::model::TaskRef& ref) const noexcept {
+    return (static_cast<std::size_t>(ref.graph) << 32) ^ ref.task;
+  }
+};

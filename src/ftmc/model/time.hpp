@@ -1,0 +1,42 @@
+// Time base of the whole library.
+//
+// All analyses, simulations, and models operate on integer microseconds so
+// that fixed-point response-time iteration terminates exactly and simulator
+// event ordering is deterministic.  The paper reports milliseconds; benches
+// convert on output.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+
+namespace ftmc::model {
+
+/// Integer time in microseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts an analysis/simulation time to milliseconds for reporting.
+constexpr double to_milliseconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Least common multiple of a set of periods (the hyperperiod).
+/// Throws on empty input or non-positive periods.
+inline Time hyperperiod(std::span<const Time> periods) {
+  if (periods.empty())
+    throw std::invalid_argument("hyperperiod: no periods");
+  Time result = 1;
+  for (Time period : periods) {
+    if (period <= 0)
+      throw std::invalid_argument("hyperperiod: non-positive period");
+    result = std::lcm(result, period);
+  }
+  return result;
+}
+
+}  // namespace ftmc::model

@@ -1,0 +1,26 @@
+#include "ftmc/sched/analysis.hpp"
+
+#include <algorithm>
+
+namespace ftmc::sched {
+
+model::Time AnalysisResult::graph_wcrt(const model::ApplicationSet& apps,
+                                       model::GraphId graph) const {
+  const model::TaskGraph& g = apps.graph(graph);
+  model::Time wcrt = 0;
+  for (std::uint32_t sink : g.sinks()) {
+    wcrt = std::max(wcrt,
+                    windows.at(apps.flat_index({graph.value, sink})).max_finish);
+  }
+  return wcrt;
+}
+
+bool AnalysisResult::meets_deadlines(const model::ApplicationSet& apps) const {
+  for (std::uint32_t g = 0; g < apps.graph_count(); ++g) {
+    const model::GraphId id{g};
+    if (graph_wcrt(apps, id) > apps.graph(id).deadline()) return false;
+  }
+  return true;
+}
+
+}  // namespace ftmc::sched

@@ -1,0 +1,18 @@
+#include "ftmc/sim/adhoc.hpp"
+
+namespace ftmc::sim {
+
+std::vector<model::Time> adhoc_wcrt(
+    const model::Architecture& arch, const hardening::HardenedSystem& system,
+    const core::DropSet& drop,
+    const std::vector<std::uint32_t>& priorities) {
+  const Simulator simulator(arch, system, drop, priorities);
+  AlwaysFaults faults;
+  WcetExecution durations;
+  SimOptions options;
+  options.start_in_critical_state = true;
+  const SimResult result = simulator.run(faults, durations, options);
+  return result.graph_response;
+}
+
+}  // namespace ftmc::sim

@@ -1,0 +1,25 @@
+// The "Adhoc" estimator of Table 2: an artificial worst-case trace built by
+// assuming the system enters the critical state at the very beginning of the
+// hyperperiod — all re-executable tasks maximally re-execute with wcet' of
+// Eq. (1), all passive standbys are activated, every task runs at WCET, and
+// all dropped applications are detached from time zero.
+//
+// This is a plausible-looking but *unsafe* estimate: because of scheduling
+// anomalies, mixed normal/critical interleavings can produce longer response
+// times than the all-faults-from-zero trace (the paper shows WC-Sim beating
+// Adhoc on some mappings).
+#pragma once
+
+#include <vector>
+
+#include "ftmc/sim/simulator.hpp"
+
+namespace ftmc::sim {
+
+/// Per-graph response time of the ad-hoc worst-case trace (-1 for dropped
+/// applications, which do not execute at all in this trace).
+std::vector<model::Time> adhoc_wcrt(
+    const model::Architecture& arch, const hardening::HardenedSystem& system,
+    const core::DropSet& drop, const std::vector<std::uint32_t>& priorities);
+
+}  // namespace ftmc::sim

@@ -1,0 +1,125 @@
+// Pluggable stochastic models of the trace simulator: where faults strike
+// and how long each execution attempt actually takes.
+//
+// A "failure profile" in the paper's sense (Section 5.1, WC-Sim) is one
+// concrete realization of these two models over a simulation run.
+#pragma once
+
+#include <unordered_set>
+
+#include "ftmc/model/ids.hpp"
+#include "ftmc/model/time.hpp"
+#include "ftmc/sched/analysis.hpp"
+#include "ftmc/util/rng.hpp"
+
+namespace ftmc::sim {
+
+/// Identifies one execution attempt of one job.
+struct AttemptKey {
+  std::size_t flat_task = 0;  ///< task in T' (flat index)
+  std::size_t instance = 0;   ///< release index within the simulation
+  int attempt = 0;            ///< 1-based attempt number
+
+  bool operator==(const AttemptKey&) const = default;
+};
+
+struct AttemptKeyHash {
+  std::size_t operator()(const AttemptKey& key) const noexcept {
+    std::size_t h = key.flat_task * 0x9e3779b97f4a7c15ULL;
+    h ^= key.instance + 0x9e3779b9 + (h << 6) + (h >> 2);
+    h ^= static_cast<std::size_t>(key.attempt) + 0x9e3779b9 + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+/// Decides whether a given execution attempt is hit by a transient fault.
+/// Called exactly once per attempt, in simulation order.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  virtual bool attempt_faults(const AttemptKey& key) = 0;
+};
+
+/// Fault-free run.
+class NoFaults final : public FaultModel {
+ public:
+  bool attempt_faults(const AttemptKey&) override { return false; }
+};
+
+/// Every attempt faults (drives maximal re-execution / standby activation).
+class AlwaysFaults final : public FaultModel {
+ public:
+  bool attempt_faults(const AttemptKey&) override { return true; }
+};
+
+/// Independent per-attempt faults with fixed probability.
+class RandomFaults final : public FaultModel {
+ public:
+  RandomFaults(util::Rng rng, double probability)
+      : rng_(rng), probability_(probability) {}
+  bool attempt_faults(const AttemptKey&) override {
+    return rng_.chance(probability_);
+  }
+
+ private:
+  util::Rng rng_;
+  double probability_;
+};
+
+/// Faults exactly at an enumerated set of attempts (deterministic scenarios:
+/// the motivational example, regression tests).
+class PlannedFaults final : public FaultModel {
+ public:
+  void add(AttemptKey key) { faults_.insert(key); }
+  bool attempt_faults(const AttemptKey& key) override {
+    return faults_.contains(key);
+  }
+
+ private:
+  std::unordered_set<AttemptKey, AttemptKeyHash> faults_;
+};
+
+/// Draws the actual duration of one attempt within its [bcet, wcet] bounds
+/// (already scaled to the executing PE).
+class ExecTimeModel {
+ public:
+  virtual ~ExecTimeModel() = default;
+  virtual model::Time attempt_duration(const AttemptKey& key,
+                                       model::Time bcet,
+                                       model::Time wcet) = 0;
+};
+
+/// Every attempt takes its WCET.
+class WcetExecution final : public ExecTimeModel {
+ public:
+  model::Time attempt_duration(const AttemptKey&, model::Time,
+                               model::Time wcet) override {
+    return wcet;
+  }
+};
+
+/// Every attempt takes its BCET.
+class BcetExecution final : public ExecTimeModel {
+ public:
+  model::Time attempt_duration(const AttemptKey&, model::Time bcet,
+                               model::Time) override {
+    return bcet;
+  }
+};
+
+/// Uniformly random duration in [bcet, wcet].
+class UniformExecution final : public ExecTimeModel {
+ public:
+  explicit UniformExecution(util::Rng rng) : rng_(rng) {}
+  model::Time attempt_duration(const AttemptKey&, model::Time bcet,
+                               model::Time wcet) override {
+    if (wcet <= bcet) return wcet;
+    return rng_.uniform_int(bcet, wcet);
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace ftmc::sim

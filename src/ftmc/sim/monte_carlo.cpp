@@ -1,0 +1,97 @@
+#include "ftmc/sim/monte_carlo.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "ftmc/util/stats.hpp"
+#include "ftmc/util/thread_pool.hpp"
+
+namespace ftmc::sim {
+
+MonteCarloResult monte_carlo_wcrt(
+    const model::Architecture& arch, const hardening::HardenedSystem& system,
+    const core::DropSet& drop, const std::vector<std::uint32_t>& priorities,
+    const MonteCarloOptions& options) {
+  const Simulator simulator(arch, system, drop, priorities);
+  const std::size_t graphs = system.apps.graph_count();
+
+  MonteCarloResult result;
+  result.worst_response.assign(graphs, -1);
+  result.distribution.assign(graphs, ResponseDistribution{});
+  result.profiles = options.profiles;
+
+  std::mutex merge_mutex;
+  std::atomic<std::size_t> miss_count{0};
+
+  // Per-graph response samples, merged at the end for percentiles.
+  std::vector<std::vector<double>> samples(graphs);
+
+  util::ThreadPool pool(options.threads);
+  const std::size_t workers = pool.thread_count();
+  const std::size_t chunk =
+      (options.profiles + workers - 1) / std::max<std::size_t>(workers, 1);
+
+  pool.parallel_for(workers, [&](std::size_t worker) {
+    const std::size_t begin = worker * chunk;
+    const std::size_t end = std::min(options.profiles, begin + chunk);
+    std::vector<model::Time> local_worst(graphs, -1);
+    std::vector<std::vector<double>> local_samples(graphs);
+    std::vector<std::size_t> local_dropped(graphs, 0);
+    std::vector<std::size_t> local_misses(graphs, 0);
+    std::size_t local_miss = 0;
+
+    for (std::size_t profile = begin; profile < end; ++profile) {
+      // Independent, reproducible stream per profile.
+      util::Rng base(options.seed + 0x51ed270b * profile);
+      RandomFaults faults(base.split(), options.fault_probability);
+      UniformExecution durations(base.split());
+      SimOptions sim_options;
+      sim_options.hyperperiods = options.hyperperiods;
+      const SimResult sim = simulator.run(faults, durations, sim_options);
+      for (std::size_t g = 0; g < graphs; ++g) {
+        const model::Time response = sim.graph_response[g];
+        if (response < 0) {
+          ++local_dropped[g];
+          continue;
+        }
+        local_worst[g] = std::max(local_worst[g], response);
+        local_samples[g].push_back(static_cast<double>(response));
+        if (response >
+            system.apps.graph(model::GraphId{static_cast<std::uint32_t>(g)})
+                .deadline())
+          ++local_misses[g];
+      }
+      if (sim.deadline_miss) ++local_miss;
+    }
+
+    std::lock_guard lock(merge_mutex);
+    for (std::size_t g = 0; g < graphs; ++g) {
+      result.worst_response[g] =
+          std::max(result.worst_response[g], local_worst[g]);
+      samples[g].insert(samples[g].end(), local_samples[g].begin(),
+                        local_samples[g].end());
+      result.distribution[g].dropped += local_dropped[g];
+      result.distribution[g].deadline_misses += local_misses[g];
+    }
+    miss_count += local_miss;
+  });
+
+  for (std::size_t g = 0; g < graphs; ++g) {
+    ResponseDistribution& dist = result.distribution[g];
+    dist.observations = samples[g].size();
+    if (samples[g].empty()) continue;
+    util::RunningStats stats;
+    for (const double sample : samples[g]) stats.add(sample);
+    dist.mean = stats.mean();
+    dist.min = static_cast<model::Time>(stats.min());
+    dist.max = static_cast<model::Time>(stats.max());
+    dist.p95 = static_cast<model::Time>(util::percentile(samples[g], 0.95));
+    dist.p99 = static_cast<model::Time>(util::percentile(samples[g], 0.99));
+  }
+
+  result.deadline_miss_profiles = miss_count;
+  return result;
+}
+
+}  // namespace ftmc::sim

@@ -1,0 +1,43 @@
+#include "ftmc/sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace ftmc::sim {
+
+void render_gantt(std::ostream& os, const model::Architecture& arch,
+                  const model::ApplicationSet& apps, const SimResult& result,
+                  model::Time span, model::Time resolution) {
+  if (span <= 0 || resolution <= 0) return;
+  const auto columns = static_cast<std::size_t>(
+      (span + resolution - 1) / resolution);
+
+  std::size_t label_width = 0;
+  for (const auto& processor : arch.processors())
+    label_width = std::max(label_width, processor.name.size());
+
+  for (std::uint32_t p = 0; p < arch.processor_count(); ++p) {
+    std::string row(columns, '.');
+    for (const ExecSegment& segment : result.segments) {
+      if (segment.pe.value != p) continue;
+      const JobRecord& job = result.jobs[segment.job];
+      const std::string& name =
+          apps.task(apps.task_ref(job.flat_task)).name;
+      const char mark = name.empty() ? '#' : name.front();
+      const auto from = static_cast<std::size_t>(
+          std::max<model::Time>(0, segment.from / resolution));
+      const auto to = static_cast<std::size_t>(std::min<model::Time>(
+          static_cast<model::Time>(columns),
+          (segment.to + resolution - 1) / resolution));
+      for (std::size_t c = from; c < to && c < columns; ++c) row[c] = mark;
+    }
+    const std::string& label = arch.processor(model::ProcessorId{p}).name;
+    os << label << std::string(label_width - label.size(), ' ') << " |" << row
+       << "|\n";
+  }
+  os << std::string(label_width, ' ') << " 0" << std::string(columns - 1, ' ')
+     << span << " (x" << resolution << ")\n";
+}
+
+}  // namespace ftmc::sim

@@ -1,0 +1,24 @@
+#include "ftmc/util/log.hpp"
+
+#include <iostream>
+
+namespace ftmc::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) noexcept {
+  std::lock_guard lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard lock(mutex_);
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+  out << '[' << kNames[static_cast<int>(level)] << "] " << message << '\n';
+}
+
+}  // namespace ftmc::util

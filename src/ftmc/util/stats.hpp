@@ -1,0 +1,35 @@
+// Small descriptive-statistics helpers used by the Monte-Carlo simulator and
+// the experiment benches (min/max/mean/percentiles over WCRT samples).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftmc::util {
+
+/// Streaming accumulator: O(1) memory for min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Percentile of a sample set via linear interpolation (q in [0,1]).
+/// Copies and sorts; intended for bench-sized sample vectors.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace ftmc::util

@@ -1,0 +1,76 @@
+// Shared fixtures for the test suite: small platforms and application sets.
+#pragma once
+
+#include <vector>
+
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/hardening/hardening.hpp"
+#include "ftmc/model/application_set.hpp"
+#include "ftmc/model/architecture.hpp"
+#include "ftmc/model/task_graph.hpp"
+
+namespace ftmc::fixtures {
+
+inline model::Processor test_pe(const std::string& name,
+                                double fault_rate = 1.0e-8,
+                                double speed = 1.0) {
+  return model::Processor{name, 0, 10.0, 40.0, fault_rate, speed};
+}
+
+/// `count` identical PEs, bandwidth 1 byte/us.
+inline model::Architecture test_arch(std::size_t count,
+                                     double bandwidth = 1.0) {
+  model::ArchitectureBuilder builder;
+  for (std::size_t i = 0; i < count; ++i)
+    builder.add_processor(test_pe("pe" + std::to_string(i)));
+  builder.bandwidth(bandwidth);
+  return builder.build();
+}
+
+/// Chain graph: t0 -> t1 -> ... with identical tasks.
+inline model::TaskGraph chain_graph(const std::string& name,
+                                    std::size_t tasks, model::Time bcet,
+                                    model::Time wcet, model::Time period,
+                                    bool droppable, double sv_or_f,
+                                    std::uint64_t channel_bytes = 0,
+                                    model::Time ve = 3, model::Time dt = 2) {
+  model::TaskGraphBuilder builder(name);
+  std::uint32_t previous = 0;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const auto id = builder.add_task(name + std::to_string(i), bcet, wcet,
+                                     ve, dt);
+    if (i > 0) builder.connect(previous, id, channel_bytes);
+    previous = id;
+  }
+  builder.period(period);
+  if (droppable)
+    builder.droppable(sv_or_f);
+  else
+    builder.reliability(sv_or_f);
+  return builder.build();
+}
+
+/// One critical 2-task chain + one droppable 2-task chain, same period.
+inline model::ApplicationSet small_mixed_apps(model::Time period = 1000) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(chain_graph("crit", 2, 50, 100, period, false, 1e-6));
+  graphs.push_back(chain_graph("drop", 2, 30, 60, period, true, 2.0));
+  return model::ApplicationSet(std::move(graphs));
+}
+
+/// Identity candidate: everything on PE 0..n round-robin, no hardening,
+/// nothing dropped.
+inline core::Candidate plain_candidate(const model::Architecture& arch,
+                                       const model::ApplicationSet& apps) {
+  core::Candidate candidate;
+  candidate.allocation.assign(arch.processor_count(), true);
+  candidate.drop.assign(apps.graph_count(), false);
+  candidate.plan.resize(apps.task_count());
+  candidate.base_mapping.resize(apps.task_count());
+  for (std::size_t i = 0; i < apps.task_count(); ++i)
+    candidate.base_mapping[i] = model::ProcessorId{
+        static_cast<std::uint32_t>(i % arch.processor_count())};
+  return candidate;
+}
+
+}  // namespace ftmc::fixtures

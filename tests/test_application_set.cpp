@@ -1,0 +1,101 @@
+#include "ftmc/model/application_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using ftmc::model::ApplicationSet;
+using ftmc::model::GraphId;
+using ftmc::model::TaskGraph;
+using ftmc::model::TaskGraphBuilder;
+using ftmc::model::TaskRef;
+
+TaskGraph make_graph(const std::string& name, std::size_t tasks,
+                     ftmc::model::Time period, bool droppable) {
+  TaskGraphBuilder builder(name);
+  std::uint32_t previous = 0;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const auto id = builder.add_task(name + "_t" + std::to_string(i), 1, 2);
+    if (i > 0) builder.connect(previous, id);
+    previous = id;
+  }
+  builder.period(period);
+  if (droppable)
+    builder.droppable(1.0);
+  else
+    builder.reliability(0.5);
+  return builder.build();
+}
+
+ApplicationSet make_set() {
+  std::vector<TaskGraph> graphs;
+  graphs.push_back(make_graph("a", 3, 100, false));
+  graphs.push_back(make_graph("b", 2, 50, true));
+  graphs.push_back(make_graph("c", 4, 200, false));
+  return ApplicationSet(std::move(graphs));
+}
+
+TEST(ApplicationSet, Counts) {
+  const ApplicationSet apps = make_set();
+  EXPECT_EQ(apps.graph_count(), 3u);
+  EXPECT_EQ(apps.task_count(), 9u);
+}
+
+TEST(ApplicationSet, FlatIndexingRoundTrips) {
+  const ApplicationSet apps = make_set();
+  for (std::size_t i = 0; i < apps.task_count(); ++i) {
+    const TaskRef ref = apps.task_ref(i);
+    EXPECT_EQ(apps.flat_index(ref), i);
+  }
+}
+
+TEST(ApplicationSet, FlatOrderIsGraphMajor) {
+  const ApplicationSet apps = make_set();
+  EXPECT_EQ(apps.task_ref(0), (TaskRef{0, 0}));
+  EXPECT_EQ(apps.task_ref(2), (TaskRef{0, 2}));
+  EXPECT_EQ(apps.task_ref(3), (TaskRef{1, 0}));
+  EXPECT_EQ(apps.task_ref(5), (TaskRef{2, 0}));
+  EXPECT_EQ(apps.task_ref(8), (TaskRef{2, 3}));
+}
+
+TEST(ApplicationSet, FlatIndexValidation) {
+  const ApplicationSet apps = make_set();
+  EXPECT_THROW(apps.flat_index(TaskRef{5, 0}), std::out_of_range);
+  EXPECT_THROW(apps.flat_index(TaskRef{0, 9}), std::out_of_range);
+}
+
+TEST(ApplicationSet, Hyperperiod) {
+  const ApplicationSet apps = make_set();
+  EXPECT_EQ(apps.hyperperiod(), 200);
+}
+
+TEST(ApplicationSet, CriticalityPartition) {
+  const ApplicationSet apps = make_set();
+  EXPECT_EQ(apps.droppable_graphs(), std::vector<GraphId>{GraphId{1}});
+  EXPECT_EQ(apps.critical_graphs(),
+            (std::vector<GraphId>{GraphId{0}, GraphId{2}}));
+}
+
+TEST(ApplicationSet, FindGraph) {
+  const ApplicationSet apps = make_set();
+  EXPECT_EQ(apps.find_graph("b"), GraphId{1});
+  EXPECT_THROW(apps.find_graph("nope"), std::out_of_range);
+}
+
+TEST(ApplicationSet, TaskLookup) {
+  const ApplicationSet apps = make_set();
+  EXPECT_EQ(apps.task(TaskRef{1, 1}).name, "b_t1");
+}
+
+TEST(ApplicationSet, RejectsEmpty) {
+  EXPECT_THROW(ApplicationSet({}), std::invalid_argument);
+}
+
+TEST(ApplicationSet, RejectsDuplicateGraphNames) {
+  std::vector<TaskGraph> graphs;
+  graphs.push_back(make_graph("same", 2, 100, false));
+  graphs.push_back(make_graph("same", 2, 100, true));
+  EXPECT_THROW(ApplicationSet(std::move(graphs)), std::invalid_argument);
+}
+
+}  // namespace

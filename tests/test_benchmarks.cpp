@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "ftmc/benchmarks/cruise.hpp"
+#include "ftmc/benchmarks/dream.hpp"
+#include "ftmc/benchmarks/platforms.hpp"
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/sched/holistic.hpp"
+
+namespace {
+
+using namespace ftmc;
+using benchmarks::Benchmark;
+
+TEST(Platforms, SymmetricPlatform) {
+  const auto arch = benchmarks::symmetric_platform(4);
+  EXPECT_EQ(arch.processor_count(), 4u);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const auto& pe = arch.processor(model::ProcessorId{p});
+    EXPECT_GT(pe.static_power, 0.0);
+    EXPECT_GT(pe.fault_rate, 0.0);
+  }
+}
+
+TEST(Platforms, AutomotiveIsHeterogeneous) {
+  const auto arch = benchmarks::automotive_platform();
+  EXPECT_EQ(arch.processor_count(), 4u);
+  // Lockstep cores are more reliable than the eco core.
+  EXPECT_LT(arch.processor(model::ProcessorId{0}).fault_rate,
+            arch.processor(model::ProcessorId{3}).fault_rate);
+  // Eco core is slower.
+  EXPECT_GT(arch.processor(model::ProcessorId{3}).speed_factor,
+            arch.processor(model::ProcessorId{0}).speed_factor);
+}
+
+TEST(Cruise, HasExpectedStructure) {
+  const Benchmark cruise = benchmarks::cruise_benchmark();
+  EXPECT_EQ(cruise.name, "Cruise");
+  EXPECT_EQ(cruise.apps.graph_count(), 5u);
+  EXPECT_EQ(cruise.apps.critical_graphs().size(), 2u);
+  EXPECT_EQ(cruise.apps.droppable_graphs().size(), 3u);
+  EXPECT_EQ(cruise.apps.task_count(), 18u);
+  // The two control applications of Table 2.
+  EXPECT_NO_THROW(cruise.apps.find_graph("speed_ctrl"));
+  EXPECT_NO_THROW(cruise.apps.find_graph("brake_mon"));
+}
+
+TEST(Cruise, SampleConfigsAreStructurallySound) {
+  const Benchmark cruise = benchmarks::cruise_benchmark();
+  const auto configs = benchmarks::cruise_sample_configs(cruise);
+  ASSERT_EQ(configs.size(), 3u);
+  const sched::HolisticAnalysis backend;
+  const core::Evaluator evaluator(cruise.arch, cruise.apps, backend);
+  for (const auto& config : configs) {
+    EXPECT_TRUE(evaluator.structural_error(config.candidate).empty())
+        << config.name;
+    // All droppable applications are in T_d for Table 2.
+    EXPECT_FALSE(config.candidate.drop[0]);
+    EXPECT_FALSE(config.candidate.drop[1]);
+    EXPECT_TRUE(config.candidate.drop[2]);
+    EXPECT_TRUE(config.candidate.drop[3]);
+    EXPECT_TRUE(config.candidate.drop[4]);
+  }
+  // The three mappings differ.
+  EXPECT_NE(configs[0].candidate.base_mapping,
+            configs[1].candidate.base_mapping);
+  EXPECT_NE(configs[1].candidate.base_mapping,
+            configs[2].candidate.base_mapping);
+}
+
+TEST(Cruise, SampleConfigsContainTriggers) {
+  const Benchmark cruise = benchmarks::cruise_benchmark();
+  const auto configs = benchmarks::cruise_sample_configs(cruise);
+  std::size_t reexec = 0, passive = 0;
+  for (const auto& decision : configs[0].candidate.plan) {
+    if (decision.technique == hardening::Technique::kReexecution) ++reexec;
+    if (decision.technique == hardening::Technique::kPassiveReplication)
+      ++passive;
+  }
+  EXPECT_GE(reexec, 8u);
+  EXPECT_EQ(passive, 1u);
+}
+
+TEST(DtMed, MatchesFigure5Setup) {
+  const Benchmark bench = benchmarks::dt_med_benchmark();
+  EXPECT_EQ(bench.apps.droppable_graphs().size(), 3u);  // t1, t2, t3
+  EXPECT_EQ(bench.apps.critical_graphs().size(), 3u);
+  // Distinct service values -> distinct Pareto service levels.
+  double t1 = bench.apps.graph(bench.apps.find_graph("t1")).service_value();
+  double t2 = bench.apps.graph(bench.apps.find_graph("t2")).service_value();
+  double t3 = bench.apps.graph(bench.apps.find_graph("t3")).service_value();
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(DtLarge, IsLargerThanDtMed) {
+  const Benchmark med = benchmarks::dt_med_benchmark();
+  const Benchmark large = benchmarks::dt_large_benchmark();
+  EXPECT_GT(large.apps.task_count(), med.apps.task_count());
+  EXPECT_GT(large.arch.processor_count(), med.arch.processor_count());
+  EXPECT_GE(large.apps.droppable_graphs().size(), 4u);
+}
+
+TEST(DreamBenchmarks, PeriodsAreHarmonic) {
+  for (const Benchmark& bench :
+       {benchmarks::dt_med_benchmark(), benchmarks::dt_large_benchmark()}) {
+    const model::Time hyper = bench.apps.hyperperiod();
+    EXPECT_LE(hyper, 2000 * model::kMillisecond);
+    for (const auto& graph : bench.apps.graphs())
+      EXPECT_EQ(hyper % graph.period(), 0);
+  }
+}
+
+TEST(Synth, DeterministicForFixedSeed) {
+  benchmarks::SynthParams params;
+  params.seed = 77;
+  const auto a = benchmarks::synthetic_applications(params);
+  const auto b = benchmarks::synthetic_applications(params);
+  ASSERT_EQ(a.graph_count(), b.graph_count());
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (std::size_t i = 0; i < a.task_count(); ++i) {
+    EXPECT_EQ(a.task(a.task_ref(i)).wcet, b.task(b.task_ref(i)).wcet);
+    EXPECT_EQ(a.task(a.task_ref(i)).name, b.task(b.task_ref(i)).name);
+  }
+}
+
+TEST(Synth, RespectsParameters) {
+  benchmarks::SynthParams params;
+  params.seed = 5;
+  params.graph_count = 6;
+  params.min_tasks = 3;
+  params.max_tasks = 5;
+  const auto apps = benchmarks::synthetic_applications(params);
+  EXPECT_EQ(apps.graph_count(), 6u);
+  for (const auto& graph : apps.graphs()) {
+    EXPECT_GE(graph.task_count(), 3u);
+    EXPECT_LE(graph.task_count(), 5u);
+    // Utilization budget roughly respected (within rounding).
+    EXPECT_LE(graph.total_wcet(),
+              static_cast<model::Time>(
+                  params.graph_utilization * 1.2 *
+                  static_cast<double>(graph.period())) +
+                  static_cast<model::Time>(graph.task_count()) * 1000);
+  }
+  // Graph 0 is always critical.
+  EXPECT_FALSE(apps.graph(model::GraphId{0}).droppable());
+}
+
+TEST(Synth, GraphsAreConnectedDags) {
+  benchmarks::SynthParams params;
+  params.seed = 9;
+  params.extra_edge_probability = 0.4;
+  const auto apps = benchmarks::synthetic_applications(params);
+  for (const auto& graph : apps.graphs()) {
+    // Construction succeeded -> acyclic.  Connectivity: only task 0 may be
+    // a source of the spine (extra edges never remove parents).
+    EXPECT_EQ(graph.sources().size(), 1u);
+    EXPECT_EQ(graph.sources()[0], 0u);
+  }
+}
+
+TEST(Synth, PresetBenchmarks) {
+  const Benchmark s1 = benchmarks::synth_benchmark(1);
+  const Benchmark s2 = benchmarks::synth_benchmark(2);
+  EXPECT_EQ(s1.name, "Synth-1");
+  EXPECT_EQ(s2.name, "Synth-2");
+  EXPECT_GT(s2.apps.task_count(), s1.apps.task_count());
+  EXPECT_THROW(benchmarks::synth_benchmark(3), std::invalid_argument);
+}
+
+TEST(AllBenchmarks, FitOnTheirPlatforms) {
+  // Sanity: total WCET utilization below the platform's aggregate capacity
+  // (necessary for any feasible mapping to exist).
+  for (const Benchmark& bench :
+       {benchmarks::cruise_benchmark(), benchmarks::dt_med_benchmark(),
+        benchmarks::dt_large_benchmark(), benchmarks::synth_benchmark(1),
+        benchmarks::synth_benchmark(2)}) {
+    double demand = 0.0;
+    for (const auto& graph : bench.apps.graphs())
+      demand += static_cast<double>(graph.total_wcet()) /
+                static_cast<double>(graph.period());
+    double capacity = 0.0;
+    for (const auto& pe : bench.arch.processors())
+      capacity += 1.0 / pe.speed_factor;
+    EXPECT_LT(demand, capacity) << bench.name;
+  }
+}
+
+}  // namespace

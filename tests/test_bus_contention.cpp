@@ -1,0 +1,167 @@
+// Tests for the shared-bus contention model (analysis + simulator) and
+// their mutual consistency.
+#include <gtest/gtest.h>
+
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/exec_model.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+/// Two producer->consumer applications crossing between two PEs at the
+/// same moment: without contention both transfers take `transfer` in
+/// parallel; with contention they serialize on the bus.
+struct CrossTraffic {
+  model::Architecture arch = fixtures::test_arch(2, /*bandwidth=*/1.0);
+  model::ApplicationSet apps = make_apps();
+  hardening::HardenedSystem system = hardening::apply_hardening(
+      apps, hardening::HardeningPlan(apps.task_count()),
+      // a: PE0 -> PE1, b: PE1 -> PE0 — producers parallel, transfers
+      // simultaneous, consumers on distinct PEs.
+      {model::ProcessorId{0}, model::ProcessorId{1}, model::ProcessorId{1},
+       model::ProcessorId{0}},
+      2);
+  std::vector<std::uint32_t> priorities =
+      sched::assign_priorities(system.apps);
+
+  static model::ApplicationSet make_apps() {
+    std::vector<model::TaskGraph> graphs;
+    // 100us transfer each (100 bytes at 1 byte/us).
+    graphs.push_back(fixtures::chain_graph("a", 2, 50, 50, 1000, false, 1e-6,
+                                           /*bytes=*/100));
+    graphs.push_back(fixtures::chain_graph("b", 2, 50, 50, 1000, false, 1e-6,
+                                           /*bytes=*/100));
+    return model::ApplicationSet{std::move(graphs)};
+  }
+};
+
+TEST(BusContentionSim, SimultaneousTransfersSerialize) {
+  CrossTraffic rig;
+  const sim::Simulator simulator(rig.arch, rig.system, {false, false},
+                                 rig.priorities);
+  sim::NoFaults no_faults;
+  sim::WcetExecution wcet;
+
+  sim::SimOptions plain;
+  const auto without = simulator.run(no_faults, wcet, plain);
+  // Producers a0/b0 run in parallel on their PEs [0,50]; transfers overlap:
+  // consumers start at 150, finish 200.
+  EXPECT_EQ(without.graph_response[0], 200);
+  EXPECT_EQ(without.graph_response[1], 200);
+
+  sim::SimOptions contended;
+  contended.bus_contention = true;
+  const auto with = simulator.run(no_faults, wcet, contended);
+  // Bus serializes: a's message [50,150], b's [150,250] (a outranks via
+  // graph order) -> b's consumer ends at 300.
+  EXPECT_EQ(with.graph_response[0], 200);
+  EXPECT_EQ(with.graph_response[1], 300);
+  // Message jobs are internal: the public trace still has 4 jobs.
+  EXPECT_EQ(with.jobs.size(), 4u);
+  for (const auto& segment : with.segments)
+    EXPECT_LT(segment.pe.value, rig.arch.processor_count());
+}
+
+TEST(BusContentionAnalysis, BoundsCoverSerialization) {
+  CrossTraffic rig;
+  std::vector<sched::ExecBounds> bounds;
+  for (std::size_t i = 0; i < rig.system.apps.task_count(); ++i) {
+    const auto& task = rig.system.apps.task(rig.system.apps.task_ref(i));
+    bounds.push_back({task.bcet, task.wcet});
+  }
+  const sched::HolisticAnalysis plain_backend;
+  sched::HolisticAnalysis::Options contended_options;
+  contended_options.bus_contention = true;
+  const sched::HolisticAnalysis contended_backend(contended_options);
+
+  const auto plain = plain_backend.analyze(rig.arch, rig.system.apps,
+                                           rig.system.mapping, bounds,
+                                           rig.priorities);
+  const auto contended = contended_backend.analyze(
+      rig.arch, rig.system.apps, rig.system.mapping, bounds, rig.priorities);
+
+  // Plain model lets both graphs finish at 200; contention pushes b.
+  EXPECT_EQ(plain.graph_wcrt(rig.system.apps, model::GraphId{1}), 200);
+  EXPECT_GE(contended.graph_wcrt(rig.system.apps, model::GraphId{1}), 300);
+  // Contention never tightens a bound.
+  for (std::uint32_t g = 0; g < 2; ++g)
+    EXPECT_GE(contended.graph_wcrt(rig.system.apps, model::GraphId{g}),
+              plain.graph_wcrt(rig.system.apps, model::GraphId{g}));
+}
+
+TEST(BusContentionSim, LocalChannelsBypassTheBus) {
+  // Everything on one PE: contention option must change nothing.
+  const auto apps = fixtures::small_mixed_apps();
+  const auto arch = fixtures::test_arch(1);
+  const auto system = hardening::apply_hardening(
+      apps, hardening::HardeningPlan(apps.task_count()),
+      std::vector<model::ProcessorId>(apps.task_count(),
+                                      model::ProcessorId{0}),
+      1);
+  const auto priorities = sched::assign_priorities(system.apps);
+  const sim::Simulator simulator(arch, system, {false, false}, priorities);
+  sim::NoFaults no_faults;
+  sim::WcetExecution wcet;
+  sim::SimOptions contended;
+  contended.bus_contention = true;
+  const auto with = simulator.run(no_faults, wcet, contended);
+  const auto without = simulator.run(no_faults, wcet);
+  EXPECT_EQ(with.graph_response, without.graph_response);
+}
+
+// The safety relation must hold under contention too: Algorithm 1 with a
+// contention-aware backend bounds every contention-aware simulation.
+class ContentionSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionSafety, AnalysisBoundsSimulation) {
+  const std::uint64_t seed = GetParam();
+  benchmarks::SynthParams params;
+  params.seed = seed + 900;
+  params.graph_count = 3;
+  params.min_tasks = 3;
+  params.max_tasks = 5;
+  params.max_channel_bytes = 512;
+  const auto apps = benchmarks::synthetic_applications(params);
+  const auto arch = fixtures::test_arch(3, /*bandwidth=*/0.05);  // slow bus
+
+  util::Rng rng(seed);
+  const dse::Decoder decoder(arch, apps);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  const auto candidate = decoder.decode(chromosome, rng);
+  const auto system = hardening::apply_hardening(
+      apps, candidate.plan, candidate.base_mapping, 3);
+  const auto priorities = sched::assign_priorities(system.apps);
+
+  sched::HolisticAnalysis::Options backend_options;
+  backend_options.bus_contention = true;
+  const sched::HolisticAnalysis backend(backend_options);
+  const core::McAnalysis analysis(backend);
+  const auto verdict = analysis.analyze(arch, system, candidate.drop);
+
+  const sim::Simulator simulator(arch, system, candidate.drop, priorities);
+  sim::SimOptions sim_options;
+  sim_options.bus_contention = true;
+  for (std::uint64_t profile = 0; profile < 40; ++profile) {
+    util::Rng base(seed * 131 + profile);
+    sim::RandomFaults faults(base.split(), 0.5);
+    sim::UniformExecution durations(base.split());
+    const auto trace = simulator.run(faults, durations, sim_options);
+    for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
+      if (candidate.drop[g] || trace.graph_response[g] < 0) continue;
+      ASSERT_GE(verdict.graph_wcrt(system.apps, model::GraphId{g}),
+                trace.graph_response[g])
+          << "seed " << seed << " profile " << profile << " graph " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionSafety,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

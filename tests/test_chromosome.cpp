@@ -1,0 +1,117 @@
+#include "ftmc/dse/chromosome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using dse::Chromosome;
+using dse::ChromosomeShape;
+using dse::random_chromosome;
+using dse::shape_ok;
+using dse::TechniqueGene;
+
+ChromosomeShape shape_of(std::size_t pes, std::size_t graphs,
+                         std::size_t tasks) {
+  return ChromosomeShape{pes, graphs, tasks, {}, {}};
+}
+
+TEST(Chromosome, ShapeOfMatchesProblem) {
+  const auto arch = fixtures::test_arch(3);
+  const auto apps = fixtures::small_mixed_apps();
+  const auto shape = ChromosomeShape::of(arch, apps);
+  EXPECT_EQ(shape.processors, 3u);
+  EXPECT_EQ(shape.graphs, 2u);
+  EXPECT_EQ(shape.tasks, 4u);
+}
+
+TEST(Chromosome, RandomChromosomeIsWellFormed) {
+  const auto shape = shape_of(4, 3, 20);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Chromosome chromosome = random_chromosome(shape, rng);
+    EXPECT_TRUE(shape_ok(chromosome, shape));
+  }
+}
+
+TEST(Chromosome, RandomChromosomeUsesAllTechniquesEventually) {
+  const auto shape = shape_of(4, 2, 10);
+  util::Rng rng(2);
+  bool seen[4] = {false, false, false, false};
+  for (int i = 0; i < 100; ++i) {
+    const Chromosome chromosome = random_chromosome(shape, rng);
+    for (const auto& genes : chromosome.tasks)
+      seen[static_cast<int>(genes.technique)] = true;
+  }
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+}
+
+TEST(Chromosome, ShapeOkCatchesSizeMismatches) {
+  const auto shape = shape_of(2, 2, 3);
+  util::Rng rng(3);
+  Chromosome chromosome = random_chromosome(shape, rng);
+  EXPECT_TRUE(shape_ok(chromosome, shape));
+
+  auto broken = chromosome;
+  broken.allocation.pop_back();
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.keep.push_back(1);
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks.pop_back();
+  EXPECT_FALSE(shape_ok(broken, shape));
+}
+
+TEST(Chromosome, ShapeOkCatchesGeneRangeViolations) {
+  const auto shape = shape_of(2, 2, 3);
+  util::Rng rng(4);
+  const Chromosome chromosome = random_chromosome(shape, rng);
+
+  auto broken = chromosome;
+  broken.allocation[0] = 2;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].base_pe = 2;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].replica_pe[1] = 7;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].voter_pe = 2;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].reexec = 0;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].reexec = dse::kMaxReexecGene + 1;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].active_n = 1;
+  EXPECT_FALSE(shape_ok(broken, shape));
+
+  broken = chromosome;
+  broken.tasks[0].active_n = dse::kReplicaSlots + 1;
+  EXPECT_FALSE(shape_ok(broken, shape));
+}
+
+TEST(Chromosome, DeterministicGeneration) {
+  const auto shape = shape_of(3, 2, 8);
+  util::Rng a(42), b(42);
+  EXPECT_EQ(random_chromosome(shape, a), random_chromosome(shape, b));
+}
+
+}  // namespace

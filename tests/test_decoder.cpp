@@ -1,0 +1,233 @@
+#include "ftmc/dse/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using dse::Chromosome;
+using dse::Decoder;
+using dse::random_chromosome;
+using dse::TechniqueGene;
+using hardening::Technique;
+
+TEST(Decoder, EmptyAllocationIsRepaired) {
+  const auto arch = fixtures::test_arch(3);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(1);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  std::fill(chromosome.allocation.begin(), chromosome.allocation.end(),
+            std::uint8_t{0});
+  const auto candidate = decoder.decode(chromosome, rng);
+  std::size_t allocated = 0;
+  for (bool bit : candidate.allocation) allocated += bit ? 1 : 0;
+  EXPECT_GE(allocated, 1u);
+}
+
+TEST(Decoder, TasksLandOnAllocatedPes) {
+  const auto arch = fixtures::test_arch(4);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+    const auto candidate = decoder.decode(chromosome, rng);
+    for (const auto pe : candidate.base_mapping)
+      EXPECT_TRUE(candidate.allocation[pe.value]);
+    for (const auto& decision : candidate.plan) {
+      for (const auto pe : decision.replica_pes)
+        EXPECT_TRUE(candidate.allocation[pe.value]);
+      if (decision.technique == Technique::kActiveReplication ||
+          decision.technique == Technique::kPassiveReplication) {
+        EXPECT_TRUE(candidate.allocation[decision.voter_pe.value]);
+      }
+    }
+  }
+}
+
+TEST(Decoder, ReplicationWithoutVoterFallsBackToReexecution) {
+  const auto arch = fixtures::test_arch(3);
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 2, 10, 20, 1000, false, 1e-6,
+                                         /*bytes=*/0, /*ve=*/0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const Decoder decoder(arch, apps);
+  util::Rng rng(3);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  for (auto& genes : chromosome.tasks)
+    genes.technique = TechniqueGene::kActive;
+  const auto candidate = decoder.decode(chromosome, rng);
+  for (const auto& decision : candidate.plan)
+    EXPECT_NE(decision.technique, Technique::kActiveReplication);
+}
+
+TEST(Decoder, ReplicasSpreadOverDistinctPes) {
+  const auto arch = fixtures::test_arch(4);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(4);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  std::fill(chromosome.allocation.begin(), chromosome.allocation.end(),
+            std::uint8_t{1});
+  chromosome.tasks[0].technique = TechniqueGene::kPassive;
+  chromosome.tasks[0].replica_pe = {0, 0, 0};
+  const auto candidate = decoder.decode(chromosome, rng);
+  const auto& pes = candidate.plan[0].replica_pes;
+  ASSERT_EQ(pes.size(), 3u);
+  EXPECT_NE(pes[0], pes[1]);
+  EXPECT_NE(pes[0], pes[2]);
+  EXPECT_NE(pes[1], pes[2]);
+}
+
+TEST(Decoder, DuplicatesRemainWhenAllocationTooSmall) {
+  const auto arch = fixtures::test_arch(2);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(5);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  chromosome.allocation = {1, 1};
+  chromosome.tasks[0].technique = TechniqueGene::kPassive;
+  chromosome.tasks[0].replica_pe = {0, 0, 0};
+  const auto candidate = decoder.decode(chromosome, rng);
+  // Only two PEs exist; three replicas cannot all be distinct.
+  EXPECT_EQ(candidate.plan[0].replica_pes.size(), 3u);
+}
+
+TEST(Decoder, DropSetRespectsKeepBitsAndDroppability) {
+  const auto arch = fixtures::test_arch(2);
+  const auto apps = fixtures::small_mixed_apps();  // graph 0 critical, 1 droppable
+  const Decoder decoder(arch, apps);
+  util::Rng rng(6);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  chromosome.keep = {0, 0};  // try to drop everything
+  const auto candidate = decoder.decode(chromosome, rng);
+  EXPECT_FALSE(candidate.drop[0]);  // critical graphs can never drop
+  EXPECT_TRUE(candidate.drop[1]);
+}
+
+TEST(Decoder, NoDroppingOptionForcesKeep) {
+  const auto arch = fixtures::test_arch(2);
+  const auto apps = fixtures::small_mixed_apps();
+  Decoder::Options options;
+  options.allow_dropping = false;
+  const Decoder decoder(arch, apps, options);
+  util::Rng rng(7);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  chromosome.keep = {0, 0};
+  const auto candidate = decoder.decode(chromosome, rng);
+  EXPECT_FALSE(candidate.drop[0]);
+  EXPECT_FALSE(candidate.drop[1]);
+  // Lamarckian write-back.
+  EXPECT_EQ(chromosome.keep[1], 1);
+}
+
+TEST(Decoder, ReliabilityRepairHardensTightGraphs) {
+  const auto arch = fixtures::test_arch(3);
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("tight", 3, 50, 100, 1000, false, 1e-13));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const Decoder decoder(arch, apps);
+  util::Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+    for (auto& genes : chromosome.tasks)
+      genes.technique = TechniqueGene::kNone;
+    const auto candidate = decoder.decode(chromosome, rng);
+    const auto report = hardening::check_reliability(
+        arch, apps, candidate.plan, candidate.base_mapping);
+    EXPECT_TRUE(report.all_satisfied) << "trial " << trial;
+  }
+}
+
+TEST(Decoder, ReexecutionOnlyRestrictionHolds) {
+  const auto arch = fixtures::test_arch(3);
+  const auto apps = fixtures::small_mixed_apps();
+  Decoder::Options options;
+  options.restriction = dse::TechniqueRestriction::kReexecutionOnly;
+  const Decoder decoder(arch, apps, options);
+  util::Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+    const auto candidate = decoder.decode(chromosome, rng);
+    for (const auto& decision : candidate.plan) {
+      EXPECT_NE(decision.technique, Technique::kActiveReplication);
+      EXPECT_NE(decision.technique, Technique::kPassiveReplication);
+    }
+  }
+}
+
+TEST(Decoder, ReplicationOnlyRestrictionHolds) {
+  const auto arch = fixtures::test_arch(3);
+  const auto apps = fixtures::small_mixed_apps();
+  Decoder::Options options;
+  options.restriction = dse::TechniqueRestriction::kReplicationOnly;
+  const Decoder decoder(arch, apps, options);
+  util::Rng rng(22);
+  for (int trial = 0; trial < 30; ++trial) {
+    Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+    const auto candidate = decoder.decode(chromosome, rng);
+    for (const auto& decision : candidate.plan)
+      EXPECT_NE(decision.technique, Technique::kReexecution);
+  }
+}
+
+TEST(Decoder, RepairIsIdempotent) {
+  // Decoding an already-repaired chromosome must not change the phenotype:
+  // all repairs fire only on actual violations.
+  const auto arch = fixtures::test_arch(3);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+    const auto first = decoder.decode(chromosome, rng);
+    Chromosome repaired = chromosome;
+    const auto second = decoder.decode(repaired, rng);
+    EXPECT_EQ(repaired, chromosome);
+    EXPECT_EQ(second.base_mapping, first.base_mapping);
+    EXPECT_EQ(second.drop, first.drop);
+    EXPECT_EQ(second.plan, first.plan);
+  }
+}
+
+TEST(Decoder, DecodeRejectsMalformedChromosome) {
+  const auto arch = fixtures::test_arch(2);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(9);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  chromosome.tasks.pop_back();
+  EXPECT_THROW(decoder.decode(chromosome, rng), std::invalid_argument);
+}
+
+TEST(Decoder, TranslationMatchesGenes) {
+  const auto arch = fixtures::test_arch(4);
+  const auto apps = fixtures::small_mixed_apps();
+  const Decoder decoder(arch, apps);
+  util::Rng rng(10);
+  Chromosome chromosome = random_chromosome(decoder.shape(), rng);
+  std::fill(chromosome.allocation.begin(), chromosome.allocation.end(),
+            std::uint8_t{1});
+  chromosome.tasks[0].technique = TechniqueGene::kReexecution;
+  chromosome.tasks[0].reexec = 3;
+  chromosome.tasks[1].technique = TechniqueGene::kActive;
+  chromosome.tasks[1].active_n = 2;
+  chromosome.tasks[1].replica_pe = {1, 2, 3};
+  chromosome.tasks[1].voter_pe = 0;
+  chromosome.tasks[2].technique = TechniqueGene::kNone;
+  chromosome.tasks[3].technique = TechniqueGene::kNone;
+  const auto candidate = decoder.decode(chromosome, rng);
+  EXPECT_EQ(candidate.plan[0].technique, Technique::kReexecution);
+  EXPECT_EQ(candidate.plan[0].reexecutions, 3);
+  EXPECT_EQ(candidate.plan[1].technique, Technique::kActiveReplication);
+  ASSERT_EQ(candidate.plan[1].replica_pes.size(), 2u);
+  EXPECT_EQ(candidate.plan[1].replica_pes[0].value, 1u);
+  EXPECT_EQ(candidate.plan[1].replica_pes[1].value, 2u);
+  EXPECT_EQ(candidate.plan[2].technique, Technique::kNone);
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Brute-force soundness check on tiny systems: enumerate EVERY combination
+// of (a) per-job execution-time corners (bcet or wcet) and (b) fault
+// patterns over the fault-sensitive attempts, simulate each one exactly,
+// and verify that Algorithm 1's bound dominates every observed response of
+// every non-dropped application.  Unlike the Monte-Carlo sweep this covers
+// the scenario space exhaustively (at the corners), so a single missed
+// interleaving fails loudly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/sim/simulator.hpp"
+#include "ftmc/util/rng.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+/// Per-job execution-time corner selection: bit set -> WCET, else BCET.
+class CornerExecution final : public sim::ExecTimeModel {
+ public:
+  CornerExecution(std::map<std::pair<std::size_t, std::size_t>, int> slots,
+                  std::uint64_t mask)
+      : slots_(std::move(slots)), mask_(mask) {}
+
+  model::Time attempt_duration(const sim::AttemptKey& key, model::Time bcet,
+                               model::Time wcet) override {
+    const auto it = slots_.find({key.flat_task, key.instance});
+    if (it == slots_.end()) return wcet;
+    return (mask_ >> it->second) & 1 ? wcet : bcet;
+  }
+
+ private:
+  std::map<std::pair<std::size_t, std::size_t>, int> slots_;
+  std::uint64_t mask_;
+};
+
+struct Exhaustive {
+  const model::Architecture& arch;
+  const hardening::HardenedSystem& system;
+  const core::DropSet& drop;
+
+  /// Runs the full corner x fault-pattern product and checks domination.
+  void verify() const {
+    const auto priorities = sched::assign_priorities(system.apps);
+    const sched::HolisticAnalysis backend;
+    const core::McAnalysis analysis(backend);
+    const auto verdict = analysis.analyze(arch, system, drop);
+
+    // Job slots: every (task, instance) within one hyperperiod.
+    std::map<std::pair<std::size_t, std::size_t>, int> slots;
+    const model::Time hyper = system.apps.hyperperiod();
+    for (std::size_t i = 0; i < system.apps.task_count(); ++i) {
+      const auto period =
+          system.apps.graph(system.apps.task_ref(i).graph_id()).period();
+      for (model::Time r = 0; r < hyper / period; ++r)
+        slots[{i, static_cast<std::size_t>(r)}] =
+            static_cast<int>(slots.size());
+    }
+    ASSERT_LE(slots.size(), 16u) << "instance too large for brute force";
+
+    // Fault slots: attempts that can change timing — re-executable
+    // originals (each allowed re-execution) and replicas (first attempt).
+    std::vector<sim::AttemptKey> fault_slots;
+    for (const auto& [job, index] : slots) {
+      const auto& info = system.info[job.first];
+      if (info.role == hardening::TaskRole::kOriginal &&
+          info.reexecutions > 0) {
+        for (int attempt = 1; attempt <= info.reexecutions; ++attempt)
+          fault_slots.push_back({job.first, job.second, attempt});
+      } else if (info.role == hardening::TaskRole::kActiveReplica) {
+        fault_slots.push_back({job.first, job.second, 1});
+      }
+    }
+    ASSERT_LE(fault_slots.size(), 8u) << "fault space too large";
+
+    const sim::Simulator simulator(arch, system, drop, priorities);
+    std::size_t runs = 0;
+    for (std::uint64_t exec_mask = 0; exec_mask < (1ULL << slots.size());
+         ++exec_mask) {
+      for (std::uint64_t fault_mask = 0;
+           fault_mask < (1ULL << fault_slots.size()); ++fault_mask) {
+        sim::PlannedFaults faults;
+        for (std::size_t f = 0; f < fault_slots.size(); ++f)
+          if ((fault_mask >> f) & 1) faults.add(fault_slots[f]);
+        CornerExecution durations(slots, exec_mask);
+        const auto trace = simulator.run(faults, durations);
+        ++runs;
+        for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
+          if (drop[g] || trace.graph_response[g] < 0) continue;
+          ASSERT_GE(verdict.graph_wcrt(system.apps, model::GraphId{g}),
+                    trace.graph_response[g])
+              << "graph " << system.apps.graph(model::GraphId{g}).name()
+              << " exec_mask=" << exec_mask << " fault_mask=" << fault_mask;
+        }
+      }
+    }
+    ASSERT_GT(runs, 0u);
+  }
+};
+
+// Randomized sweep: tiny synthetic two-graph systems with random light
+// hardening, exhaustively corner-checked.
+class ExhaustiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExhaustiveSweep, RandomTinySystems) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed * 31 + 7);
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph(
+      "crit", 2 + rng.index(2), 50 + rng.index(50), 120 + rng.index(80),
+      1000, false, 1e-6, rng.index(100)));
+  graphs.push_back(fixtures::chain_graph(
+      "aux", 1 + rng.index(2), 30 + rng.index(40), 80 + rng.index(60),
+      rng.chance(0.5) ? 500 : 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(2, /*bandwidth=*/0.5);
+
+  hardening::HardeningPlan plan(apps.task_count());
+  // Harden one random critical task with k = 1 or 2.
+  const std::uint32_t victim = static_cast<std::uint32_t>(
+      rng.index(apps.graph(model::GraphId{0}).task_count()));
+  plan[apps.flat_index({0, victim})].technique =
+      hardening::Technique::kReexecution;
+  plan[apps.flat_index({0, victim})].reexecutions =
+      1 + static_cast<int>(rng.index(2));
+
+  std::vector<model::ProcessorId> mapping;
+  for (std::size_t i = 0; i < apps.task_count(); ++i)
+    mapping.push_back(model::ProcessorId{
+        static_cast<std::uint32_t>(rng.index(2))});
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 2);
+  const core::DropSet drop{false, rng.chance(0.7)};
+  Exhaustive{arch, system, drop}.verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(ExhaustiveSafety, ReexecutableChainWithDroppableNoise) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("crit", 2, 100, 180, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("noise", 1, 50, 90, 500, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(1);
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kReexecution;
+  plan[0].reexecutions = 2;
+  const std::vector<model::ProcessorId> mapping(apps.task_count(),
+                                                model::ProcessorId{0});
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 1);
+  const core::DropSet drop{false, true};
+  Exhaustive{arch, system, drop}.verify();
+}
+
+TEST(ExhaustiveSafety, TwoPesWithCommunication) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("crit", 2, 80, 150, 1000, false,
+                                         1e-6, /*bytes=*/200));
+  graphs.push_back(
+      fixtures::chain_graph("aux", 1, 40, 120, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(2, /*bandwidth=*/1.0);
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[1].technique = hardening::Technique::kReexecution;
+  plan[1].reexecutions = 1;
+  std::vector<model::ProcessorId> mapping = {
+      model::ProcessorId{0}, model::ProcessorId{1}, model::ProcessorId{0}};
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 2);
+  const core::DropSet drop{false, true};
+  Exhaustive{arch, system, drop}.verify();
+}
+
+TEST(ExhaustiveSafety, ActiveReplicationWithVoter) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("crit", 2, 60, 110, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(3);
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kActiveReplication;
+  plan[0].replica_pes = {model::ProcessorId{0}, model::ProcessorId{1},
+                         model::ProcessorId{2}};
+  plan[0].voter_pe = model::ProcessorId{0};
+  const std::vector<model::ProcessorId> mapping(apps.task_count(),
+                                                model::ProcessorId{0});
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 3);
+  const core::DropSet drop{false};
+  Exhaustive{arch, system, drop}.verify();
+}
+
+TEST(ExhaustiveSafety, PassiveReplicationActivation) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("crit", 2, 70, 130, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("low", 1, 30, 80, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(2);
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kPassiveReplication;
+  plan[0].replica_pes = {model::ProcessorId{0}, model::ProcessorId{1},
+                         model::ProcessorId{1}};
+  plan[0].voter_pe = model::ProcessorId{0};
+  std::vector<model::ProcessorId> mapping = {
+      model::ProcessorId{0}, model::ProcessorId{0}, model::ProcessorId{1}};
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 2);
+  const core::DropSet drop{false, true};
+  Exhaustive{arch, system, drop}.verify();
+}
+
+TEST(ExhaustiveSafety, MixedHardeningAcrossGraphs) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("a", 1, 90, 160, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("b", 1, 70, 140, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("c", 1, 40, 100, 500, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(2);
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  plan[1].technique = hardening::Technique::kReexecution;
+  plan[1].reexecutions = 2;
+  std::vector<model::ProcessorId> mapping = {
+      model::ProcessorId{0}, model::ProcessorId{0}, model::ProcessorId{0}};
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 2);
+  const core::DropSet drop{false, false, true};
+  Exhaustive{arch, system, drop}.verify();
+}
+
+}  // namespace

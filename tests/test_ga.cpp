@@ -1,0 +1,133 @@
+#include "ftmc/dse/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "ftmc/sched/holistic.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using dse::GaOptions;
+using dse::GaResult;
+using dse::GeneticOptimizer;
+
+GaOptions tiny_options() {
+  GaOptions options;
+  options.population = 16;
+  options.offspring = 16;
+  options.generations = 6;
+  options.seed = 123;
+  options.threads = 2;
+  return options;
+}
+
+struct GaRig {
+  model::Architecture arch = fixtures::test_arch(2);
+  model::ApplicationSet apps = fixtures::small_mixed_apps();
+  sched::HolisticAnalysis backend;
+  GeneticOptimizer optimizer{arch, apps, backend};
+};
+
+TEST(Ga, FindsFeasibleSolutionsOnEasyInstance) {
+  GaRig rig;
+  const GaResult result = rig.optimizer.run(tiny_options());
+  EXPECT_FALSE(result.archive.empty());
+  EXPECT_FALSE(result.pareto.empty());
+  EXPECT_FALSE(std::isnan(result.best_feasible_power));
+  EXPECT_GT(result.evaluations, 0u);
+  for (const auto& individual : result.pareto)
+    EXPECT_TRUE(individual.evaluation.feasible());
+}
+
+TEST(Ga, DeterministicForFixedSeed) {
+  GaRig rig;
+  const GaResult a = rig.optimizer.run(tiny_options());
+  const GaResult b = rig.optimizer.run(tiny_options());
+  EXPECT_EQ(a.best_feasible_power, b.best_feasible_power);
+  ASSERT_EQ(a.archive.size(), b.archive.size());
+  for (std::size_t i = 0; i < a.archive.size(); ++i)
+    EXPECT_EQ(a.archive[i].objectives, b.archive[i].objectives);
+}
+
+TEST(Ga, HistoryTracksGenerations) {
+  GaRig rig;
+  auto options = tiny_options();
+  std::atomic<std::size_t> callbacks{0};
+  options.on_generation = [&](const dse::GenerationStats&) { ++callbacks; };
+  const GaResult result = rig.optimizer.run(options);
+  EXPECT_EQ(result.history.size(), options.generations + 1);
+  EXPECT_EQ(callbacks.load(), options.generations + 1);
+  // Best feasible power is monotone non-increasing once found.
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& stats : result.history) {
+    if (std::isnan(stats.best_feasible_power)) continue;
+    EXPECT_LE(stats.best_feasible_power, best + 1e-9);
+    best = std::min(best, stats.best_feasible_power);
+  }
+}
+
+TEST(Ga, ObserverSeesEveryEvaluation) {
+  GaRig rig;
+  std::atomic<std::size_t> seen{0};
+  rig.optimizer.set_observer(
+      [&](const core::Candidate&, const core::Evaluation&) { ++seen; });
+  const auto options = tiny_options();
+  const GaResult result = rig.optimizer.run(options);
+  EXPECT_EQ(seen.load(), result.evaluations);
+  EXPECT_EQ(result.evaluations,
+            options.population + options.generations * options.offspring);
+}
+
+TEST(Ga, NoDroppingModeNeverDrops) {
+  GaRig rig;
+  auto options = tiny_options();
+  options.decoder.allow_dropping = false;
+  options.evaluator.allow_dropping = false;
+  std::atomic<std::size_t> drops{0};
+  rig.optimizer.set_observer(
+      [&](const core::Candidate& candidate, const core::Evaluation&) {
+        for (bool dropped : candidate.drop)
+          if (dropped) ++drops;
+      });
+  (void)rig.optimizer.run(options);
+  EXPECT_EQ(drops.load(), 0u);
+}
+
+TEST(Ga, SingleObjectiveModeHasScalarObjectives) {
+  GaRig rig;
+  auto options = tiny_options();
+  options.optimize_service = false;
+  const GaResult result = rig.optimizer.run(options);
+  for (const auto& individual : result.archive)
+    EXPECT_EQ(individual.objectives.size(), 1u);
+}
+
+TEST(Ga, BiObjectiveParetoIsMutuallyNonDominated) {
+  GaRig rig;
+  const GaResult result = rig.optimizer.run(tiny_options());
+  for (const auto& a : result.pareto)
+    for (const auto& b : result.pareto)
+      if (&a != &b) {
+        EXPECT_FALSE(dse::dominates(a.objectives, b.objectives));
+      }
+}
+
+TEST(Ga, RejectsEmptyPopulation) {
+  GaRig rig;
+  auto options = tiny_options();
+  options.population = 0;
+  EXPECT_THROW(rig.optimizer.run(options), std::invalid_argument);
+}
+
+TEST(Ga, ArchiveRespectsPopulationBound) {
+  GaRig rig;
+  const auto options = tiny_options();
+  const GaResult result = rig.optimizer.run(options);
+  EXPECT_LE(result.archive.size(), options.population);
+}
+
+}  // namespace

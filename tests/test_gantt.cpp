@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/sim/simulator.hpp"
+#include "ftmc/sim/trace.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+struct Rendered {
+  model::Architecture arch = fixtures::test_arch(2);
+  model::ApplicationSet apps = fixtures::small_mixed_apps();
+  hardening::HardenedSystem system = hardening::apply_hardening(
+      apps, hardening::HardeningPlan(apps.task_count()),
+      {model::ProcessorId{0}, model::ProcessorId{0}, model::ProcessorId{1},
+       model::ProcessorId{1}},
+      2);
+  sim::SimResult trace = make_trace(arch, system);
+
+  static sim::SimResult make_trace(const model::Architecture& arch,
+                                   const hardening::HardenedSystem& system) {
+    const sim::Simulator simulator(arch, system, {false, false},
+                                   sched::assign_priorities(system.apps));
+    sim::NoFaults no_faults;
+    sim::WcetExecution wcet;
+    return simulator.run(no_faults, wcet);
+  }
+
+  std::string render(model::Time span, model::Time resolution) const {
+    std::ostringstream out;
+    sim::render_gantt(out, arch, system.apps, trace, span, resolution);
+    return out.str();
+  }
+};
+
+TEST(Gantt, OneRowPerProcessor) {
+  const Rendered rendered;
+  const std::string chart = rendered.render(400, 10);
+  EXPECT_NE(chart.find("pe0 |"), std::string::npos);
+  EXPECT_NE(chart.find("pe1 |"), std::string::npos);
+  // Axis line at the bottom mentions the span.
+  EXPECT_NE(chart.find("400"), std::string::npos);
+}
+
+TEST(Gantt, RowWidthMatchesSpanAndResolution) {
+  const Rendered rendered;
+  const std::string chart = rendered.render(400, 10);
+  std::istringstream lines(chart);
+  std::string line;
+  std::getline(lines, line);
+  const auto open = line.find('|');
+  const auto close = line.rfind('|');
+  EXPECT_EQ(close - open - 1, 40u);  // 400 / 10 columns
+}
+
+TEST(Gantt, BusyCellsUseTaskInitials) {
+  const Rendered rendered;
+  const std::string chart = rendered.render(400, 10);
+  // Tasks are crit0/crit1 ('c') on pe0 and drop0/drop1 ('d') on pe1.
+  EXPECT_NE(chart.find('c'), std::string::npos);
+  EXPECT_NE(chart.find('d'), std::string::npos);
+}
+
+TEST(Gantt, IdleTailRendersDots) {
+  const Rendered rendered;
+  // crit chain ends at 200; a span out to 1000 leaves a long idle tail.
+  const std::string chart = rendered.render(1000, 50);
+  EXPECT_NE(chart.find("...."), std::string::npos);
+}
+
+TEST(Gantt, DegenerateParametersAreNoOps) {
+  const Rendered rendered;
+  EXPECT_TRUE(rendered.render(0, 10).empty());
+  EXPECT_TRUE(rendered.render(100, 0).empty());
+  EXPECT_TRUE(rendered.render(-5, 10).empty());
+}
+
+TEST(Gantt, CoarseResolutionStillCoversSegments) {
+  const Rendered rendered;
+  const std::string chart = rendered.render(400, 400);  // single column
+  EXPECT_NE(chart.find('c'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+#include "ftmc/sched/holistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/util/rng.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using sched::AnalysisResult;
+using sched::ExecBounds;
+using sched::HolisticAnalysis;
+
+struct Fixture {
+  model::Architecture arch;
+  model::ApplicationSet apps;
+  model::Mapping mapping;
+  std::vector<std::uint32_t> priorities;
+
+  Fixture(model::Architecture a, model::ApplicationSet s)
+      : arch(std::move(a)), apps(std::move(s)), mapping(apps),
+        priorities(sched::assign_priorities(apps)) {}
+};
+
+std::vector<ExecBounds> bounds_from_tasks(const model::ApplicationSet& apps) {
+  std::vector<ExecBounds> bounds;
+  for (std::size_t i = 0; i < apps.task_count(); ++i) {
+    const model::Task& task = apps.task(apps.task_ref(i));
+    bounds.push_back({task.bcet, task.wcet});
+  }
+  return bounds;
+}
+
+TEST(Holistic, SingleTask) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 1, 10, 30, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_EQ(result.windows[0].min_start, 0);
+  EXPECT_EQ(result.windows[0].min_finish, 10);
+  EXPECT_EQ(result.windows[0].max_start, 0);
+  EXPECT_EQ(result.windows[0].max_finish, 30);
+}
+
+TEST(Holistic, ChainOnOnePe) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 3, 10, 30, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  ASSERT_TRUE(result.schedulable);
+  // Best case: 10, 20, 30 cumulative.
+  EXPECT_EQ(result.windows[0].min_finish, 10);
+  EXPECT_EQ(result.windows[1].min_start, 10);
+  EXPECT_EQ(result.windows[2].min_finish, 30);
+  // Worst case must cover the sequential sum and each stage's bound must
+  // not precede its predecessors'.
+  EXPECT_GE(result.windows[2].max_finish, 90);
+  EXPECT_GE(result.windows[1].max_finish, result.windows[0].max_finish);
+  EXPECT_LE(result.windows[2].max_finish, 1000);
+  EXPECT_EQ(result.graph_wcrt(fx.apps, model::GraphId{0}),
+            result.windows[2].max_finish);
+}
+
+TEST(Holistic, CommunicationDelayOnlyAcrossPes) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 2, 10, 10, 1000, false, 1e-6,
+                                        /*bytes=*/100));
+  // bandwidth 1 byte/us -> 100us transfer when remote.
+  Fixture fx(fixtures::test_arch(2, 1.0),
+             model::ApplicationSet(std::move(graphs)));
+
+  const HolisticAnalysis analysis;
+  // Same PE: no transfer delay.
+  auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                 bounds_from_tasks(fx.apps), fx.priorities);
+  EXPECT_EQ(result.windows[1].min_start, 10);
+
+  // Remote: +100us.
+  fx.mapping.assign_flat(1, model::ProcessorId{1});
+  result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                            bounds_from_tasks(fx.apps), fx.priorities);
+  EXPECT_EQ(result.windows[1].min_start, 110);
+  EXPECT_GE(result.windows[1].max_finish, 120);
+}
+
+TEST(Holistic, HigherPriorityTaskInterferes) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("hp", 1, 20, 20, 100, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("lp", 1, 30, 30, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  ASSERT_TRUE(result.schedulable);
+  // hp: no interference.
+  EXPECT_EQ(result.windows[0].max_finish, 20);
+  // lp: 30 own + interference from hp jobs (20 each per 100us window).
+  EXPECT_GE(result.windows[1].max_finish, 50);
+  EXPECT_LE(result.windows[1].max_finish, 90);
+}
+
+TEST(Holistic, NoInterferenceAcrossPes) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("hp", 1, 20, 20, 100, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("lp", 1, 30, 30, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(2), model::ApplicationSet(std::move(graphs)));
+  fx.mapping.assign_flat(1, model::ProcessorId{1});
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  EXPECT_EQ(result.windows[1].max_finish, 30);
+}
+
+TEST(Holistic, ZeroBoundsTasksPassThrough) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 3, 10, 10, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  auto bounds = bounds_from_tasks(fx.apps);
+  bounds[1] = {0, 0};  // middle task dropped
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping, bounds,
+                                       fx.priorities);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_EQ(result.windows[1].min_finish, result.windows[1].min_start);
+  EXPECT_EQ(result.windows[1].max_finish, result.windows[0].max_finish);
+  EXPECT_EQ(result.windows[2].max_finish, 20);
+}
+
+TEST(Holistic, OverloadIsDetectedAsUnschedulable) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("a", 1, 80, 80, 100, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("b", 1, 80, 80, 100, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_FALSE(result.meets_deadlines(fx.apps));
+  // The lower-priority task's bound is the sentinel.
+  EXPECT_EQ(result.windows[1].max_finish, sched::kUnschedulable);
+}
+
+TEST(Holistic, ScaledExecutionOnSlowPe) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 1, 10, 20, 1000, false, 1e-6));
+  model::ArchitectureBuilder builder;
+  builder.add_processor(fixtures::test_pe("slow", 1e-8, /*speed=*/2.0));
+  Fixture fx(builder.build(), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  EXPECT_EQ(result.windows[0].min_finish, 20);
+  EXPECT_EQ(result.windows[0].max_finish, 40);
+}
+
+TEST(Holistic, MeetsDeadlinesVerdict) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 2, 10, 400, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto result = analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                       bounds_from_tasks(fx.apps),
+                                       fx.priorities);
+  ASSERT_TRUE(result.schedulable);
+  // 800 <= 1000: fits.
+  EXPECT_TRUE(result.meets_deadlines(fx.apps));
+}
+
+TEST(Holistic, ValidationErrors) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 2, 10, 20, 1000, false, 1e-6));
+  Fixture fx(fixtures::test_arch(1), model::ApplicationSet(std::move(graphs)));
+  const HolisticAnalysis analysis;
+  const auto bounds = bounds_from_tasks(fx.apps);
+  EXPECT_THROW(analysis.analyze(fx.arch, fx.apps, fx.mapping,
+                                std::vector<ExecBounds>{}, fx.priorities),
+               std::invalid_argument);
+  EXPECT_THROW(analysis.analyze(fx.arch, fx.apps, fx.mapping, bounds,
+                                std::vector<std::uint32_t>{}),
+               std::invalid_argument);
+  auto bad = bounds;
+  bad[0] = {10, 5};
+  EXPECT_THROW(
+      analysis.analyze(fx.arch, fx.apps, fx.mapping, bad, fx.priorities),
+      std::invalid_argument);
+}
+
+// Property: widening any task's WCET never shrinks any max_finish
+// (monotonicity of the fixed point).
+class HolisticMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HolisticMonotonicity, WidenedWcetNeverShrinksBounds) {
+  util::Rng rng(GetParam());
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("a", 3, 10, 40, 1000, false, 1e-6,
+                                        /*bytes=*/50));
+  graphs.push_back(fixtures::chain_graph("b", 2, 20, 50, 500, true, 1.0));
+  Fixture fx(fixtures::test_arch(2, 1.0),
+             model::ApplicationSet(std::move(graphs)));
+  for (std::size_t i = 0; i < fx.apps.task_count(); ++i)
+    fx.mapping.assign_flat(i, model::ProcessorId{static_cast<std::uint32_t>(
+                                  rng.index(2))});
+
+  auto bounds = bounds_from_tasks(fx.apps);
+  const HolisticAnalysis analysis;
+  const auto before = analysis.analyze(fx.arch, fx.apps, fx.mapping, bounds,
+                                       fx.priorities);
+  const std::size_t victim = rng.index(bounds.size());
+  bounds[victim].wcet += static_cast<model::Time>(rng.uniform_int(1, 60));
+  const auto after = analysis.analyze(fx.arch, fx.apps, fx.mapping, bounds,
+                                      fx.priorities);
+  for (std::size_t i = 0; i < bounds.size(); ++i)
+    EXPECT_GE(after.windows[i].max_finish, before.windows[i].max_finish)
+        << "task " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HolisticMonotonicity,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace

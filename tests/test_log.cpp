@@ -1,0 +1,67 @@
+#include "ftmc/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using ftmc::util::Logger;
+using ftmc::util::LogLevel;
+
+/// RAII guard: captures the log sink and restores defaults afterwards.
+class CapturedLog {
+ public:
+  CapturedLog() {
+    Logger::instance().set_sink(&stream_);
+    previous_level_ = Logger::instance().level();
+  }
+  ~CapturedLog() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(previous_level_);
+  }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel previous_level_;
+};
+
+TEST(Log, LevelsFilterMessages) {
+  CapturedLog capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  ftmc::util::log_debug("hidden debug");
+  ftmc::util::log_info("hidden info");
+  ftmc::util::log_warn("visible warn");
+  ftmc::util::log_error("visible error");
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("[WARN] visible warn"), std::string::npos);
+  EXPECT_NE(text.find("[ERROR] visible error"), std::string::npos);
+}
+
+TEST(Log, DebugLevelShowsEverything) {
+  CapturedLog capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+  ftmc::util::log_debug("d");
+  ftmc::util::log_info("i");
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("[DEBUG] d"), std::string::npos);
+  EXPECT_NE(text.find("[INFO] i"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  CapturedLog capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  ftmc::util::log_error("nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, MessagesConcatenateArguments) {
+  CapturedLog capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  ftmc::util::log_info("value=", 42, " ratio=", 1.5);
+  EXPECT_NE(capture.text().find("value=42 ratio=1.5"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for the Monte-Carlo response-time distribution aggregates.
+#include <gtest/gtest.h>
+
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+struct Rig {
+  model::Architecture arch = fixtures::test_arch(2);
+  model::ApplicationSet apps = fixtures::small_mixed_apps();
+  hardening::HardenedSystem system = make_system(apps);
+  core::DropSet drop{false, true};
+  std::vector<std::uint32_t> priorities =
+      sched::assign_priorities(system.apps);
+
+  static hardening::HardenedSystem make_system(
+      const model::ApplicationSet& apps) {
+    hardening::HardeningPlan plan(apps.task_count());
+    plan[0].technique = hardening::Technique::kReexecution;
+    plan[0].reexecutions = 1;
+    std::vector<model::ProcessorId> mapping(apps.task_count(),
+                                            model::ProcessorId{0});
+    mapping[2] = model::ProcessorId{1};
+    mapping[3] = model::ProcessorId{1};
+    return hardening::apply_hardening(apps, plan, mapping, 2);
+  }
+};
+
+sim::MonteCarloResult run(const Rig& rig, double fault_probability) {
+  sim::MonteCarloOptions options;
+  options.profiles = 300;
+  options.seed = 9;
+  options.fault_probability = fault_probability;
+  options.threads = 2;
+  return sim::monte_carlo_wcrt(rig.arch, rig.system, rig.drop,
+                               rig.priorities, options);
+}
+
+TEST(McDistribution, OrderStatisticsAreOrdered) {
+  const Rig rig;
+  const auto result = run(rig, 0.3);
+  ASSERT_EQ(result.distribution.size(), 2u);
+  for (const auto& dist : result.distribution) {
+    if (dist.observations == 0) continue;
+    EXPECT_LE(dist.min, static_cast<model::Time>(dist.mean));
+    EXPECT_LE(static_cast<model::Time>(dist.mean), dist.max);
+    EXPECT_LE(dist.p95, dist.p99 + 1);
+    EXPECT_LE(dist.p99, dist.max);
+    EXPECT_GE(dist.min, 0);
+  }
+}
+
+TEST(McDistribution, MaxMatchesWorstResponse) {
+  const Rig rig;
+  const auto result = run(rig, 0.4);
+  for (std::size_t g = 0; g < result.distribution.size(); ++g) {
+    if (result.distribution[g].observations == 0) continue;
+    EXPECT_EQ(result.distribution[g].max, result.worst_response[g]);
+  }
+}
+
+TEST(McDistribution, ObservationsPlusDroppedEqualsProfiles) {
+  const Rig rig;
+  const auto result = run(rig, 0.6);
+  for (const auto& dist : result.distribution)
+    EXPECT_EQ(dist.observations + dist.dropped, result.profiles);
+}
+
+TEST(McDistribution, CriticalGraphNeverDropped) {
+  const Rig rig;
+  const auto result = run(rig, 0.8);
+  EXPECT_EQ(result.distribution[0].dropped, 0u);
+  EXPECT_EQ(result.distribution[0].observations, result.profiles);
+}
+
+TEST(McDistribution, HigherFaultRateDropsMoreOften) {
+  const Rig rig;
+  const auto calm = run(rig, 0.05);
+  const auto stormy = run(rig, 0.9);
+  // Graph 1 is droppable: more faults -> more critical-state entries ->
+  // more dropped instances.
+  EXPECT_GT(stormy.distribution[1].dropped, calm.distribution[1].dropped);
+}
+
+TEST(McDistribution, ZeroFaultsMeansDegenerateDistribution) {
+  const Rig rig;
+  sim::MonteCarloOptions options;
+  options.profiles = 50;
+  options.seed = 4;
+  options.fault_probability = 0.0;
+  const auto result = sim::monte_carlo_wcrt(rig.arch, rig.system, rig.drop,
+                                            rig.priorities, options);
+  for (const auto& dist : result.distribution) {
+    EXPECT_EQ(dist.dropped, 0u);
+    EXPECT_EQ(dist.deadline_misses, 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for the critical-state-aware power model: transition probability and
+// the expected-utilization discount of dropped applications.
+#include <gtest/gtest.h>
+
+#include "ftmc/core/objectives.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using hardening::HardeningPlan;
+using hardening::Technique;
+using model::ProcessorId;
+
+hardening::HardenedSystem make_system(const model::ApplicationSet& apps,
+                                      const HardeningPlan& plan,
+                                      std::size_t pes) {
+  std::vector<ProcessorId> mapping(apps.task_count(), ProcessorId{0});
+  return hardening::apply_hardening(apps, plan, mapping, pes);
+}
+
+TEST(CriticalStateProbability, ZeroWithoutTriggers) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps();
+  const auto system =
+      make_system(apps, HardeningPlan(apps.task_count()), 1);
+  EXPECT_DOUBLE_EQ(core::critical_state_probability(arch, system), 0.0);
+}
+
+TEST(CriticalStateProbability, MatchesSingleTriggerFormula) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps(/*period=*/1000);
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  const auto system = make_system(apps, plan, 1);
+  // One trigger, one instance per hyperperiod: p = pf(wcet + dt).
+  const double pf = hardening::execution_failure_probability(
+      arch.processor(ProcessorId{0}), 102);
+  EXPECT_NEAR(core::critical_state_probability(arch, system), pf, 1e-15);
+}
+
+TEST(CriticalStateProbability, MoreTriggersRaiseTheProbability) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps();
+  HardeningPlan one(apps.task_count());
+  one[0].technique = Technique::kReexecution;
+  one[0].reexecutions = 1;
+  HardeningPlan two = one;
+  two[1].technique = Technique::kReexecution;
+  two[1].reexecutions = 1;
+  EXPECT_LT(core::critical_state_probability(arch, make_system(apps, one, 1)),
+            core::critical_state_probability(arch, make_system(apps, two, 1)));
+}
+
+TEST(CriticalStateProbability, PassiveStandbyCountsAsTrigger) {
+  const auto arch = fixtures::test_arch(3);
+  const auto apps = fixtures::small_mixed_apps();
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kPassiveReplication;
+  plan[0].replica_pes = {ProcessorId{0}, ProcessorId{1}, ProcessorId{2}};
+  plan[0].voter_pe = ProcessorId{0};
+  std::vector<ProcessorId> mapping(apps.task_count(), ProcessorId{0});
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 3);
+  EXPECT_GT(core::critical_state_probability(arch, system), 0.0);
+}
+
+TEST(DropAwarePower, DroppingReducesExpectedPower) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps();
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kReexecution;  // a trigger must exist
+  plan[0].reexecutions = 1;
+  const auto system = make_system(apps, plan, 1);
+  const core::Allocation allocation{true};
+  const std::vector<bool> keep{false, false};
+  const std::vector<bool> drop{false, true};
+  const double base = core::expected_power(arch, system, allocation, &keep);
+  const double dropped = core::expected_power(arch, system, allocation, &drop);
+  EXPECT_LT(dropped, base);
+  // The saving is bounded by half the dropped app's dynamic power share.
+  EXPECT_GT(dropped, base - 0.5 * 40.0 * (60.0 + 60.0) / 1000.0);
+}
+
+TEST(DropAwarePower, NoTriggersMeansNoDiscount) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps();
+  const auto system =
+      make_system(apps, HardeningPlan(apps.task_count()), 1);
+  const core::Allocation allocation{true};
+  const std::vector<bool> keep{false, false};
+  const std::vector<bool> drop{false, true};
+  EXPECT_DOUBLE_EQ(core::expected_power(arch, system, allocation, &keep),
+                   core::expected_power(arch, system, allocation, &drop));
+}
+
+TEST(DropAwarePower, NullDropBehavesLikeLegacyOverload) {
+  const auto arch = fixtures::test_arch(2);
+  const auto apps = fixtures::small_mixed_apps();
+  const auto system =
+      make_system(apps, HardeningPlan(apps.task_count()), 2);
+  const core::Allocation allocation{true, true};
+  EXPECT_DOUBLE_EQ(core::expected_power(arch, system, allocation),
+                   core::expected_power(arch, system, allocation, nullptr));
+}
+
+TEST(DropAwarePower, DropSizeValidated) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps();
+  const auto system =
+      make_system(apps, HardeningPlan(apps.task_count()), 1);
+  const std::vector<bool> bad{false};
+  EXPECT_THROW(core::expected_utilization(arch, system, &bad),
+               std::invalid_argument);
+}
+
+}  // namespace

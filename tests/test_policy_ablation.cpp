@@ -1,0 +1,78 @@
+// Documents the priority-policy interaction with task dropping: under the
+// criticality-first policy droppable tasks can never interfere with
+// critical ones, so Algorithm 1 degenerates to Naive for critical
+// applications — which is why the library defaults to rate-monotonic
+// priorities (DESIGN.md, "Local scheduling policy").
+#include <gtest/gtest.h>
+
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+struct PolicyRig {
+  model::Architecture arch = fixtures::test_arch(1);
+  model::ApplicationSet apps = make_apps();
+  hardening::HardenedSystem system = make_system(apps);
+  core::DropSet drop{false, true};
+
+  static model::ApplicationSet make_apps() {
+    std::vector<model::TaskGraph> graphs;
+    graphs.push_back(
+        fixtures::chain_graph("crit", 2, 100, 150, 1000, false, 1e-6));
+    graphs.push_back(
+        fixtures::chain_graph("noise", 1, 60, 60, 250, true, 1.0));
+    return model::ApplicationSet{std::move(graphs)};
+  }
+
+  static hardening::HardenedSystem make_system(
+      const model::ApplicationSet& apps) {
+    hardening::HardeningPlan plan(apps.task_count());
+    plan[0].technique = hardening::Technique::kReexecution;
+    plan[0].reexecutions = 1;
+    return hardening::apply_hardening(
+        apps, plan,
+        std::vector<model::ProcessorId>(apps.task_count(),
+                                        model::ProcessorId{0}),
+        1);
+  }
+};
+
+TEST(PolicyAblation, RateMonotonicLetsDroppingHelpCriticalTasks) {
+  PolicyRig rig;
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(backend,
+                                  sched::PriorityPolicy::kRateMonotonic);
+  const auto proposed =
+      analysis.analyze(rig.arch, rig.system, rig.drop,
+                       core::McAnalysis::Mode::kProposed);
+  const auto naive = analysis.analyze(rig.arch, rig.system, rig.drop,
+                                      core::McAnalysis::Mode::kNaive);
+  const auto id = rig.system.apps.find_graph("crit");
+  // The short-period droppable outranks crit under RM, so dropping its
+  // later instances strictly tightens the critical graph's bound.
+  EXPECT_LT(proposed.graph_wcrt(rig.system.apps, id),
+            naive.graph_wcrt(rig.system.apps, id));
+}
+
+TEST(PolicyAblation, CriticalityFirstMakesDroppingIrrelevantForCritical) {
+  PolicyRig rig;
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(
+      backend, sched::PriorityPolicy::kCriticalityRateMonotonic);
+  const auto proposed =
+      analysis.analyze(rig.arch, rig.system, rig.drop,
+                       core::McAnalysis::Mode::kProposed);
+  const auto naive = analysis.analyze(rig.arch, rig.system, rig.drop,
+                                      core::McAnalysis::Mode::kNaive);
+  const auto id = rig.system.apps.find_graph("crit");
+  // Droppables sit below every critical task, so their treatment cannot
+  // move the critical bound: Proposed == Naive.
+  EXPECT_EQ(proposed.graph_wcrt(rig.system.apps, id),
+            naive.graph_wcrt(rig.system.apps, id));
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include "ftmc/sched/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using sched::assign_priorities;
+using sched::PriorityPolicy;
+
+model::ApplicationSet three_graphs() {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("slow_crit", 2, 10, 20, 2000, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("fast_drop", 2, 10, 20, 500, true, 1.0));
+  graphs.push_back(
+      fixtures::chain_graph("fast_crit", 2, 10, 20, 500, false, 1e-6));
+  return model::ApplicationSet(std::move(graphs));
+}
+
+TEST(Priority, RanksAreAPermutation) {
+  const auto apps = three_graphs();
+  for (const auto policy :
+       {PriorityPolicy::kCriticalityRateMonotonic,
+        PriorityPolicy::kRateMonotonic, PriorityPolicy::kFlatIndex}) {
+    const auto ranks = assign_priorities(apps, policy);
+    std::set<std::uint32_t> unique(ranks.begin(), ranks.end());
+    EXPECT_EQ(unique.size(), apps.task_count());
+    EXPECT_EQ(*unique.begin(), 0u);
+    EXPECT_EQ(*unique.rbegin(), apps.task_count() - 1);
+  }
+}
+
+TEST(Priority, CriticalityDominatesPeriod) {
+  const auto apps = three_graphs();
+  const auto ranks = assign_priorities(
+      apps, PriorityPolicy::kCriticalityRateMonotonic);
+  // Every critical task outranks every droppable task, even the slow ones.
+  for (std::uint32_t v = 0; v < 2; ++v) {
+    const auto slow_crit = ranks[apps.flat_index({0, v})];
+    const auto fast_crit = ranks[apps.flat_index({2, v})];
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      const auto fast_drop = ranks[apps.flat_index({1, w})];
+      EXPECT_LT(slow_crit, fast_drop);
+      EXPECT_LT(fast_crit, fast_drop);
+    }
+  }
+  // Among critical graphs, the shorter period wins.
+  EXPECT_LT(ranks[apps.flat_index({2, 0})], ranks[apps.flat_index({0, 0})]);
+}
+
+TEST(Priority, RateMonotonicIgnoresCriticality) {
+  const auto apps = three_graphs();
+  const auto ranks = assign_priorities(apps, PriorityPolicy::kRateMonotonic);
+  // fast_drop (500) outranks slow_crit (2000).
+  EXPECT_LT(ranks[apps.flat_index({1, 0})], ranks[apps.flat_index({0, 0})]);
+}
+
+TEST(Priority, FlatIndexIsIdentity) {
+  const auto apps = three_graphs();
+  const auto ranks = assign_priorities(apps, PriorityPolicy::kFlatIndex);
+  for (std::size_t i = 0; i < ranks.size(); ++i) EXPECT_EQ(ranks[i], i);
+}
+
+TEST(Priority, TopologicalTieBreakWithinGraph) {
+  const auto apps = three_graphs();
+  const auto ranks = assign_priorities(
+      apps, PriorityPolicy::kCriticalityRateMonotonic);
+  // Within a chain the upstream task gets the higher priority.
+  EXPECT_LT(ranks[apps.flat_index({0, 0})], ranks[apps.flat_index({0, 1})]);
+  EXPECT_LT(ranks[apps.flat_index({1, 0})], ranks[apps.flat_index({1, 1})]);
+}
+
+TEST(Priority, Deterministic) {
+  const auto apps = three_graphs();
+  EXPECT_EQ(assign_priorities(apps), assign_priorities(apps));
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for ExecBounds::release_cutoff — the backend-level encoding of
+// "dropped applications release no further instances once the transition
+// completed" (Figure 3's task w2) — and its effect through Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using sched::ExecBounds;
+using sched::HolisticAnalysis;
+
+TEST(ReleaseCutoff, LaterInstancesStopInterfering) {
+  // Interferer: period 250, wcet 50; victim: period 1000, wcet 300, lower
+  // priority, one PE.
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("fast", 1, 50, 50, 250, true, 1.0));
+  graphs.push_back(
+      fixtures::chain_graph("slow", 1, 300, 300, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(1);
+  model::Mapping mapping(apps);
+  const auto priorities = sched::assign_priorities(apps);
+  const HolisticAnalysis analysis;
+
+  // Unbounded: fast instances at 0, 250, 500 all preempt slow.
+  std::vector<ExecBounds> bounds{{0, 50}, {300, 300}};
+  const auto unbounded =
+      analysis.analyze(arch, apps, mapping, bounds, priorities);
+  // slow: 300 own + 2-3 fast jobs.
+  EXPECT_GE(unbounded.windows[1].max_finish, 400);
+
+  // Cutoff right after the first fast instance: instances 1+ never release.
+  bounds[0].release_cutoff = 100;
+  const auto cut = analysis.analyze(arch, apps, mapping, bounds, priorities);
+  EXPECT_EQ(cut.windows[1].max_finish, 350);  // 300 + one 50 job
+  EXPECT_LT(cut.windows[1].max_finish, unbounded.windows[1].max_finish);
+}
+
+TEST(ReleaseCutoff, CutoffBeforeFirstInstanceRemovesAll) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("fast", 1, 50, 50, 250, true, 1.0));
+  graphs.push_back(
+      fixtures::chain_graph("slow", 1, 300, 300, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(1);
+  model::Mapping mapping(apps);
+  const auto priorities = sched::assign_priorities(apps);
+  const HolisticAnalysis analysis;
+  std::vector<ExecBounds> bounds{{0, 50}, {300, 300}};
+  bounds[0].release_cutoff = -1;  // nothing may release
+  const auto result =
+      analysis.analyze(arch, apps, mapping, bounds, priorities);
+  EXPECT_EQ(result.windows[1].max_finish, 300);
+}
+
+TEST(ReleaseCutoff, DefaultIsNoCutoff) {
+  const ExecBounds bounds{10, 20};
+  EXPECT_EQ(bounds.release_cutoff, sched::kNoCutoff);
+}
+
+TEST(McAnalysisCutoff, ScenarioBoundBenefitsFromInstanceExclusion) {
+  // Critical chain triggered early + short-period droppable sharing the PE:
+  // the proposed bound must beat Naive because the droppable's later
+  // instances disappear after the transition.
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("crit", 2, 100, 150, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("noise", 1, 60, 60, 250, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const auto arch = fixtures::test_arch(1);
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  std::vector<model::ProcessorId> mapping(apps.task_count(),
+                                          model::ProcessorId{0});
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 1);
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(backend);
+  const core::DropSet drop{false, true};
+  const auto proposed =
+      analysis.analyze(arch, system, drop, core::McAnalysis::Mode::kProposed);
+  const auto naive =
+      analysis.analyze(arch, system, drop, core::McAnalysis::Mode::kNaive);
+  const auto id = system.apps.find_graph("crit");
+  EXPECT_LT(proposed.graph_wcrt(system.apps, id),
+            naive.graph_wcrt(system.apps, id));
+}
+
+TEST(McAnalysisCutoff, ProposedNeverAboveNaive) {
+  // Randomized sweep: the min-with-Naive combination makes this structural.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    benchmarks::SynthParams params;
+    params.seed = seed + 12345;
+    params.graph_count = 3;
+    const auto apps = benchmarks::synthetic_applications(params);
+    const auto arch = fixtures::test_arch(2);
+    util::Rng rng(seed);
+    const dse::Decoder decoder(arch, apps);
+    dse::Chromosome chromosome =
+        dse::random_chromosome(decoder.shape(), rng);
+    const auto candidate = decoder.decode(chromosome, rng);
+    const auto system = hardening::apply_hardening(
+        apps, candidate.plan, candidate.base_mapping, 2);
+    const sched::HolisticAnalysis backend;
+    const core::McAnalysis analysis(backend);
+    const auto proposed = analysis.analyze(arch, system, candidate.drop,
+                                           core::McAnalysis::Mode::kProposed);
+    const auto naive = analysis.analyze(arch, system, candidate.drop,
+                                        core::McAnalysis::Mode::kNaive);
+    for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
+      const model::GraphId id{g};
+      EXPECT_LE(proposed.graph_wcrt(system.apps, id),
+                naive.graph_wcrt(system.apps, id))
+          << "seed " << seed << " graph " << g;
+    }
+  }
+}
+
+}  // namespace

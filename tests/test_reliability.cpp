@@ -1,0 +1,240 @@
+#include "ftmc/hardening/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using hardening::execution_failure_probability;
+using hardening::expected_reexecution_count;
+using hardening::majority_failure_probability;
+using hardening::scaled_time;
+using hardening::standby_activation_probability;
+using hardening::task_failure_probability;
+using hardening::TaskHardening;
+using hardening::Technique;
+using model::ProcessorId;
+
+TEST(ScaledTime, RoundsUpAndScales) {
+  auto pe = fixtures::test_pe("p");
+  pe.speed_factor = 1.5;
+  EXPECT_EQ(scaled_time(pe, 10), 15);
+  EXPECT_EQ(scaled_time(pe, 1), 2);  // ceil(1.5)
+  EXPECT_EQ(scaled_time(pe, 0), 0);
+  pe.speed_factor = 1.0;
+  EXPECT_EQ(scaled_time(pe, 7), 7);
+}
+
+TEST(ExecutionFailure, MatchesExponentialLaw) {
+  auto pe = fixtures::test_pe("p", /*fault_rate=*/1e-6);
+  const double pf = execution_failure_probability(pe, 1000);
+  EXPECT_NEAR(pf, 1.0 - std::exp(-1e-3), 1e-12);
+}
+
+TEST(ExecutionFailure, ZeroCases) {
+  auto pe = fixtures::test_pe("p", 0.0);
+  EXPECT_EQ(execution_failure_probability(pe, 1000), 0.0);
+  pe = fixtures::test_pe("p", 1e-6);
+  EXPECT_EQ(execution_failure_probability(pe, 0), 0.0);
+}
+
+TEST(ExecutionFailure, MonotoneInTimeAndRate) {
+  const auto slow = fixtures::test_pe("p", 1e-6);
+  EXPECT_LT(execution_failure_probability(slow, 100),
+            execution_failure_probability(slow, 200));
+  const auto risky = fixtures::test_pe("p", 2e-6);
+  EXPECT_LT(execution_failure_probability(slow, 100),
+            execution_failure_probability(risky, 100));
+}
+
+TEST(MajorityFailure, TripleModularRedundancy) {
+  // Classic TMR with identical p: fail iff >= 2 of 3 fail.
+  const double p = 0.1;
+  const std::array<double, 3> pf{p, p, p};
+  const double expected = 3 * p * p * (1 - p) + p * p * p;
+  EXPECT_NEAR(majority_failure_probability(pf), expected, 1e-12);
+}
+
+TEST(MajorityFailure, Duplication) {
+  // n=2 needs both correct (no tie-break).
+  const std::array<double, 2> pf{0.1, 0.2};
+  EXPECT_NEAR(majority_failure_probability(pf), 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(MajorityFailure, SingleReplicaDegeneratesToPlain) {
+  const std::array<double, 1> pf{0.3};
+  EXPECT_NEAR(majority_failure_probability(pf), 0.3, 1e-12);
+}
+
+TEST(MajorityFailure, PerfectReplicasNeverFail) {
+  const std::array<double, 3> pf{0.0, 0.0, 0.0};
+  EXPECT_EQ(majority_failure_probability(pf), 0.0);
+}
+
+TEST(MajorityFailure, RejectsEmpty) {
+  EXPECT_THROW(majority_failure_probability({}), std::invalid_argument);
+}
+
+TEST(MajorityFailure, TmrBeatsSimplexForSmallP) {
+  const double p = 1e-3;
+  const std::array<double, 3> pf{p, p, p};
+  EXPECT_LT(majority_failure_probability(pf), p);
+}
+
+TEST(ExpectedReexecutions, GeometricSeries) {
+  EXPECT_DOUBLE_EQ(expected_reexecution_count(0.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(expected_reexecution_count(0.5, 1), 1.5);
+  EXPECT_DOUBLE_EQ(expected_reexecution_count(0.5, 2), 1.75);
+  EXPECT_DOUBLE_EQ(expected_reexecution_count(1.0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(expected_reexecution_count(0.2, 0), 1.0);
+}
+
+TEST(StandbyActivation, Complement) {
+  EXPECT_DOUBLE_EQ(standby_activation_probability(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(standby_activation_probability(1.0, 0.0), 1.0);
+  EXPECT_NEAR(standby_activation_probability(0.1, 0.2), 1.0 - 0.9 * 0.8,
+              1e-12);
+}
+
+TEST(TaskFailure, NoneEqualsSingleExecution) {
+  const auto arch = fixtures::test_arch(2);
+  model::Task task{"t", 10, 100, 3, 2};
+  const TaskHardening none;
+  EXPECT_NEAR(task_failure_probability(arch, task, none, ProcessorId{0}),
+              execution_failure_probability(
+                  arch.processor(ProcessorId{0}), 100),
+              1e-15);
+}
+
+TEST(TaskFailure, ReexecutionIsPowerOfAttempt) {
+  const auto arch = fixtures::test_arch(1);
+  model::Task task{"t", 10, 100, 3, 2};
+  TaskHardening decision;
+  decision.technique = Technique::kReexecution;
+  decision.reexecutions = 2;
+  const double attempt = execution_failure_probability(
+      arch.processor(ProcessorId{0}), 102);  // wcet + dt
+  EXPECT_NEAR(task_failure_probability(arch, task, decision, ProcessorId{0}),
+              std::pow(attempt, 3), 1e-18);
+}
+
+TEST(TaskFailure, ActiveReplicationIncludesVoter) {
+  const auto arch = fixtures::test_arch(3);
+  model::Task task{"t", 10, 100, 3, 2};
+  TaskHardening decision;
+  decision.technique = Technique::kActiveReplication;
+  decision.replica_pes = {ProcessorId{0}, ProcessorId{1}, ProcessorId{2}};
+  decision.voter_pe = ProcessorId{0};
+  const double p = execution_failure_probability(
+      arch.processor(ProcessorId{0}), 100);
+  const double replica_fail = 3 * p * p * (1 - p) + p * p * p;
+  const double voter_fail =
+      execution_failure_probability(arch.processor(ProcessorId{0}), 3);
+  EXPECT_NEAR(task_failure_probability(arch, task, decision, ProcessorId{0}),
+              1.0 - (1.0 - replica_fail) * (1.0 - voter_fail), 1e-15);
+}
+
+TEST(TaskFailure, PassiveReplicationFormula) {
+  const auto arch = fixtures::test_arch(3);
+  model::Task task{"t", 10, 100, 3, 2};
+  TaskHardening decision;
+  decision.technique = Technique::kPassiveReplication;
+  decision.replica_pes = {ProcessorId{0}, ProcessorId{1}, ProcessorId{2}};
+  decision.voter_pe = ProcessorId{1};
+  const double p = execution_failure_probability(
+      arch.processor(ProcessorId{0}), 100);
+  const double success =
+      (1 - p) * (1 - p) + 2 * p * (1 - p) * (1 - p);
+  const double voter_fail =
+      execution_failure_probability(arch.processor(ProcessorId{1}), 3);
+  EXPECT_NEAR(task_failure_probability(arch, task, decision, ProcessorId{0}),
+              1.0 - success * (1.0 - voter_fail), 1e-15);
+}
+
+TEST(TaskFailure, HardeningImprovesOverNone) {
+  const auto arch = fixtures::test_arch(3);
+  model::Task task{"t", 10, 5000, 3, 2};
+  const TaskHardening none;
+  const double base =
+      task_failure_probability(arch, task, none, ProcessorId{0});
+
+  TaskHardening reexec;
+  reexec.technique = Technique::kReexecution;
+  reexec.reexecutions = 1;
+  EXPECT_LT(task_failure_probability(arch, task, reexec, ProcessorId{0}),
+            base);
+
+  TaskHardening active;
+  active.technique = Technique::kActiveReplication;
+  active.replica_pes = {ProcessorId{0}, ProcessorId{1}, ProcessorId{2}};
+  active.voter_pe = ProcessorId{0};
+  EXPECT_LT(task_failure_probability(arch, task, active, ProcessorId{0}),
+            base);
+
+  TaskHardening passive;
+  passive.technique = Technique::kPassiveReplication;
+  passive.replica_pes = {ProcessorId{0}, ProcessorId{1}, ProcessorId{2}};
+  passive.voter_pe = ProcessorId{0};
+  EXPECT_LT(task_failure_probability(arch, task, passive, ProcessorId{0}),
+            base);
+}
+
+TEST(CheckReliability, UnhardenedTightConstraintFails) {
+  const auto arch = fixtures::test_arch(2);
+  const auto apps = fixtures::small_mixed_apps();
+  const hardening::HardeningPlan plan(apps.task_count());
+  std::vector<ProcessorId> mapping(apps.task_count(), ProcessorId{0});
+  // crit graph has f = 1e-6 per us and 100us tasks at 1e-8 faults/us:
+  // failure prob per period ~ 2e-6, rate ~ 2e-9 <= 1e-6 -> satisfied.
+  const auto report = hardening::check_reliability(arch, apps, plan, mapping);
+  EXPECT_TRUE(report.all_satisfied);
+  EXPECT_EQ(report.failure_rate.size(), 2u);
+  EXPECT_GT(report.failure_rate[0], 0.0);
+}
+
+TEST(CheckReliability, TightConstraintNeedsHardening) {
+  const auto arch = fixtures::test_arch(2);
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("tight", 2, 50, 100, 1000, false, 1e-13));
+  const model::ApplicationSet apps{std::move(graphs)};
+  hardening::HardeningPlan plan(apps.task_count());
+  std::vector<ProcessorId> mapping(apps.task_count(), ProcessorId{0});
+
+  auto report = hardening::check_reliability(arch, apps, plan, mapping);
+  EXPECT_FALSE(report.all_satisfied);
+
+  for (auto& decision : plan) {
+    decision.technique = Technique::kReexecution;
+    decision.reexecutions = 2;
+  }
+  report = hardening::check_reliability(arch, apps, plan, mapping);
+  EXPECT_TRUE(report.all_satisfied);
+}
+
+TEST(CheckReliability, DroppableGraphsAlwaysSatisfied) {
+  const auto arch = fixtures::test_arch(1);
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("d", 3, 100, 10000, 20000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  const hardening::HardeningPlan plan(apps.task_count());
+  const std::vector<ProcessorId> mapping(apps.task_count(), ProcessorId{0});
+  const auto report = hardening::check_reliability(arch, apps, plan, mapping);
+  EXPECT_TRUE(report.all_satisfied);
+  EXPECT_TRUE(report.satisfied[0]);
+}
+
+TEST(CheckReliability, SizeValidation) {
+  const auto arch = fixtures::test_arch(1);
+  const auto apps = fixtures::small_mixed_apps();
+  EXPECT_THROW(hardening::check_reliability(arch, apps, {}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

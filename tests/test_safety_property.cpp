@@ -1,0 +1,170 @@
+// The central soundness property of the reproduction (Section 5.1): the
+// Proposed analysis (Algorithm 1) must upper-bound the response time of
+// EVERY simulated execution — any fault pattern, any execution times within
+// [bcet, wcet], with task dropping in effect — for all non-dropped graphs.
+// The Naive estimator must in turn upper-bound the Proposed one.
+#include <gtest/gtest.h>
+
+#include "ftmc/benchmarks/cruise.hpp"
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sim/adhoc.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using core::McAnalysis;
+
+struct Configured {
+  const model::Architecture& arch;
+  hardening::HardenedSystem system;
+  core::DropSet drop;
+  std::vector<std::uint32_t> priorities;
+
+  Configured(const model::Architecture& a, const model::ApplicationSet& apps,
+             const core::Candidate& candidate)
+      : arch(a),
+        system(hardening::apply_hardening(apps, candidate.plan,
+                                          candidate.base_mapping,
+                                          a.processor_count())),
+        drop(candidate.drop),
+        priorities(sched::assign_priorities(system.apps)) {}
+};
+
+/// Checks bound >= every simulated response for non-dropped graphs, over
+/// `profiles` random failure profiles.
+void expect_bounds_hold(const Configured& config, std::size_t profiles,
+                        std::uint64_t seed, double fault_probability) {
+  const sched::HolisticAnalysis backend;
+  const McAnalysis analysis(backend);
+  const auto verdict = analysis.analyze(config.arch, config.system,
+                                        config.drop,
+                                        McAnalysis::Mode::kProposed);
+
+  sim::MonteCarloOptions options;
+  options.profiles = profiles;
+  options.seed = seed;
+  options.fault_probability = fault_probability;
+  options.threads = 2;
+  const auto observed = sim::monte_carlo_wcrt(
+      config.arch, config.system, config.drop, config.priorities, options);
+
+  for (std::uint32_t g = 0; g < config.system.apps.graph_count(); ++g) {
+    if (config.drop[g]) continue;  // dropped graphs carry no guarantee
+    if (observed.worst_response[g] < 0) continue;
+    EXPECT_GE(verdict.graph_wcrt(config.system.apps, model::GraphId{g}),
+              observed.worst_response[g])
+        << "graph " << config.system.apps.graph(model::GraphId{g}).name();
+  }
+
+  // The ad-hoc trace is one specific execution, so it is also bounded for
+  // non-dropped graphs.
+  const auto adhoc = sim::adhoc_wcrt(config.arch, config.system, config.drop,
+                                     config.priorities);
+  for (std::uint32_t g = 0; g < config.system.apps.graph_count(); ++g) {
+    if (config.drop[g] || adhoc[g] < 0) continue;
+    EXPECT_GE(verdict.graph_wcrt(config.system.apps, model::GraphId{g}),
+              adhoc[g])
+        << "adhoc, graph "
+        << config.system.apps.graph(model::GraphId{g}).name();
+  }
+}
+
+TEST(Safety, CruiseSampleMappings) {
+  const auto cruise = benchmarks::cruise_benchmark();
+  for (const auto& config : benchmarks::cruise_sample_configs(cruise)) {
+    const Configured configured(cruise.arch, cruise.apps, config.candidate);
+    expect_bounds_hold(configured, 300, 17, 0.4);
+  }
+}
+
+TEST(Safety, NaiveUpperBoundsProposedOnCruise) {
+  const auto cruise = benchmarks::cruise_benchmark();
+  const sched::HolisticAnalysis backend;
+  const McAnalysis analysis(backend);
+  for (const auto& config : benchmarks::cruise_sample_configs(cruise)) {
+    const Configured configured(cruise.arch, cruise.apps, config.candidate);
+    const auto proposed =
+        analysis.analyze(configured.arch, configured.system, configured.drop,
+                         McAnalysis::Mode::kProposed);
+    const auto naive =
+        analysis.analyze(configured.arch, configured.system, configured.drop,
+                         McAnalysis::Mode::kNaive);
+    for (std::uint32_t g = 0; g < configured.system.apps.graph_count(); ++g) {
+      const model::GraphId id{g};
+      EXPECT_GE(naive.graph_wcrt(configured.system.apps, id),
+                proposed.graph_wcrt(configured.system.apps, id))
+          << config.name << ", graph " << g;
+    }
+  }
+}
+
+// Property sweep: random synthetic systems, random (repaired) candidates.
+class SafetySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafetySweep, AnalysisBoundsSimulation) {
+  const std::uint64_t seed = GetParam();
+  benchmarks::SynthParams params;
+  params.seed = seed;
+  params.graph_count = 3;
+  params.min_tasks = 3;
+  params.max_tasks = 6;
+  params.graph_utilization = 0.15;
+  const auto apps = benchmarks::synthetic_applications(params);
+  const auto arch = fixtures::test_arch(3);
+
+  util::Rng rng(seed * 1000 + 7);
+  const dse::Decoder decoder(arch, apps);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  const core::Candidate candidate = decoder.decode(chromosome, rng);
+
+  const Configured configured(arch, apps, candidate);
+  expect_bounds_hold(configured, 150, seed ^ 0xabcd, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetySweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// Fault-free executions are bounded by the normal-state analysis alone.
+class NormalStateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalStateSweep, NormalAnalysisBoundsFaultFreeSim) {
+  const std::uint64_t seed = GetParam();
+  benchmarks::SynthParams params;
+  params.seed = seed + 500;
+  params.graph_count = 4;
+  const auto apps = benchmarks::synthetic_applications(params);
+  const auto arch = fixtures::test_arch(4);
+
+  util::Rng rng(seed);
+  const dse::Decoder decoder(arch, apps);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  const core::Candidate candidate = decoder.decode(chromosome, rng);
+  const Configured configured(arch, apps, candidate);
+
+  const sched::HolisticAnalysis backend;
+  const McAnalysis analysis(backend);
+  const auto verdict = analysis.analyze(configured.arch, configured.system,
+                                        configured.drop);
+
+  const sim::Simulator simulator(configured.arch, configured.system,
+                                 configured.drop, configured.priorities);
+  sim::NoFaults no_faults;
+  sim::WcetExecution wcet;
+  const auto trace = simulator.run(no_faults, wcet);
+  for (std::uint32_t g = 0; g < configured.system.apps.graph_count(); ++g) {
+    if (trace.graph_response[g] < 0) continue;
+    const auto bound = verdict.normal.graph_wcrt(configured.system.apps,
+                                                 model::GraphId{g});
+    EXPECT_GE(bound, trace.graph_response[g]) << "graph " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalStateSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace

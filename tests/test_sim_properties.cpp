@@ -1,0 +1,238 @@
+// Property suite over the discrete-event simulator: structural trace
+// invariants that must hold for ANY system, candidate, and fault profile.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/sim/simulator.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+struct Configured {
+  model::Architecture arch;
+  hardening::HardenedSystem system;
+  core::DropSet drop;
+  std::vector<std::uint32_t> priorities;
+};
+
+Configured random_configured(std::uint64_t seed) {
+  benchmarks::SynthParams params;
+  params.seed = seed * 77 + 5;
+  params.graph_count = 3;
+  params.min_tasks = 3;
+  params.max_tasks = 6;
+  auto apps = benchmarks::synthetic_applications(params);
+  auto arch = fixtures::test_arch(3);
+  util::Rng rng(seed);
+  const dse::Decoder decoder(arch, apps);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  const core::Candidate candidate = decoder.decode(chromosome, rng);
+  auto system = hardening::apply_hardening(apps, candidate.plan,
+                                           candidate.base_mapping, 3);
+  auto priorities = sched::assign_priorities(system.apps);
+  return Configured{std::move(arch), std::move(system), candidate.drop,
+                    std::move(priorities)};
+}
+
+sim::SimResult run(const Configured& config, std::uint64_t seed,
+                   std::size_t hyperperiods = 1) {
+  const sim::Simulator simulator(config.arch, config.system, config.drop,
+                                 config.priorities);
+  util::Rng rng(seed);
+  sim::RandomFaults faults(rng.split(), 0.4);
+  sim::UniformExecution durations(rng.split());
+  sim::SimOptions options;
+  options.hyperperiods = hyperperiods;
+  return simulator.run(faults, durations, options);
+}
+
+class SimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimProperty, SegmentsNeverOverlapOnAnyPe) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam() ^ 0x1234);
+  std::map<std::uint32_t, std::vector<std::pair<model::Time, model::Time>>>
+      by_pe;
+  for (const auto& segment : trace.segments) {
+    EXPECT_LT(segment.from, segment.to);
+    by_pe[segment.pe.value].push_back({segment.from, segment.to});
+  }
+  for (auto& [pe, segments] : by_pe) {
+    std::sort(segments.begin(), segments.end());
+    for (std::size_t s = 1; s < segments.size(); ++s)
+      EXPECT_LE(segments[s - 1].second, segments[s].first) << "pe " << pe;
+  }
+}
+
+TEST_P(SimProperty, PrecedenceRespected) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam() ^ 0x9999);
+  const auto& apps = config.system.apps;
+  // Index finished jobs by (flat, instance).
+  std::map<std::pair<std::size_t, std::size_t>, const sim::JobRecord*> jobs;
+  for (const auto& job : trace.jobs)
+    jobs[{job.flat_task, job.instance}] = &job;
+  for (std::uint32_t g = 0; g < apps.graph_count(); ++g) {
+    const auto& graph = apps.graph(model::GraphId{g});
+    for (const auto& channel : graph.channels()) {
+      const std::size_t src = apps.flat_index({g, channel.src});
+      const std::size_t dst = apps.flat_index({g, channel.dst});
+      for (const auto& [key, job] : jobs) {
+        if (key.first != dst) continue;
+        if (job->state != sim::JobState::kFinished &&
+            job->state != sim::JobState::kSkipped)
+          continue;
+        const auto* producer = jobs.at({src, key.second});
+        // A consumer can only start after its producer finished.
+        if (job->start_time >= 0 && producer->finish_time >= 0) {
+          EXPECT_GE(job->start_time, producer->finish_time)
+              << apps.task(apps.task_ref(src)).name << " -> "
+              << apps.task(apps.task_ref(dst)).name;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SimProperty, CancelledJobsNeverExecute) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam() ^ 0x4321);
+  for (const auto& segment : trace.segments) {
+    const auto& job = trace.jobs[segment.job];
+    EXPECT_NE(job.state, sim::JobState::kCancelled);
+    EXPECT_NE(job.state, sim::JobState::kSkipped);
+  }
+  for (const auto& job : trace.jobs) {
+    if (job.state == sim::JobState::kCancelled) {
+      EXPECT_LT(job.start_time, 0);
+      // Only droppable applications may be cancelled.
+      EXPECT_TRUE(config.system.apps
+                      .graph(config.system.apps.task_ref(job.flat_task)
+                                 .graph_id())
+                      .droppable());
+    }
+  }
+}
+
+TEST_P(SimProperty, CancellationImpliesCriticalEntry) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam() ^ 0x7777);
+  bool any_cancelled = false;
+  for (const auto& job : trace.jobs)
+    any_cancelled |= job.state == sim::JobState::kCancelled;
+  bool any_entry = false;
+  for (const model::Time entry : trace.critical_entry)
+    any_entry |= entry >= 0;
+  if (any_cancelled) {
+    EXPECT_TRUE(any_entry);
+  }
+}
+
+TEST_P(SimProperty, DeterministicForFixedSeeds) {
+  const Configured config = random_configured(GetParam());
+  const auto a = run(config, 555);
+  const auto b = run(config, 555);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time);
+    EXPECT_EQ(a.jobs[i].attempts, b.jobs[i].attempts);
+    EXPECT_EQ(a.jobs[i].state, b.jobs[i].state);
+  }
+  EXPECT_EQ(a.graph_response, b.graph_response);
+}
+
+TEST_P(SimProperty, BusyTimeMatchesAttemptCountBounds) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam() ^ 0xbeef);
+  std::vector<model::Time> busy(trace.jobs.size(), 0);
+  for (const auto& segment : trace.segments)
+    busy[segment.job] += segment.to - segment.from;
+  for (std::size_t j = 0; j < trace.jobs.size(); ++j) {
+    const auto& job = trace.jobs[j];
+    if (job.state != sim::JobState::kFinished) continue;
+    const auto ref = config.system.apps.task_ref(job.flat_task);
+    const auto& task = config.system.apps.task(ref);
+    const auto& info = config.system.info[config.system.apps.flat_index(ref)];
+    const auto& pe = config.arch.processor(
+        config.system.mapping.processor_of_flat(job.flat_task));
+    model::Time per_attempt_max = task.wcet;
+    if (info.pays_detection) per_attempt_max += task.detection_overhead;
+    per_attempt_max = hardening::scaled_time(pe, per_attempt_max);
+    EXPECT_LE(busy[j], per_attempt_max * job.attempts) << "job " << j;
+    EXPECT_GE(job.attempts, 1);
+    EXPECT_LE(job.attempts, info.reexecutions + 1);
+  }
+}
+
+TEST_P(SimProperty, MultiHyperperiodReleasesAllInstances) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam(), /*hyperperiods=*/2);
+  const auto& apps = config.system.apps;
+  const model::Time hyper = apps.hyperperiod();
+  std::map<std::size_t, std::size_t> per_task;
+  for (const auto& job : trace.jobs) ++per_task[job.flat_task];
+  for (std::size_t i = 0; i < apps.task_count(); ++i) {
+    const auto period = apps.graph(apps.task_ref(i).graph_id()).period();
+    EXPECT_EQ(per_task[i], static_cast<std::size_t>(2 * hyper / period));
+  }
+}
+
+TEST_P(SimProperty, ResponsesConsistentWithJobRecords) {
+  const Configured config = random_configured(GetParam());
+  const auto trace = run(config, GetParam() ^ 0xfeed);
+  for (const auto& response : trace.responses) {
+    if (response.response < 0) continue;
+    EXPECT_GE(response.response, 0);
+    const auto& graph = config.system.apps.graph(response.graph);
+    EXPECT_EQ(response.deadline_met,
+              response.response <= graph.deadline());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// Execution-time model contracts.
+TEST(ExecModels, UniformStaysWithinBounds) {
+  util::Rng rng(3);
+  sim::UniformExecution model(rng);
+  for (int i = 0; i < 2000; ++i) {
+    const auto draw = model.attempt_duration({0, 0, 1}, 10, 50);
+    EXPECT_GE(draw, 10);
+    EXPECT_LE(draw, 50);
+  }
+  EXPECT_EQ(model.attempt_duration({0, 0, 1}, 7, 7), 7);
+}
+
+TEST(ExecModels, WcetAndBcetAreExtremes) {
+  sim::WcetExecution wcet;
+  sim::BcetExecution bcet;
+  EXPECT_EQ(wcet.attempt_duration({0, 0, 1}, 10, 50), 50);
+  EXPECT_EQ(bcet.attempt_duration({0, 0, 1}, 10, 50), 10);
+}
+
+TEST(FaultModels, PlannedFaultsExactlyMatchKeys) {
+  sim::PlannedFaults faults;
+  faults.add({3, 1, 2});
+  EXPECT_TRUE(faults.attempt_faults({3, 1, 2}));
+  EXPECT_FALSE(faults.attempt_faults({3, 1, 1}));
+  EXPECT_FALSE(faults.attempt_faults({3, 0, 2}));
+  EXPECT_FALSE(faults.attempt_faults({2, 1, 2}));
+}
+
+TEST(FaultModels, RandomFaultsRateIsRoughlyP) {
+  util::Rng rng(5);
+  sim::RandomFaults faults(rng, 0.25);
+  int hits = 0;
+  for (std::size_t i = 0; i < 40'000; ++i)
+    if (faults.attempt_faults({i, 0, 1})) ++hits;
+  EXPECT_NEAR(hits / 40'000.0, 0.25, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,404 @@
+#include "ftmc/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmc/sched/priority.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using hardening::HardeningPlan;
+using hardening::Technique;
+using model::ProcessorId;
+using sim::AttemptKey;
+using sim::JobState;
+using sim::SimOptions;
+using sim::SimResult;
+using sim::Simulator;
+
+struct Rig {
+  model::Architecture arch;
+  hardening::HardenedSystem system;
+  core::DropSet drop;
+  std::vector<std::uint32_t> priorities;
+
+  Rig(model::Architecture a, const model::ApplicationSet& apps,
+      const HardeningPlan& plan, core::DropSet d,
+      std::vector<ProcessorId> mapping = {})
+      : arch(std::move(a)),
+        system(hardening::apply_hardening(
+            apps, plan,
+            mapping.empty()
+                ? std::vector<ProcessorId>(apps.task_count(), ProcessorId{0})
+                : mapping,
+            arch.processor_count())),
+        drop(std::move(d)),
+        priorities(sched::assign_priorities(system.apps)) {}
+
+  SimResult run(sim::FaultModel& faults, const SimOptions& options = {}) {
+    const Simulator simulator(arch, system, drop, priorities);
+    sim::WcetExecution wcet;
+    return simulator.run(faults, wcet, options);
+  }
+};
+
+model::ApplicationSet one_chain(std::size_t tasks, model::Time wcet,
+                                model::Time period = 1000) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("g", tasks, wcet / 2, wcet, period, false, 1e-6));
+  return model::ApplicationSet{std::move(graphs)};
+}
+
+TEST(Simulator, FaultFreeChainRunsBackToBack) {
+  const auto apps = one_chain(2, 100);
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.jobs[0].start_time, 0);
+  EXPECT_EQ(result.jobs[0].finish_time, 100);
+  EXPECT_EQ(result.jobs[1].start_time, 100);
+  EXPECT_EQ(result.jobs[1].finish_time, 200);
+  EXPECT_EQ(result.graph_response[0], 200);
+  EXPECT_FALSE(result.deadline_miss);
+  EXPECT_FALSE(result.unsafe_result);
+  EXPECT_EQ(result.critical_entry[0], -1);
+}
+
+TEST(Simulator, BcetExecutionIsFaster) {
+  const auto apps = one_chain(2, 100);
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false});
+  const Simulator simulator(rig.arch, rig.system, rig.drop, rig.priorities);
+  sim::NoFaults no_faults;
+  sim::BcetExecution bcet;
+  const SimResult result = simulator.run(no_faults, bcet);
+  EXPECT_EQ(result.graph_response[0], 100);  // 2 x bcet 50
+}
+
+TEST(Simulator, PreemptionByHigherPriority) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("hp", 1, 50, 50, 500, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("lp", 1, 300, 300, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false, false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  // hp runs [0,50] and [500,550]; lp runs [50,350].
+  EXPECT_EQ(result.jobs[0].finish_time, 50);
+  EXPECT_EQ(result.jobs[1].finish_time, 550);
+  EXPECT_EQ(result.jobs[2].start_time, 50);
+  EXPECT_EQ(result.jobs[2].finish_time, 350);
+  EXPECT_EQ(result.graph_response[1], 350);
+}
+
+TEST(Simulator, MidExecutionPreemptionSplitsSegments) {
+  // lp starts first (hp released later via a long predecessor on another
+  // PE is complex; instead give hp a shorter period so it re-releases mid
+  // lp execution).
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("hp", 1, 100, 100, 400, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("lp", 1, 600, 600, 800, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false, false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  // hp: [0,100], [400,500]; lp: [100,400] + [500,800].
+  EXPECT_EQ(result.jobs.back().finish_time, 800);
+  // lp has two execution segments.
+  std::size_t lp_segments = 0;
+  for (const auto& segment : result.segments)
+    if (result.jobs[segment.job].flat_task == 1) ++lp_segments;
+  EXPECT_EQ(lp_segments, 2u);
+  EXPECT_EQ(result.graph_response[1], 800);
+  EXPECT_FALSE(result.deadline_miss);
+}
+
+TEST(Simulator, SegmentsNeverOverlapPerPe) {
+  const auto apps = fixtures::small_mixed_apps();
+  Rig rig(fixtures::test_arch(2), apps, HardeningPlan(apps.task_count()),
+          {false, false},
+          {ProcessorId{0}, ProcessorId{1}, ProcessorId{0}, ProcessorId{1}});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  std::map<std::uint32_t, std::vector<std::pair<model::Time, model::Time>>>
+      by_pe;
+  for (const auto& segment : result.segments)
+    by_pe[segment.pe.value].push_back({segment.from, segment.to});
+  for (auto& [pe, segments] : by_pe) {
+    std::sort(segments.begin(), segments.end());
+    for (std::size_t s = 1; s < segments.size(); ++s)
+      EXPECT_LE(segments[s - 1].second, segments[s].first);
+  }
+}
+
+TEST(Simulator, SegmentsSumToExecutionTime) {
+  const auto apps = one_chain(3, 80);
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  std::vector<model::Time> busy(result.jobs.size(), 0);
+  for (const auto& segment : result.segments)
+    busy[segment.job] += segment.to - segment.from;
+  for (std::size_t j = 0; j < result.jobs.size(); ++j)
+    EXPECT_EQ(busy[j], 80) << "job " << j;
+}
+
+TEST(Simulator, CommunicationDelayAcrossPes) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 2, 100, 100, 1000, false, 1e-6,
+                                         /*bytes=*/64));
+  const model::ApplicationSet apps{std::move(graphs)};
+  Rig rig(fixtures::test_arch(2, /*bandwidth=*/2.0), apps,
+          HardeningPlan(apps.task_count()), {false},
+          {ProcessorId{0}, ProcessorId{1}});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  // Transfer: ceil(64/2) = 32us.
+  EXPECT_EQ(result.jobs[1].start_time, 132);
+  EXPECT_EQ(result.graph_response[0], 232);
+}
+
+TEST(Simulator, ReexecutionDoublesOnFault) {
+  const auto apps = one_chain(1, 100);
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  Rig rig(fixtures::test_arch(1), apps, plan, {false});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{0, 0, 1});
+  const SimResult result = rig.run(faults);
+  // attempt = wcet + dt = 102; two attempts.
+  EXPECT_EQ(result.jobs[0].finish_time, 204);
+  EXPECT_EQ(result.jobs[0].attempts, 2);
+  EXPECT_FALSE(result.jobs[0].result_faulty);
+  EXPECT_FALSE(result.unsafe_result);
+  EXPECT_EQ(result.critical_entry[0], 102);
+}
+
+TEST(Simulator, ExhaustedReexecutionsAreUnsafe) {
+  const auto apps = one_chain(1, 100);
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  Rig rig(fixtures::test_arch(1), apps, plan, {false});
+  sim::AlwaysFaults faults;
+  const SimResult result = rig.run(faults);
+  EXPECT_EQ(result.jobs[0].attempts, 2);
+  EXPECT_TRUE(result.jobs[0].result_faulty);
+  EXPECT_TRUE(result.unsafe_result);
+}
+
+TEST(Simulator, UnhardenedFaultHasNoTimingEffect) {
+  const auto apps = one_chain(1, 100);
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false});
+  sim::AlwaysFaults faults;
+  const SimResult result = rig.run(faults);
+  EXPECT_EQ(result.jobs[0].finish_time, 100);
+  EXPECT_EQ(result.critical_entry[0], -1);  // no hardening -> no transition
+  EXPECT_TRUE(result.unsafe_result);
+}
+
+struct PassiveRig {
+  model::ApplicationSet apps;
+  HardeningPlan plan;
+
+  PassiveRig() : apps(one_chain(1, 100)), plan(apps.task_count()) {
+    plan[0].technique = Technique::kPassiveReplication;
+    plan[0].replica_pes = {ProcessorId{0}, ProcessorId{0}, ProcessorId{0}};
+    plan[0].voter_pe = ProcessorId{0};
+  }
+};
+
+TEST(Simulator, PassiveStandbySkippedWithoutFault) {
+  PassiveRig setup;
+  Rig rig(fixtures::test_arch(1), setup.apps, setup.plan, {false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  // Primaries [0,100], [100,200]; standby skipped at 200; voter (ve=3)
+  // [200,203].
+  std::size_t skipped = 0;
+  for (const auto& job : result.jobs)
+    if (job.state == JobState::kSkipped) ++skipped;
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(result.graph_response[0], 203);
+  EXPECT_EQ(result.critical_entry[0], -1);
+}
+
+TEST(Simulator, PassiveStandbyActivatedOnPrimaryFault) {
+  PassiveRig setup;
+  Rig rig(fixtures::test_arch(1), setup.apps, setup.plan, {false});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{0, 0, 1});  // first primary's only attempt
+  const SimResult result = rig.run(faults);
+  // Standby executes [200,300]; voter [300,303].
+  EXPECT_EQ(result.graph_response[0], 303);
+  EXPECT_EQ(result.critical_entry[0], 200);
+  EXPECT_FALSE(result.unsafe_result);  // standby + healthy primary outvote
+  std::size_t skipped = 0;
+  for (const auto& job : result.jobs)
+    if (job.state == JobState::kSkipped) ++skipped;
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(Simulator, ActiveReplicationMasksFaultWithoutStateChange) {
+  const auto apps = one_chain(1, 100);
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kActiveReplication;
+  plan[0].replica_pes = {ProcessorId{0}, ProcessorId{0}, ProcessorId{0}};
+  plan[0].voter_pe = ProcessorId{0};
+  Rig rig(fixtures::test_arch(1), apps, plan, {false});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{0, 0, 1});
+  const SimResult result = rig.run(faults);
+  EXPECT_EQ(result.critical_entry[0], -1);
+  EXPECT_FALSE(result.unsafe_result);  // 2-of-3 majority intact
+  EXPECT_EQ(result.graph_response[0], 303);
+}
+
+TEST(Simulator, VotedMajorityFaultIsUnsafe) {
+  const auto apps = one_chain(1, 100);
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kActiveReplication;
+  plan[0].replica_pes = {ProcessorId{0}, ProcessorId{0}, ProcessorId{0}};
+  plan[0].voter_pe = ProcessorId{0};
+  Rig rig(fixtures::test_arch(1), apps, plan, {false});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{0, 0, 1});
+  faults.add(AttemptKey{1, 0, 1});
+  const SimResult result = rig.run(faults);
+  EXPECT_TRUE(result.unsafe_result);
+}
+
+TEST(Simulator, DroppingCancelsUnstartedLowCriticalityJobs) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("crit", 1, 100, 100, 1000, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("low", 1, 50, 50, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  Rig rig(fixtures::test_arch(1), apps, plan, {false, true});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{0, 0, 1});
+  const SimResult result = rig.run(faults);
+  // crit: [0,102] fault -> critical entry at 102 -> low cancelled before it
+  // ever starts (it is lower priority than crit) -> crit re-runs [102,204].
+  EXPECT_EQ(result.critical_entry[0], 102);
+  EXPECT_EQ(result.jobs[0].finish_time, 204);
+  EXPECT_EQ(result.jobs[1].state, JobState::kCancelled);
+  EXPECT_EQ(result.graph_response[1], -1);
+  // The dropped instance is reported as dropped, not as a deadline miss.
+  EXPECT_FALSE(result.deadline_miss);
+}
+
+TEST(Simulator, StartedDroppableJobRunsToCompletion) {
+  // The droppable job starts *before* the fault: it must complete.
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("crit", 2, 100, 100, 1000, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("low", 1, 500, 500, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  HardeningPlan plan(apps.task_count());
+  plan[1].technique = Technique::kReexecution;  // second crit task re-executes
+  plan[1].reexecutions = 1;
+  // crit on PE 0; low on PE 1 (starts at 0 there).
+  Rig rig(fixtures::test_arch(2), apps, plan, {false, true},
+          {ProcessorId{0}, ProcessorId{0}, ProcessorId{1}});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{1, 0, 1});
+  const SimResult result = rig.run(faults);
+  EXPECT_GT(result.critical_entry[0], 0);
+  EXPECT_EQ(result.jobs.back().state, JobState::kFinished);
+  EXPECT_EQ(result.graph_response[1], 500);
+}
+
+TEST(Simulator, CriticalStateResetsAtHyperperiod) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("crit", 1, 100, 100, 1000, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("low", 1, 50, 50, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  HardeningPlan plan(apps.task_count());
+  plan[0].technique = Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  Rig rig(fixtures::test_arch(1), apps, plan, {false, true});
+  sim::PlannedFaults faults;
+  faults.add(AttemptKey{0, 0, 1});  // fault only in the first hyperperiod
+  SimOptions options;
+  options.hyperperiods = 2;
+  const SimResult result = rig.run(faults, options);
+  ASSERT_EQ(result.critical_entry.size(), 2u);
+  EXPECT_EQ(result.critical_entry[0], 102);
+  EXPECT_EQ(result.critical_entry[1], -1);
+  // low's first instance cancelled, second instance runs.
+  EXPECT_EQ(result.jobs[2].state, JobState::kCancelled);
+  EXPECT_EQ(result.jobs[3].state, JobState::kFinished);
+  EXPECT_EQ(result.jobs[3].finish_time, 1000 + 102 + 50);
+}
+
+TEST(Simulator, StartInCriticalStateDropsFromTimeZero) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("crit", 1, 100, 100, 1000, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("low", 1, 50, 50, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false, true});
+  sim::NoFaults no_faults;
+  SimOptions options;
+  options.start_in_critical_state = true;
+  const SimResult result = rig.run(no_faults, options);
+  EXPECT_EQ(result.jobs[1].state, JobState::kCancelled);
+  EXPECT_EQ(result.graph_response[1], -1);
+  EXPECT_EQ(result.graph_response[0], 100);
+}
+
+TEST(Simulator, DeadlineMissIsDetected) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("g", 3, 400, 400, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  EXPECT_EQ(result.graph_response[0], 1200);
+  EXPECT_TRUE(result.deadline_miss);
+}
+
+TEST(Simulator, MultipleInstancesWithinHyperperiod) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(fixtures::chain_graph("fast", 1, 30, 30, 250, false, 1e-6));
+  graphs.push_back(fixtures::chain_graph("slow", 1, 100, 100, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  Rig rig(fixtures::test_arch(1), apps, HardeningPlan(apps.task_count()),
+          {false, false});
+  sim::NoFaults no_faults;
+  const SimResult result = rig.run(no_faults);
+  // fast: 4 instances; slow: 1.
+  std::size_t fast_jobs = 0;
+  for (const auto& job : result.jobs)
+    if (job.flat_task == 0) ++fast_jobs;
+  EXPECT_EQ(fast_jobs, 4u);
+  EXPECT_EQ(result.responses.size(), 5u);
+  EXPECT_EQ(result.graph_response[0], 30);
+}
+
+TEST(Simulator, ValidationErrors) {
+  const auto apps = one_chain(1, 100);
+  const auto system = hardening::apply_hardening(
+      apps, HardeningPlan(apps.task_count()),
+      {ProcessorId{0}}, 1);
+  const auto arch = fixtures::test_arch(1);
+  EXPECT_THROW(Simulator(arch, system, {}, sched::assign_priorities(system.apps)),
+               std::invalid_argument);
+  EXPECT_THROW(Simulator(arch, system, {false}, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include "ftmc/baseline/static_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmc/sched/priority.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using baseline::contingency_analysis;
+using baseline::enumerate_scenarios;
+using baseline::FaultScenario;
+using baseline::StaticSchedule;
+using baseline::synthesize_schedule;
+
+struct Rig {
+  model::Architecture arch;
+  hardening::HardenedSystem system;
+  std::vector<std::uint32_t> priorities;
+
+  Rig(const model::ApplicationSet& apps, const hardening::HardeningPlan& plan,
+      std::size_t pes, std::vector<model::ProcessorId> mapping = {})
+      : arch(fixtures::test_arch(pes)),
+        system(hardening::apply_hardening(
+            apps, plan,
+            mapping.empty()
+                ? std::vector<model::ProcessorId>(apps.task_count(),
+                                                  model::ProcessorId{0})
+                : mapping,
+            pes)),
+        priorities(sched::assign_priorities(system.apps)) {}
+};
+
+model::ApplicationSet two_graphs() {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("crit", 2, 100, 150, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("aux", 1, 50, 80, 500, true, 1.0));
+  return model::ApplicationSet{std::move(graphs)};
+}
+
+hardening::HardeningPlan reexec_plan(const model::ApplicationSet& apps,
+                                     std::initializer_list<int> ks) {
+  hardening::HardeningPlan plan(apps.task_count());
+  std::size_t i = 0;
+  for (int k : ks) {
+    if (k > 0) {
+      plan[i].technique = hardening::Technique::kReexecution;
+      plan[i].reexecutions = k;
+    }
+    ++i;
+  }
+  return plan;
+}
+
+TEST(ScenarioEnumeration, CountsFollowTheCombinatorics) {
+  const auto apps = two_graphs();
+  // crit0 and crit1 re-executable once each: jobs with budget = 2.
+  const Rig rig(apps, reexec_plan(apps, {1, 1, 0}), 1);
+  EXPECT_EQ(baseline::job_count(rig.system), 4u);  // 1+1 crit, 2 aux
+
+  // max_faults = 1: no-fault + one fault in either job = 3.
+  EXPECT_EQ(enumerate_scenarios(rig.system, 1).size(), 3u);
+  // max_faults = 2: + both fault = 4.
+  EXPECT_EQ(enumerate_scenarios(rig.system, 2).size(), 4u);
+  // k = 2 each: per job 0..2 with sum <= 2: 1 + 2 + 3 = 6.
+  const Rig deeper(apps, reexec_plan(apps, {2, 2, 0}), 1);
+  EXPECT_EQ(enumerate_scenarios(deeper.system, 2).size(), 6u);
+}
+
+TEST(ScenarioEnumeration, NoHardeningMeansOneScenario) {
+  const auto apps = two_graphs();
+  const Rig rig(apps, hardening::HardeningPlan(apps.task_count()), 1);
+  const auto scenarios = enumerate_scenarios(rig.system, 3);
+  ASSERT_EQ(scenarios.size(), 1u);
+  for (int extra : scenarios[0]) EXPECT_EQ(extra, 0);
+}
+
+TEST(ScenarioEnumeration, LimitGuardsExplosion) {
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("big", 8, 10, 20, 1000, false, 1e-6));
+  const model::ApplicationSet apps{std::move(graphs)};
+  hardening::HardeningPlan plan(apps.task_count());
+  for (auto& decision : plan) {
+    decision.technique = hardening::Technique::kReexecution;
+    decision.reexecutions = 2;
+  }
+  const Rig rig(apps, plan, 1);
+  EXPECT_THROW(enumerate_scenarios(rig.system, 8, /*limit=*/100),
+               std::length_error);
+}
+
+TEST(StaticScheduleTest, FaultFreeScheduleRespectsStructure) {
+  const auto apps = two_graphs();
+  const Rig rig(apps, reexec_plan(apps, {1, 1, 0}), 1);
+  const FaultScenario none(baseline::job_count(rig.system), 0);
+  const StaticSchedule schedule =
+      synthesize_schedule(rig.arch, rig.system, none, rig.priorities);
+  ASSERT_EQ(schedule.entries.size(), 4u);
+
+  // Non-preemptive: entries on the same PE never overlap.
+  std::map<std::uint32_t, std::vector<std::pair<model::Time, model::Time>>>
+      by_pe;
+  for (const auto& entry : schedule.entries) {
+    EXPECT_LE(entry.start + 1, entry.finish);
+    by_pe[entry.pe.value].push_back({entry.start, entry.finish});
+  }
+  for (auto& [pe, spans] : by_pe) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t s = 1; s < spans.size(); ++s)
+      EXPECT_LE(spans[s - 1].second, spans[s].first);
+  }
+  // Precedence: crit1 starts after crit0.
+  std::map<std::size_t, const baseline::ScheduleEntry*> by_flat_inst;
+  for (const auto& entry : schedule.entries)
+    if (entry.instance == 0) by_flat_inst[entry.flat_task] = &entry;
+  EXPECT_GE(by_flat_inst[1]->start, by_flat_inst[0]->finish);
+  // Releases respected: aux instance 1 not before 500.
+  for (const auto& entry : schedule.entries)
+    if (entry.flat_task == 2 && entry.instance == 1) {
+      EXPECT_GE(entry.start, 500);
+    }
+  EXPECT_TRUE(schedule.deadlines_met);
+}
+
+TEST(StaticScheduleTest, FaultsExtendTheScenarioSchedule) {
+  const auto apps = two_graphs();
+  const Rig rig(apps, reexec_plan(apps, {1, 1, 0}), 1);
+  const std::size_t jobs = baseline::job_count(rig.system);
+  const FaultScenario none(jobs, 0);
+  FaultScenario faulty(jobs, 0);
+  faulty[0] = 1;  // crit0 re-executes once
+  const auto base =
+      synthesize_schedule(rig.arch, rig.system, none, rig.priorities);
+  const auto extended =
+      synthesize_schedule(rig.arch, rig.system, faulty, rig.priorities);
+  EXPECT_GT(extended.makespan, base.makespan);
+  // The extension equals the extra attempt (wcet + dt = 152) on this
+  // single-PE chain-bound instance.
+  EXPECT_EQ(extended.makespan - base.makespan, 152);
+}
+
+TEST(StaticScheduleTest, ValidationErrors) {
+  const auto apps = two_graphs();
+  const Rig rig(apps, reexec_plan(apps, {1, 0, 0}), 1);
+  EXPECT_THROW(synthesize_schedule(rig.arch, rig.system, FaultScenario{},
+                                   rig.priorities),
+               std::invalid_argument);
+  const FaultScenario ok(baseline::job_count(rig.system), 0);
+  EXPECT_THROW(synthesize_schedule(rig.arch, rig.system, ok,
+                                   std::vector<std::uint32_t>{}),
+               std::invalid_argument);
+}
+
+TEST(Contingency, AggregatesAcrossScenarios) {
+  const auto apps = two_graphs();
+  const Rig rig(apps, reexec_plan(apps, {1, 1, 0}), 2,
+                {model::ProcessorId{0}, model::ProcessorId{0},
+                 model::ProcessorId{1}});
+  const auto result =
+      contingency_analysis(rig.arch, rig.system, 2, rig.priorities);
+  EXPECT_EQ(result.schedule_count, 4u);
+  EXPECT_EQ(result.table_entries, 4u * baseline::job_count(rig.system));
+  EXPECT_GT(result.worst_makespan, 0);
+  // Worst makespan dominates the fault-free one.
+  const auto base = synthesize_schedule(
+      rig.arch, rig.system,
+      FaultScenario(baseline::job_count(rig.system), 0), rig.priorities);
+  EXPECT_GE(result.worst_makespan, base.makespan);
+}
+
+TEST(Contingency, StaticTablesCannotDrop) {
+  // A load that only fits when the droppable graph is shed in the critical
+  // state: the dynamic analysis accepts it (with dropping), the static
+  // contingency tables do not (they must serve everything in all
+  // scenarios).
+  std::vector<model::TaskGraph> graphs;
+  graphs.push_back(
+      fixtures::chain_graph("crit", 2, 150, 200, 1000, false, 1e-6));
+  graphs.push_back(
+      fixtures::chain_graph("load", 2, 150, 150, 1000, true, 1.0));
+  const model::ApplicationSet apps{std::move(graphs)};
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  plan[1].technique = hardening::Technique::kReexecution;
+  plan[1].reexecutions = 1;
+  const Rig rig(apps, plan, 1);
+  const auto result =
+      contingency_analysis(rig.arch, rig.system, 2, rig.priorities);
+  EXPECT_FALSE(result.all_deadlines_met);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "ftmc/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using ftmc::util::ThreadPool;
+
+TEST(ThreadPool, SpawnsRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallel_for(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ParallelForRethrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 5)
+                                     throw std::logic_error("bad index");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 1000; ++i)
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 500'500);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      (void)pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace

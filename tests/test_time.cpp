@@ -1,0 +1,54 @@
+#include "ftmc/model/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace {
+
+using ftmc::model::hyperperiod;
+using ftmc::model::Time;
+
+TEST(Time, UnitRelations) {
+  EXPECT_EQ(ftmc::model::kMillisecond, 1000);
+  EXPECT_EQ(ftmc::model::kSecond, 1'000'000);
+}
+
+TEST(Time, ToMilliseconds) {
+  EXPECT_DOUBLE_EQ(ftmc::model::to_milliseconds(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(ftmc::model::to_milliseconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(ftmc::model::to_milliseconds(-2'000), -2.0);
+}
+
+TEST(Hyperperiod, SingleValue) {
+  const std::array<Time, 1> periods{42};
+  EXPECT_EQ(hyperperiod(periods), 42);
+}
+
+TEST(Hyperperiod, HarmonicSet) {
+  const std::array<Time, 3> periods{500, 1000, 2000};
+  EXPECT_EQ(hyperperiod(periods), 2000);
+}
+
+TEST(Hyperperiod, CoprimeSet) {
+  const std::array<Time, 2> periods{3, 7};
+  EXPECT_EQ(hyperperiod(periods), 21);
+}
+
+TEST(Hyperperiod, RepeatedValues) {
+  const std::array<Time, 3> periods{10, 10, 10};
+  EXPECT_EQ(hyperperiod(periods), 10);
+}
+
+TEST(Hyperperiod, RejectsEmpty) {
+  EXPECT_THROW(hyperperiod({}), std::invalid_argument);
+}
+
+TEST(Hyperperiod, RejectsNonPositive) {
+  const std::array<Time, 2> zero{0, 5};
+  EXPECT_THROW(hyperperiod(zero), std::invalid_argument);
+  const std::array<Time, 2> negative{-3, 5};
+  EXPECT_THROW(hyperperiod(negative), std::invalid_argument);
+}
+
+}  // namespace

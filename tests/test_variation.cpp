@@ -1,0 +1,106 @@
+#include "ftmc/dse/variation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ftmc;
+using dse::Chromosome;
+using dse::ChromosomeShape;
+using dse::crossover;
+using dse::mutate;
+using dse::random_chromosome;
+using dse::shape_ok;
+using dse::VariationOptions;
+
+const ChromosomeShape kShape{4, 3, 12, {}, {}};
+
+TEST(Crossover, GenesComeFromParents) {
+  util::Rng rng(1);
+  const Chromosome a = random_chromosome(kShape, rng);
+  const Chromosome b = random_chromosome(kShape, rng);
+  const Chromosome child = crossover(a, b, kShape, rng);
+  ASSERT_TRUE(shape_ok(child, kShape));
+  for (std::size_t p = 0; p < kShape.processors; ++p)
+    EXPECT_TRUE(child.allocation[p] == a.allocation[p] ||
+                child.allocation[p] == b.allocation[p]);
+  for (std::size_t g = 0; g < kShape.graphs; ++g)
+    EXPECT_TRUE(child.keep[g] == a.keep[g] || child.keep[g] == b.keep[g]);
+  for (std::size_t t = 0; t < kShape.tasks; ++t)
+    EXPECT_TRUE(child.tasks[t] == a.tasks[t] || child.tasks[t] == b.tasks[t]);
+}
+
+TEST(Crossover, MixesBothParents) {
+  util::Rng rng(2);
+  Chromosome a = random_chromosome(kShape, rng);
+  Chromosome b = random_chromosome(kShape, rng);
+  // Make parents fully distinguishable.
+  for (std::size_t t = 0; t < kShape.tasks; ++t) {
+    a.tasks[t].base_pe = 0;
+    b.tasks[t].base_pe = 1;
+  }
+  const Chromosome child = crossover(a, b, kShape, rng);
+  std::size_t from_a = 0, from_b = 0;
+  for (const auto& genes : child.tasks)
+    (genes.base_pe == 0 ? from_a : from_b) += 1;
+  EXPECT_GT(from_a, 0u);
+  EXPECT_GT(from_b, 0u);
+}
+
+TEST(Crossover, IncompatibleParentsThrow) {
+  util::Rng rng(3);
+  const Chromosome a = random_chromosome(kShape, rng);
+  const Chromosome b =
+      random_chromosome(ChromosomeShape{4, 3, 11, {}, {}}, rng);
+  EXPECT_THROW(crossover(a, b, kShape, rng), std::invalid_argument);
+}
+
+TEST(Mutate, StaysWellFormed) {
+  util::Rng rng(4);
+  VariationOptions options;
+  options.allocation_flip_rate = 0.5;
+  options.keep_flip_rate = 0.5;
+  options.task_mutation_rate = 0.9;
+  for (int trial = 0; trial < 100; ++trial) {
+    Chromosome chromosome = random_chromosome(kShape, rng);
+    mutate(chromosome, kShape, options, rng);
+    EXPECT_TRUE(shape_ok(chromosome, kShape));
+  }
+}
+
+TEST(Mutate, ZeroRatesChangeNothing) {
+  util::Rng rng(5);
+  Chromosome chromosome = random_chromosome(kShape, rng);
+  const Chromosome before = chromosome;
+  VariationOptions options;
+  options.allocation_flip_rate = 0.0;
+  options.keep_flip_rate = 0.0;
+  options.task_mutation_rate = 0.0;
+  mutate(chromosome, kShape, options, rng);
+  EXPECT_EQ(chromosome, before);
+}
+
+TEST(Mutate, HighRatesChangeSomething) {
+  util::Rng rng(6);
+  Chromosome chromosome = random_chromosome(kShape, rng);
+  const Chromosome before = chromosome;
+  VariationOptions options;
+  options.allocation_flip_rate = 1.0;  // every bit flips -> must differ
+  mutate(chromosome, kShape, options, rng);
+  EXPECT_NE(chromosome, before);
+  for (std::size_t p = 0; p < kShape.processors; ++p)
+    EXPECT_NE(chromosome.allocation[p], before.allocation[p]);
+}
+
+TEST(Mutate, Deterministic) {
+  util::Rng rng_a(7), rng_b(7);
+  Chromosome a = random_chromosome(kShape, rng_a);
+  Chromosome b = random_chromosome(kShape, rng_b);
+  ASSERT_EQ(a, b);
+  VariationOptions options;
+  mutate(a, kShape, options, rng_a);
+  mutate(b, kShape, options, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

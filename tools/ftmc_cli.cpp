@@ -1,0 +1,262 @@
+// ftmc — command-line front end.
+//
+//   ftmc info <system.ftmc>                  model summary
+//   ftmc analyze <system.ftmc>               Algorithm 1 on the candidate
+//   ftmc simulate <system.ftmc> [options]    Monte-Carlo fault injection
+//       --profiles=N (default 1000) --fault-prob=P (0.3) --seed=S (1)
+//   ftmc optimize <system.ftmc> [options]    GA design-space exploration
+//       --generations=N (60) --population=N (40) --seed=S (42)
+//       --no-dropping --power-only --out=<file>   (write best candidate)
+//
+// The system file format is documented in ftmc/io/text_format.hpp; `ftmc
+// optimize --out=` writes a full system + candidate file that `analyze` and
+// `simulate` accept.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/dse/ga.hpp"
+#include "ftmc/io/dot_export.hpp"
+#include "ftmc/io/text_format.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/util/table.hpp"
+
+using namespace ftmc;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: ftmc <command> <system.ftmc> [options]\n"
+      "commands:\n"
+      "  info      print a model summary\n"
+      "  dot       emit Graphviz (hardened view when a candidate exists)\n"
+      "  analyze   run Algorithm 1 on the file's candidate block\n"
+      "  simulate  Monte-Carlo fault injection on the candidate\n"
+      "            [--profiles=N] [--fault-prob=P] [--seed=S]\n"
+      "  optimize  genetic design-space exploration\n"
+      "            [--generations=N] [--population=N] [--seed=S]\n"
+      "            [--no-dropping] [--power-only] [--out=FILE]\n";
+  return 2;
+}
+
+/// --key=value option lookup.
+std::string option(int argc, char** argv, const std::string& key,
+                   const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 3; i < argc; ++i)
+    if (std::string(argv[i]).rfind(prefix, 0) == 0)
+      return std::string(argv[i]).substr(prefix.size());
+  return fallback;
+}
+
+bool flag(int argc, char** argv, const std::string& name) {
+  const std::string wanted = "--" + name;
+  for (int i = 3; i < argc; ++i)
+    if (wanted == argv[i]) return true;
+  return false;
+}
+
+core::Candidate require_candidate(const io::SystemSpec& spec) {
+  if (!spec.candidate.has_value())
+    throw std::runtime_error(
+        "the system file has no candidate block; add one or run "
+        "`ftmc optimize` first");
+  return *spec.candidate;
+}
+
+int cmd_dot(const io::SystemSpec& spec) {
+  if (spec.candidate.has_value()) {
+    const auto system = hardening::apply_hardening(
+        spec.apps, spec.candidate->plan, spec.candidate->base_mapping,
+        spec.arch.processor_count());
+    io::write_dot(std::cout, spec.arch, system);
+  } else {
+    io::write_dot(std::cout, spec.apps);
+  }
+  return 0;
+}
+
+int cmd_info(const io::SystemSpec& spec) {
+  std::cout << "platform: " << spec.arch.processor_count()
+            << " processors, bandwidth " << spec.arch.bandwidth()
+            << " bytes/us\n";
+  util::Table table("applications");
+  table.set_header({"name", "tasks", "period", "criticality",
+                    "total wcet"});
+  for (std::uint32_t g = 0; g < spec.apps.graph_count(); ++g) {
+    const auto& graph = spec.apps.graph(model::GraphId{g});
+    table.add_row({graph.name(), util::Table::cell(graph.task_count()),
+                   io::format_time(graph.period()),
+                   graph.droppable()
+                       ? "droppable (sv " +
+                             util::Table::cell(graph.service_value(), 1) + ")"
+                       : "critical (f " +
+                             util::Table::cell(graph.reliability_constraint(),
+                                               14) +
+                             ")",
+                   io::format_time(graph.total_wcet())});
+  }
+  table.print(std::cout);
+  std::cout << "hyperperiod: " << io::format_time(spec.apps.hyperperiod())
+            << "\ncandidate block: "
+            << (spec.candidate.has_value() ? "present" : "absent") << '\n';
+  return 0;
+}
+
+int cmd_analyze(const io::SystemSpec& spec) {
+  const core::Candidate candidate = require_candidate(spec);
+  const sched::HolisticAnalysis backend;
+  const core::Evaluator evaluator(spec.arch, spec.apps, backend);
+  if (const auto error = evaluator.structural_error(candidate);
+      !error.empty())
+    throw std::runtime_error("candidate invalid: " + error);
+  const core::Evaluation evaluation = evaluator.evaluate(candidate);
+
+  std::cout << "feasible:             "
+            << (evaluation.feasible() ? "yes" : "no") << '\n'
+            << "  mapping valid:      "
+            << (evaluation.mapping_valid ? "yes" : "no") << '\n'
+            << "  reliability (f_t):  "
+            << (evaluation.reliability_ok ? "met" : "VIOLATED") << '\n'
+            << "  normal state:       "
+            << (evaluation.normal_schedulable ? "schedulable"
+                                              : "NOT schedulable")
+            << '\n'
+            << "  critical state:     "
+            << (evaluation.critical_schedulable ? "schedulable"
+                                                : "NOT schedulable")
+            << '\n'
+            << "expected power:       " << evaluation.power << " mW\n"
+            << "service after drops:  " << evaluation.service << '\n'
+            << "transition scenarios: " << evaluation.scenario_count << '\n';
+  util::Table table("\nWCRT bounds (Algorithm 1)");
+  table.set_header({"application", "WCRT", "deadline", "note"});
+  for (std::uint32_t g = 0; g < spec.apps.graph_count(); ++g) {
+    const auto& graph = spec.apps.graph(model::GraphId{g});
+    const auto wcrt = evaluation.graph_wcrt[g];
+    table.add_row({graph.name(),
+                   wcrt >= sched::kUnschedulable ? "unbounded"
+                                                 : io::format_time(wcrt),
+                   io::format_time(graph.deadline()),
+                   candidate.drop[g] ? "normal state only (dropped)" : ""});
+  }
+  table.print(std::cout);
+  return evaluation.feasible() ? 0 : 1;
+}
+
+int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
+  const core::Candidate candidate = require_candidate(spec);
+  const auto system = hardening::apply_hardening(
+      spec.apps, candidate.plan, candidate.base_mapping,
+      spec.arch.processor_count());
+  const auto priorities = sched::assign_priorities(system.apps);
+  sim::MonteCarloOptions options;
+  options.profiles =
+      std::stoul(option(argc, argv, "profiles", "1000"));
+  options.fault_probability =
+      std::stod(option(argc, argv, "fault-prob", "0.3"));
+  options.seed = std::stoull(option(argc, argv, "seed", "1"));
+  const auto result = sim::monte_carlo_wcrt(spec.arch, system,
+                                            candidate.drop, priorities,
+                                            options);
+  util::Table table("Monte-Carlo response distribution (" +
+                    std::to_string(options.profiles) + " profiles, p_fault " +
+                    option(argc, argv, "fault-prob", "0.3") + ")");
+  table.set_header({"application", "mean", "p95", "p99", "max", "deadline",
+                    "misses", "dropped"});
+  for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
+    const auto& graph = system.apps.graph(model::GraphId{g});
+    const auto& dist = result.distribution[g];
+    if (dist.observations == 0) {
+      table.add_row({graph.name(), "always dropped", "", "", "",
+                     io::format_time(graph.deadline()), "",
+                     util::Table::cell(dist.dropped)});
+      continue;
+    }
+    table.add_row({graph.name(),
+                   io::format_time(static_cast<model::Time>(dist.mean)),
+                   io::format_time(dist.p95), io::format_time(dist.p99),
+                   io::format_time(dist.max),
+                   io::format_time(graph.deadline()),
+                   util::Table::cell(dist.deadline_misses),
+                   util::Table::cell(dist.dropped)});
+  }
+  table.print(std::cout);
+  std::cout << "profiles with a deadline miss: "
+            << result.deadline_miss_profiles << " / " << options.profiles
+            << '\n';
+  return 0;
+}
+
+int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
+  const sched::HolisticAnalysis backend;
+  dse::GeneticOptimizer optimizer(spec.arch, spec.apps, backend);
+  dse::GaOptions options;
+  options.generations =
+      std::stoul(option(argc, argv, "generations", "60"));
+  options.population =
+      std::stoul(option(argc, argv, "population", "40"));
+  options.offspring = options.population;
+  options.seed = std::stoull(option(argc, argv, "seed", "42"));
+  options.optimize_service = !flag(argc, argv, "power-only");
+  if (flag(argc, argv, "no-dropping")) {
+    options.decoder.allow_dropping = false;
+    options.evaluator.allow_dropping = false;
+  }
+  options.on_generation = [&](const dse::GenerationStats& stats) {
+    if (stats.generation % 10 == 0)
+      std::cerr << "generation " << stats.generation << ", best power "
+                << stats.best_feasible_power << " mW\n";
+  };
+
+  const auto result = optimizer.run(options);
+  if (result.pareto.empty()) {
+    std::cout << "no feasible design found (" << result.evaluations
+              << " evaluations) — raise --generations/--population\n";
+    return 1;
+  }
+  util::Table table("Pareto-optimal designs");
+  table.set_header({"power [mW]", "service"});
+  const dse::Individual* best = &result.pareto.front();
+  for (const auto& individual : result.pareto) {
+    table.add_row({util::Table::cell(individual.evaluation.power, 2),
+                   util::Table::cell(individual.evaluation.service, 1)});
+    if (individual.evaluation.power < best->evaluation.power)
+      best = &individual;
+  }
+  table.print(std::cout);
+  std::cout << result.evaluations << " evaluations\n";
+
+  const std::string out_path = option(argc, argv, "out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot write '" + out_path + "'");
+    io::write_system(out, spec.arch, spec.apps, &best->candidate);
+    std::cout << "lowest-power design written to " << out_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  try {
+    const io::SystemSpec spec = io::parse_system_file(argv[2]);
+    if (command == "info") return cmd_info(spec);
+    if (command == "dot") return cmd_dot(spec);
+    if (command == "analyze") return cmd_analyze(spec);
+    if (command == "simulate") return cmd_simulate(spec, argc, argv);
+    if (command == "optimize") return cmd_optimize(spec, argc, argv);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
