@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dropping.dir/bench_dropping.cpp.o"
+  "CMakeFiles/bench_dropping.dir/bench_dropping.cpp.o.d"
+  "bench_dropping"
+  "bench_dropping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dropping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hardening_ablation.dir/bench_hardening_ablation.cpp.o"
+  "CMakeFiles/bench_hardening_ablation.dir/bench_hardening_ablation.cpp.o.d"
+  "bench_hardening_ablation"
+  "bench_hardening_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardening_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

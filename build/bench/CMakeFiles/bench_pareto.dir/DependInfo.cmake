@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pareto.cpp" "bench/CMakeFiles/bench_pareto.dir/bench_pareto.cpp.o" "gcc" "bench/CMakeFiles/bench_pareto.dir/bench_pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftmc/dse/CMakeFiles/ftmc_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/sim/CMakeFiles/ftmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/benchmarks/CMakeFiles/ftmc_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/core/CMakeFiles/ftmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/sched/CMakeFiles/ftmc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/hardening/CMakeFiles/ftmc_hardening.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/baseline/CMakeFiles/ftmc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/model/CMakeFiles/ftmc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/util/CMakeFiles/ftmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

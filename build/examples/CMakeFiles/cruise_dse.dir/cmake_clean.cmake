@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cruise_dse.dir/cruise_dse.cpp.o"
+  "CMakeFiles/cruise_dse.dir/cruise_dse.cpp.o.d"
+  "cruise_dse"
+  "cruise_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cruise_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

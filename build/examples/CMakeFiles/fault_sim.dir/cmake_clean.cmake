@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_sim.dir/fault_sim.cpp.o"
+  "CMakeFiles/fault_sim.dir/fault_sim.cpp.o.d"
+  "fault_sim"
+  "fault_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_power_tradeoff.dir/service_power_tradeoff.cpp.o"
+  "CMakeFiles/service_power_tradeoff.dir/service_power_tradeoff.cpp.o.d"
+  "service_power_tradeoff"
+  "service_power_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_power_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_baseline.dir/static_schedule.cpp.o"
+  "CMakeFiles/ftmc_baseline.dir/static_schedule.cpp.o.d"
+  "libftmc_baseline.a"
+  "libftmc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_benchmarks.dir/cruise.cpp.o"
+  "CMakeFiles/ftmc_benchmarks.dir/cruise.cpp.o.d"
+  "CMakeFiles/ftmc_benchmarks.dir/dream.cpp.o"
+  "CMakeFiles/ftmc_benchmarks.dir/dream.cpp.o.d"
+  "CMakeFiles/ftmc_benchmarks.dir/platforms.cpp.o"
+  "CMakeFiles/ftmc_benchmarks.dir/platforms.cpp.o.d"
+  "CMakeFiles/ftmc_benchmarks.dir/synth.cpp.o"
+  "CMakeFiles/ftmc_benchmarks.dir/synth.cpp.o.d"
+  "libftmc_benchmarks.a"
+  "libftmc_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

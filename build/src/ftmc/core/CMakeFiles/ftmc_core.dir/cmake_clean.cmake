@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_core.dir/evaluator.cpp.o"
+  "CMakeFiles/ftmc_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/exec_model.cpp.o"
+  "CMakeFiles/ftmc_core.dir/exec_model.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/mc_analysis.cpp.o"
+  "CMakeFiles/ftmc_core.dir/mc_analysis.cpp.o.d"
+  "CMakeFiles/ftmc_core.dir/objectives.cpp.o"
+  "CMakeFiles/ftmc_core.dir/objectives.cpp.o.d"
+  "libftmc_core.a"
+  "libftmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftmc/dse/chromosome.cpp" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/chromosome.cpp.o" "gcc" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/chromosome.cpp.o.d"
+  "/root/repo/src/ftmc/dse/decoder.cpp" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/decoder.cpp.o" "gcc" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/decoder.cpp.o.d"
+  "/root/repo/src/ftmc/dse/ga.cpp" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/ga.cpp.o" "gcc" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/ga.cpp.o.d"
+  "/root/repo/src/ftmc/dse/spea2.cpp" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/spea2.cpp.o" "gcc" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/spea2.cpp.o.d"
+  "/root/repo/src/ftmc/dse/variation.cpp" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/variation.cpp.o" "gcc" "src/ftmc/dse/CMakeFiles/ftmc_dse.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftmc/core/CMakeFiles/ftmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/util/CMakeFiles/ftmc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/sched/CMakeFiles/ftmc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/hardening/CMakeFiles/ftmc_hardening.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/model/CMakeFiles/ftmc_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

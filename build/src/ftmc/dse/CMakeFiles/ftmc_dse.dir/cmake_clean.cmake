@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_dse.dir/chromosome.cpp.o"
+  "CMakeFiles/ftmc_dse.dir/chromosome.cpp.o.d"
+  "CMakeFiles/ftmc_dse.dir/decoder.cpp.o"
+  "CMakeFiles/ftmc_dse.dir/decoder.cpp.o.d"
+  "CMakeFiles/ftmc_dse.dir/ga.cpp.o"
+  "CMakeFiles/ftmc_dse.dir/ga.cpp.o.d"
+  "CMakeFiles/ftmc_dse.dir/spea2.cpp.o"
+  "CMakeFiles/ftmc_dse.dir/spea2.cpp.o.d"
+  "CMakeFiles/ftmc_dse.dir/variation.cpp.o"
+  "CMakeFiles/ftmc_dse.dir/variation.cpp.o.d"
+  "libftmc_dse.a"
+  "libftmc_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

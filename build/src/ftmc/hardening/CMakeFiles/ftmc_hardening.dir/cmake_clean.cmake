@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_hardening.dir/reliability.cpp.o"
+  "CMakeFiles/ftmc_hardening.dir/reliability.cpp.o.d"
+  "CMakeFiles/ftmc_hardening.dir/transform.cpp.o"
+  "CMakeFiles/ftmc_hardening.dir/transform.cpp.o.d"
+  "libftmc_hardening.a"
+  "libftmc_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_io.dir/dot_export.cpp.o"
+  "CMakeFiles/ftmc_io.dir/dot_export.cpp.o.d"
+  "CMakeFiles/ftmc_io.dir/text_format.cpp.o"
+  "CMakeFiles/ftmc_io.dir/text_format.cpp.o.d"
+  "libftmc_io.a"
+  "libftmc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftmc/model/application_set.cpp" "src/ftmc/model/CMakeFiles/ftmc_model.dir/application_set.cpp.o" "gcc" "src/ftmc/model/CMakeFiles/ftmc_model.dir/application_set.cpp.o.d"
+  "/root/repo/src/ftmc/model/architecture.cpp" "src/ftmc/model/CMakeFiles/ftmc_model.dir/architecture.cpp.o" "gcc" "src/ftmc/model/CMakeFiles/ftmc_model.dir/architecture.cpp.o.d"
+  "/root/repo/src/ftmc/model/mapping.cpp" "src/ftmc/model/CMakeFiles/ftmc_model.dir/mapping.cpp.o" "gcc" "src/ftmc/model/CMakeFiles/ftmc_model.dir/mapping.cpp.o.d"
+  "/root/repo/src/ftmc/model/task_graph.cpp" "src/ftmc/model/CMakeFiles/ftmc_model.dir/task_graph.cpp.o" "gcc" "src/ftmc/model/CMakeFiles/ftmc_model.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftmc/util/CMakeFiles/ftmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_model.dir/application_set.cpp.o"
+  "CMakeFiles/ftmc_model.dir/application_set.cpp.o.d"
+  "CMakeFiles/ftmc_model.dir/architecture.cpp.o"
+  "CMakeFiles/ftmc_model.dir/architecture.cpp.o.d"
+  "CMakeFiles/ftmc_model.dir/mapping.cpp.o"
+  "CMakeFiles/ftmc_model.dir/mapping.cpp.o.d"
+  "CMakeFiles/ftmc_model.dir/task_graph.cpp.o"
+  "CMakeFiles/ftmc_model.dir/task_graph.cpp.o.d"
+  "libftmc_model.a"
+  "libftmc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

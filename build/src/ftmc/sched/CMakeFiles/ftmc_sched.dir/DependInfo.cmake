@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftmc/sched/analysis.cpp" "src/ftmc/sched/CMakeFiles/ftmc_sched.dir/analysis.cpp.o" "gcc" "src/ftmc/sched/CMakeFiles/ftmc_sched.dir/analysis.cpp.o.d"
+  "/root/repo/src/ftmc/sched/holistic.cpp" "src/ftmc/sched/CMakeFiles/ftmc_sched.dir/holistic.cpp.o" "gcc" "src/ftmc/sched/CMakeFiles/ftmc_sched.dir/holistic.cpp.o.d"
+  "/root/repo/src/ftmc/sched/priority.cpp" "src/ftmc/sched/CMakeFiles/ftmc_sched.dir/priority.cpp.o" "gcc" "src/ftmc/sched/CMakeFiles/ftmc_sched.dir/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftmc/model/CMakeFiles/ftmc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/hardening/CMakeFiles/ftmc_hardening.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/util/CMakeFiles/ftmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

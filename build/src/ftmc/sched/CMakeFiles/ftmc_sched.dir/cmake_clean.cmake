@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_sched.dir/analysis.cpp.o"
+  "CMakeFiles/ftmc_sched.dir/analysis.cpp.o.d"
+  "CMakeFiles/ftmc_sched.dir/holistic.cpp.o"
+  "CMakeFiles/ftmc_sched.dir/holistic.cpp.o.d"
+  "CMakeFiles/ftmc_sched.dir/priority.cpp.o"
+  "CMakeFiles/ftmc_sched.dir/priority.cpp.o.d"
+  "libftmc_sched.a"
+  "libftmc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftmc/sim/adhoc.cpp" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/adhoc.cpp.o" "gcc" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/adhoc.cpp.o.d"
+  "/root/repo/src/ftmc/sim/monte_carlo.cpp" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/monte_carlo.cpp.o" "gcc" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/ftmc/sim/simulator.cpp" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/simulator.cpp.o" "gcc" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/ftmc/sim/trace.cpp" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/trace.cpp.o" "gcc" "src/ftmc/sim/CMakeFiles/ftmc_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ftmc/model/CMakeFiles/ftmc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/hardening/CMakeFiles/ftmc_hardening.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/core/CMakeFiles/ftmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/util/CMakeFiles/ftmc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftmc/sched/CMakeFiles/ftmc_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_sim.dir/adhoc.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/adhoc.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ftmc_sim.dir/trace.cpp.o"
+  "CMakeFiles/ftmc_sim.dir/trace.cpp.o.d"
+  "libftmc_sim.a"
+  "libftmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

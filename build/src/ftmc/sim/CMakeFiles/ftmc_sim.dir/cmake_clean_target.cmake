@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftmc_sim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftmc/util/log.cpp" "src/ftmc/util/CMakeFiles/ftmc_util.dir/log.cpp.o" "gcc" "src/ftmc/util/CMakeFiles/ftmc_util.dir/log.cpp.o.d"
+  "/root/repo/src/ftmc/util/rng.cpp" "src/ftmc/util/CMakeFiles/ftmc_util.dir/rng.cpp.o" "gcc" "src/ftmc/util/CMakeFiles/ftmc_util.dir/rng.cpp.o.d"
+  "/root/repo/src/ftmc/util/stats.cpp" "src/ftmc/util/CMakeFiles/ftmc_util.dir/stats.cpp.o" "gcc" "src/ftmc/util/CMakeFiles/ftmc_util.dir/stats.cpp.o.d"
+  "/root/repo/src/ftmc/util/table.cpp" "src/ftmc/util/CMakeFiles/ftmc_util.dir/table.cpp.o" "gcc" "src/ftmc/util/CMakeFiles/ftmc_util.dir/table.cpp.o.d"
+  "/root/repo/src/ftmc/util/thread_pool.cpp" "src/ftmc/util/CMakeFiles/ftmc_util.dir/thread_pool.cpp.o" "gcc" "src/ftmc/util/CMakeFiles/ftmc_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

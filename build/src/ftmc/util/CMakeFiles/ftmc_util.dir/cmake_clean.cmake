@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc_util.dir/log.cpp.o"
+  "CMakeFiles/ftmc_util.dir/log.cpp.o.d"
+  "CMakeFiles/ftmc_util.dir/rng.cpp.o"
+  "CMakeFiles/ftmc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ftmc_util.dir/stats.cpp.o"
+  "CMakeFiles/ftmc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ftmc_util.dir/table.cpp.o"
+  "CMakeFiles/ftmc_util.dir/table.cpp.o.d"
+  "CMakeFiles/ftmc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ftmc_util.dir/thread_pool.cpp.o.d"
+  "libftmc_util.a"
+  "libftmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftmc_util.
+# This may be replaced when dependencies are built.

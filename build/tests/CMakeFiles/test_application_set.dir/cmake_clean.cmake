@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_application_set.dir/test_application_set.cpp.o"
+  "CMakeFiles/test_application_set.dir/test_application_set.cpp.o.d"
+  "test_application_set"
+  "test_application_set.pdb"
+  "test_application_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_application_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

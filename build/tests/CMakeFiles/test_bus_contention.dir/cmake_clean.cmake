@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_contention.dir/test_bus_contention.cpp.o"
+  "CMakeFiles/test_bus_contention.dir/test_bus_contention.cpp.o.d"
+  "test_bus_contention"
+  "test_bus_contention.pdb"
+  "test_bus_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_model.dir/test_exec_model.cpp.o"
+  "CMakeFiles/test_exec_model.dir/test_exec_model.cpp.o.d"
+  "test_exec_model"
+  "test_exec_model.pdb"
+  "test_exec_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_safety.dir/test_exhaustive_safety.cpp.o"
+  "CMakeFiles/test_exhaustive_safety.dir/test_exhaustive_safety.cpp.o.d"
+  "test_exhaustive_safety"
+  "test_exhaustive_safety.pdb"
+  "test_exhaustive_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardening_transform.dir/test_hardening_transform.cpp.o"
+  "CMakeFiles/test_hardening_transform.dir/test_hardening_transform.cpp.o.d"
+  "test_hardening_transform"
+  "test_hardening_transform.pdb"
+  "test_hardening_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardening_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

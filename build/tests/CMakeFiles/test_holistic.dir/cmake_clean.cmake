@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_holistic.dir/test_holistic.cpp.o"
+  "CMakeFiles/test_holistic.dir/test_holistic.cpp.o.d"
+  "test_holistic"
+  "test_holistic.pdb"
+  "test_holistic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_holistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_analysis.dir/test_mc_analysis.cpp.o"
+  "CMakeFiles/test_mc_analysis.dir/test_mc_analysis.cpp.o.d"
+  "test_mc_analysis"
+  "test_mc_analysis.pdb"
+  "test_mc_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

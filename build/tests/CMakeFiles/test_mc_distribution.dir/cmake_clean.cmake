@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_distribution.dir/test_mc_distribution.cpp.o"
+  "CMakeFiles/test_mc_distribution.dir/test_mc_distribution.cpp.o.d"
+  "test_mc_distribution"
+  "test_mc_distribution.pdb"
+  "test_mc_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objectives_dropping.dir/test_objectives_dropping.cpp.o"
+  "CMakeFiles/test_objectives_dropping.dir/test_objectives_dropping.cpp.o.d"
+  "test_objectives_dropping"
+  "test_objectives_dropping.pdb"
+  "test_objectives_dropping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objectives_dropping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_ablation.dir/test_policy_ablation.cpp.o"
+  "CMakeFiles/test_policy_ablation.dir/test_policy_ablation.cpp.o.d"
+  "test_policy_ablation"
+  "test_policy_ablation.pdb"
+  "test_policy_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_release_cutoff.dir/test_release_cutoff.cpp.o"
+  "CMakeFiles/test_release_cutoff.dir/test_release_cutoff.cpp.o.d"
+  "test_release_cutoff"
+  "test_release_cutoff.pdb"
+  "test_release_cutoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_release_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safety_property.dir/test_safety_property.cpp.o"
+  "CMakeFiles/test_safety_property.dir/test_safety_property.cpp.o.d"
+  "test_safety_property"
+  "test_safety_property.pdb"
+  "test_safety_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safety_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spea2.dir/test_spea2.cpp.o"
+  "CMakeFiles/test_spea2.dir/test_spea2.cpp.o.d"
+  "test_spea2"
+  "test_spea2.pdb"
+  "test_spea2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spea2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_baseline.dir/test_static_baseline.cpp.o"
+  "CMakeFiles/test_static_baseline.dir/test_static_baseline.cpp.o.d"
+  "test_static_baseline"
+  "test_static_baseline.pdb"
+  "test_static_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

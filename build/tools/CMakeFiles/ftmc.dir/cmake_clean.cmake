@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftmc.dir/ftmc_cli.cpp.o"
+  "CMakeFiles/ftmc.dir/ftmc_cli.cpp.o.d"
+  "ftmc"
+  "ftmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
