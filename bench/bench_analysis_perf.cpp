@@ -6,11 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/core/evaluator.hpp"
 #include "ftmc/core/mc_analysis.hpp"
 #include "ftmc/dse/decoder.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sim/simulator.hpp"
+#include "ftmc/util/thread_pool.hpp"
 
 namespace {
 
@@ -75,6 +77,30 @@ void BM_McAnalysisProposed(benchmark::State& state) {
 }
 BENCHMARK(BM_McAnalysisProposed)->Arg(12)->Arg(24)->Arg(48)->Arg(96);
 
+/// Same analysis with the transition scenarios fanned out over a thread
+/// pool (results bitwise identical; see tests/test_parallel_analysis.cpp).
+void BM_McAnalysisProposedParallel(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(backend);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis.analyze(instance.arch, instance.system,
+                         instance.candidate.drop,
+                         core::McAnalysis::Mode::kProposed, &pool));
+  }
+  state.SetLabel(std::to_string(instance.system.apps.task_count()) +
+                 " tasks, " + std::to_string(pool.thread_count()) +
+                 " threads");
+}
+BENCHMARK(BM_McAnalysisProposedParallel)
+    ->Args({48, 2})
+    ->Args({48, 4})
+    ->Args({96, 2})
+    ->Args({96, 4})
+    ->Args({96, 8});
+
 void BM_SimulatorHyperperiod(benchmark::State& state) {
   const Instance instance = make_instance(state.range(0));
   const auto priorities = sched::assign_priorities(instance.system.apps);
@@ -98,6 +124,35 @@ void BM_FullCandidateEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullCandidateEvaluation)->Arg(24)->Arg(48);
+
+/// Steady-state hit path of the evaluation cache: after the first
+/// iteration every lookup is a hit, so this measures hash + sharded-map
+/// lookup + Evaluation copy — the cost a converged DSE pays per duplicate
+/// offspring instead of a full Algorithm-1 rerun.
+void BM_FullCandidateEvaluationCached(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  const sched::HolisticAnalysis backend;
+  core::EvaluationCache cache;
+  core::Evaluator::Options options;
+  options.cache = &cache;
+  const core::Evaluator evaluator(instance.arch, instance.apps, backend,
+                                  options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(instance.candidate));
+  }
+  state.SetLabel("hit rate " +
+                 std::to_string(cache.stats().hit_rate()).substr(0, 4));
+}
+BENCHMARK(BM_FullCandidateEvaluationCached)->Arg(24)->Arg(48);
+
+/// The key computation alone (content hash of the decoded candidate).
+void BM_CandidateHash(benchmark::State& state) {
+  const Instance instance = make_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::candidate_hash(instance.candidate));
+  }
+}
+BENCHMARK(BM_CandidateHash)->Arg(48)->Arg(96);
 
 }  // namespace
 

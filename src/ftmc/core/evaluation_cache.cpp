@@ -1,0 +1,76 @@
+#include "ftmc/core/evaluation_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ftmc::core {
+
+EvaluationCache::EvaluationCache(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0)
+    throw std::invalid_argument("EvaluationCache: zero capacity");
+  if (shards == 0) throw std::invalid_argument("EvaluationCache: zero shards");
+  const std::size_t shard_count = std::bit_ceil(shards);
+  capacity_ = std::max(capacity, shard_count);  // >= 1 entry per shard
+  shard_capacity_ = capacity_ / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<Evaluation> EvaluationCache::find(std::uint64_t key,
+                                                const Candidate& candidate) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.table.find(key);
+  if (it == shard.table.end() || !(it->second.candidate == candidate)) {
+    // Absent, or a 64-bit collision between distinct candidates: both are
+    // misses — the caller recomputes, correctness is never at stake.
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  return it->second.evaluation;
+}
+
+void EvaluationCache::insert(std::uint64_t key, const Candidate& candidate,
+                             const Evaluation& evaluation) {
+  Shard& shard = shard_of(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.table.find(key);
+  if (it != shard.table.end()) {
+    it->second = Entry{candidate, evaluation};
+    return;
+  }
+  if (shard.table.size() >= shard_capacity_) {
+    // Bounded shard: drop an arbitrary resident entry.  The DSE working set
+    // is dominated by the recent archive, and a wrong eviction only costs
+    // one recomputation.
+    shard.table.erase(shard.table.begin());
+    ++shard.evictions;
+  }
+  shard.table.emplace(key, Entry{candidate, evaluation});
+  ++shard.insertions;
+}
+
+CacheStats EvaluationCache::stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->table.size();
+  }
+  return stats;
+}
+
+void EvaluationCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->table.clear();
+  }
+}
+
+}  // namespace ftmc::core

@@ -4,7 +4,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ftmc/core/evaluation_cache.hpp"
+#include "ftmc/util/hash.hpp"
+
 namespace ftmc::core {
+
+std::uint64_t candidate_hash(const Candidate& candidate, std::uint64_t seed) {
+  util::Fnv1aHasher hasher(seed);
+  hasher.feed_bits(candidate.allocation);
+  hasher.feed_bits(candidate.drop);
+  hasher.feed(static_cast<std::uint64_t>(candidate.plan.size()));
+  for (const hardening::TaskHardening& decision : candidate.plan) {
+    hasher.feed(static_cast<std::uint8_t>(decision.technique));
+    hasher.feed(decision.reexecutions);
+    hasher.feed_range(std::span<const model::ProcessorId>(
+        decision.replica_pes));
+    hasher.feed(decision.voter_pe);
+  }
+  hasher.feed_range(std::span<const model::ProcessorId>(
+      candidate.base_mapping));
+  return hasher.digest();
+}
 
 Evaluator::Evaluator(const model::Architecture& arch,
                      const model::ApplicationSet& apps,
@@ -43,7 +63,43 @@ std::string Evaluator::structural_error(const Candidate& candidate) const {
   return {};
 }
 
+std::uint64_t Evaluator::options_fingerprint() const {
+  util::Fnv1aHasher hasher;
+  hasher.feed(static_cast<std::uint8_t>(options_.mode));
+  hasher.feed(static_cast<std::uint8_t>(options_.policy));
+  hasher.feed(options_.infeasibility_penalty);
+  hasher.feed(options_.allow_dropping);
+  return hasher.digest();
+}
+
+std::uint64_t Evaluator::candidate_key(const Candidate& candidate) const {
+  return candidate_hash(candidate, options_fingerprint());
+}
+
 Evaluation Evaluator::evaluate(const Candidate& candidate) const {
+  return evaluate(candidate, nullptr);
+}
+
+Evaluation Evaluator::evaluate(const Candidate& candidate,
+                               bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (options_.cache == nullptr) return evaluate_uncached(candidate);
+
+  const std::uint64_t key = candidate_key(candidate);
+  if (std::optional<Evaluation> cached =
+          options_.cache->find(key, candidate)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *std::move(cached);
+  }
+  // Concurrent workers evaluating the same fresh candidate may both miss
+  // and compute; the duplicate insert is a benign overwrite with an
+  // identical value (evaluation is deterministic).
+  Evaluation evaluation = evaluate_uncached(candidate);
+  options_.cache->insert(key, candidate, evaluation);
+  return evaluation;
+}
+
+Evaluation Evaluator::evaluate_uncached(const Candidate& candidate) const {
   if (const std::string error = structural_error(candidate); !error.empty())
     throw std::invalid_argument("Evaluator::evaluate: " + error);
 
@@ -78,8 +134,8 @@ Evaluation Evaluator::evaluate(const Candidate& candidate) const {
     drop.assign(apps_->graph_count(), false);
 
   const McAnalysis analysis(*backend_, options_.policy);
-  const McAnalysisResult verdict =
-      analysis.analyze(*arch_, system, drop, options_.mode);
+  const McAnalysisResult verdict = analysis.analyze(
+      *arch_, system, drop, options_.mode, options_.scenario_pool);
   evaluation.normal_schedulable = verdict.normal_schedulable;
   evaluation.critical_schedulable = verdict.critical_schedulable;
   evaluation.scenario_count = verdict.scenario_count;

@@ -14,6 +14,8 @@
 
 namespace ftmc::core {
 
+class EvaluationCache;
+
 /// A decoded design point (the GA's phenotype, Figure 4): which PEs are
 /// powered, which droppable applications are sacrificed in the critical
 /// state, how every task is hardened, and where every original task runs.
@@ -22,7 +24,15 @@ struct Candidate {
   DropSet drop;                                  ///< per application
   hardening::HardeningPlan plan;                 ///< per original task
   std::vector<model::ProcessorId> base_mapping;  ///< per original task
+
+  bool operator==(const Candidate&) const = default;
 };
+
+/// Stable content hash of a candidate (ftmc::util::Fnv1aHasher over every
+/// field, length-prefixed), seeded with `seed`.  Identical across runs for
+/// identical candidates; the basis of EvaluationCache keys.
+std::uint64_t candidate_hash(const Candidate& candidate,
+                             std::uint64_t seed = 0);
 
 /// Evaluation verdict + objectives.
 struct Evaluation {
@@ -58,6 +68,17 @@ class Evaluator {
     /// When false, candidates whose drop set is non-empty are rejected
     /// (used for the "no task dropping" ablation of Section 5.2).
     bool allow_dropping = true;
+    /// Shared memoization table for evaluate(); internally synchronized, so
+    /// one cache may serve many concurrent evaluator threads.  The key mixes
+    /// in a fingerprint of these options, so evaluators with different
+    /// modes/policies can safely share one cache.  Must outlive the
+    /// evaluator; null disables memoization.
+    EvaluationCache* cache = nullptr;
+    /// Runs Algorithm 1's independent transition scenarios concurrently on
+    /// this pool (see McAnalysis::analyze); results stay bitwise identical
+    /// to the sequential path.  Must outlive the evaluator; null keeps the
+    /// analysis sequential.
+    util::ThreadPool* scenario_pool = nullptr;
   };
 
   /// All references must outlive the evaluator.
@@ -77,10 +98,25 @@ class Evaluator {
   std::string structural_error(const Candidate& candidate) const;
 
   /// Full evaluation.  Throws std::invalid_argument on structural errors
-  /// (the DSE decoder repairs candidates before calling this).
+  /// (the DSE decoder repairs candidates before calling this).  When an
+  /// EvaluationCache is attached, returns the memoized result for a
+  /// previously seen candidate; `cache_hit` (if non-null) reports whether
+  /// this call was served from the cache.
   Evaluation evaluate(const Candidate& candidate) const;
+  Evaluation evaluate(const Candidate& candidate, bool* cache_hit) const;
+
+  /// Always recomputes, never consults or fills the cache (the reference
+  /// path the differential tests compare against).
+  Evaluation evaluate_uncached(const Candidate& candidate) const;
+
+  /// Cache key of a candidate under this evaluator's options: the content
+  /// hash seeded with the options fingerprint (mode, policy, penalty,
+  /// dropping), so distinct configurations never alias.
+  std::uint64_t candidate_key(const Candidate& candidate) const;
 
  private:
+  std::uint64_t options_fingerprint() const;
+
   const model::Architecture* arch_;
   const model::ApplicationSet* apps_;
   const sched::SchedulingAnalysis* backend_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ftmc/util/thread_pool.hpp"
+
 namespace ftmc::core {
 
 void validate_drop_set(const model::ApplicationSet& apps,
@@ -51,7 +53,8 @@ void merge_wcrt(std::vector<model::Time>& wcrt,
 
 McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
                                      const hardening::HardenedSystem& system,
-                                     const DropSet& drop, Mode mode) const {
+                                     const DropSet& drop, Mode mode,
+                                     util::ThreadPool* pool) const {
   const model::ApplicationSet& apps = system.apps;
   validate_drop_set(apps, drop);
   const std::size_t n = apps.task_count();
@@ -100,29 +103,35 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   // more already-finished jobs — so Naive >= scenario-max is not structural;
   // intersecting the two keeps Algorithm 1 at least as tight as Naive
   // everywhere, which is also how the paper presents it.)
-  std::vector<sched::ExecBounds> bounds(n);
-  std::vector<model::Time> naive_part(n);
-  {
-    for (std::size_t i = 0; i < n; ++i) {
-      bounds[i] = critical_bounds(task_of(i), system.info[i]);
-      if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
-    }
-    const auto run =
-        backend_->analyze(arch, apps, system.mapping, bounds, priorities);
-    for (std::size_t i = 0; i < n; ++i)
-      naive_part[i] = run.windows[i].max_finish;
-  }
+  //
+  // The Naive pass and every scenario depend only on the normal-state
+  // windows computed above, never on each other, so they form independent
+  // work units.  Two optimizations, both observationally invisible:
+  //
+  //  1. Dedup: a scenario's bounds vector is a pure function of the
+  //     trigger's normal-state window (trigger_bounds == critical_bounds),
+  //     so triggers whose windows classify every task identically produce
+  //     byte-identical backend invocations.  The backend is a deterministic
+  //     pure function, so each distinct bounds vector is analyzed once and
+  //     its result stands in for all its triggers.
+  //  2. Parallelism: unit 0 is the Naive pass, unit u analyzes the u-th
+  //     *unique* scenario.  Each unit writes into its own result slot and
+  //     the merge below is a pointwise max over integers, so running the
+  //     units on a thread pool is bitwise identical to the sequential loop.
+  std::vector<std::size_t> triggers;
+  for (std::size_t v = 0; v < n; ++v)
+    if (system.info[v].triggers_critical_state) triggers.push_back(v);
+  result.scenario_count = triggers.size();
 
-  std::vector<model::Time> scenario_part(n, 0);
-  std::size_t triggers = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    if (!system.info[v].triggers_critical_state) continue;
-    ++result.scenario_count;
-    ++triggers;
+  // No trigger means no critical-state transition: the normal-state bound
+  // already is the final WCRT and the Naive intersection pass would be
+  // discarded unread — skip all of it.
+  if (triggers.empty()) return result;
 
+  auto scenario_bounds = [&](std::size_t v) {
+    std::vector<sched::ExecBounds> bounds(n);
     const model::Time v_min_start = result.normal.windows[v].min_start;
     const model::Time v_max_finish = result.normal.windows[v].max_finish;
-
     for (std::size_t w = 0; w < n; ++w) {
       if (w == v) {
         // The trigger certainly re-executes / is activated (Eq. (1)).
@@ -155,14 +164,60 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
         bounds[w] = critical_bounds(task_of(w), system.info[w]);
       }
     }
+    return bounds;
+  };
 
-    const auto run =
-        backend_->analyze(arch, apps, system.mapping, bounds, priorities);
-    for (std::size_t i = 0; i < n; ++i)
-      scenario_part[i] = std::max(scenario_part[i], run.windows[i].max_finish);
+  std::vector<std::vector<sched::ExecBounds>> unique_scenarios;
+  unique_scenarios.reserve(triggers.size());
+  for (const std::size_t v : triggers) {
+    std::vector<sched::ExecBounds> bounds = scenario_bounds(v);
+    bool seen = false;
+    for (const auto& existing : unique_scenarios)
+      if (existing == bounds) {
+        seen = true;
+        break;
+      }
+    if (!seen) unique_scenarios.push_back(std::move(bounds));
   }
 
-  if (triggers > 0) {
+  std::vector<model::Time> naive_part(n);
+  std::vector<std::vector<model::Time>> scenario_finish(
+      unique_scenarios.size());
+
+  auto run_unit = [&](std::size_t unit) {
+    if (unit == 0) {
+      std::vector<sched::ExecBounds> bounds(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        bounds[i] = critical_bounds(task_of(i), system.info[i]);
+        if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
+      }
+      const auto run =
+          backend_->analyze(arch, apps, system.mapping, bounds, priorities);
+      for (std::size_t i = 0; i < n; ++i)
+        naive_part[i] = run.windows[i].max_finish;
+      return;
+    }
+    const auto run = backend_->analyze(arch, apps, system.mapping,
+                                       unique_scenarios[unit - 1],
+                                       priorities);
+    auto& finish = scenario_finish[unit - 1];
+    finish.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      finish[i] = run.windows[i].max_finish;
+  };
+
+  const std::size_t units = 1 + unique_scenarios.size();
+  if (pool != nullptr && units > 1) {
+    pool->parallel_for(units, run_unit);
+  } else {
+    for (std::size_t unit = 0; unit < units; ++unit) run_unit(unit);
+  }
+
+  if (!triggers.empty()) {
+    std::vector<model::Time> scenario_part(n, 0);
+    for (const auto& finish : scenario_finish)
+      for (std::size_t i = 0; i < n; ++i)
+        scenario_part[i] = std::max(scenario_part[i], finish[i]);
     for (std::size_t i = 0; i < n; ++i)
       result.wcrt[i] = std::max(
           result.wcrt[i], std::min(scenario_part[i], naive_part[i]));

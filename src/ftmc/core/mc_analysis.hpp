@@ -36,6 +36,10 @@
 #include "ftmc/sched/analysis.hpp"
 #include "ftmc/sched/priority.hpp"
 
+namespace ftmc::util {
+class ThreadPool;
+}  // namespace ftmc::util
+
 namespace ftmc::core {
 
 /// Which applications are dropped in the critical state (T_d): one flag per
@@ -81,10 +85,17 @@ class McAnalysis {
   /// Runs the analysis on a hardened system with drop set `drop` (aligned
   /// with the graphs of `system.apps`, which the transform keeps aligned
   /// with the original set).
+  ///
+  /// When `pool` is non-null the independent transition scenarios (and the
+  /// Naive intersection pass) of Algorithm 1 run concurrently on it; the
+  /// result is bitwise identical to the sequential path — each scenario is
+  /// self-contained and the merge is a pointwise max over integers, applied
+  /// in a fixed order.  The pool may be shared with candidate-level DSE
+  /// workers (ThreadPool::parallel_for is nesting-safe).
   McAnalysisResult analyze(const model::Architecture& arch,
                            const hardening::HardenedSystem& system,
-                           const DropSet& drop,
-                           Mode mode = Mode::kProposed) const;
+                           const DropSet& drop, Mode mode = Mode::kProposed,
+                           util::ThreadPool* pool = nullptr) const;
 
  private:
   const sched::SchedulingAnalysis* backend_;

@@ -1,5 +1,9 @@
 #include "ftmc/dse/chromosome.hpp"
 
+#include <span>
+
+#include "ftmc/util/hash.hpp"
+
 namespace ftmc::dse {
 
 std::uint8_t random_reexec_degree(util::Rng& rng) {
@@ -82,6 +86,25 @@ bool shape_ok(const Chromosome& chromosome, const ChromosomeShape& shape) {
     if (genes.voter_pe >= shape.processors) return false;
   }
   return true;
+}
+
+std::uint64_t chromosome_hash(const Chromosome& chromosome,
+                              std::uint64_t seed) {
+  util::Fnv1aHasher hasher(seed);
+  hasher.feed_range(
+      std::span<const std::uint8_t>(chromosome.allocation));
+  hasher.feed_range(std::span<const std::uint8_t>(chromosome.keep));
+  // TaskGenes carries alignment padding; feed the fields, not the bytes.
+  hasher.feed(static_cast<std::uint64_t>(chromosome.tasks.size()));
+  for (const TaskGenes& genes : chromosome.tasks) {
+    hasher.feed(static_cast<std::uint8_t>(genes.technique));
+    hasher.feed(genes.reexec);
+    hasher.feed(genes.active_n);
+    hasher.feed(genes.base_pe);
+    for (const std::uint16_t pe : genes.replica_pe) hasher.feed(pe);
+    hasher.feed(genes.voter_pe);
+  }
+  return hasher.digest();
 }
 
 }  // namespace ftmc::dse

@@ -100,4 +100,12 @@ Chromosome random_chromosome(const ChromosomeShape& shape, util::Rng& rng);
 /// Structural check (sizes and gene ranges).
 bool shape_ok(const Chromosome& chromosome, const ChromosomeShape& shape);
 
+/// Stable content hash of a chromosome (equal genotypes, equal digest).
+/// The GA seeds each decode RNG from this hash rather than the population
+/// slot, so identical chromosomes — however they recur across generations —
+/// repair identically and hit the evaluation cache instead of decoding to
+/// divergent candidates.
+std::uint64_t chromosome_hash(const Chromosome& chromosome,
+                              std::uint64_t seed = 0);
+
 }  // namespace ftmc::dse

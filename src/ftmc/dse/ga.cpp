@@ -1,9 +1,13 @@
 #include "ftmc/dse/ga.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 
 #include "ftmc/util/thread_pool.hpp"
 
@@ -36,29 +40,110 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     throw std::invalid_argument("GeneticOptimizer: empty population");
 
   const Decoder decoder(*arch_, *apps_, options.decoder);
-  const core::Evaluator evaluator(*arch_, *apps_, *backend_,
-                                  options.evaluator);
   const ChromosomeShape shape = decoder.shape();
 
   util::Rng master(options.seed);
   util::ThreadPool pool(options.threads);
   std::mutex observer_mutex;
 
+  // Run-local memoization + scenario parallelism: all workers share one
+  // cache and, when enabled, fan each candidate's Algorithm-1 scenarios
+  // out over the same (nesting-safe) pool.  Caller-provided cache/pool in
+  // options.evaluator take precedence.
+  std::optional<core::EvaluationCache> cache;
+  core::Evaluator::Options evaluator_options = options.evaluator;
+  if (options.cache_evaluations && evaluator_options.cache == nullptr) {
+    cache.emplace(std::max<std::size_t>(options.cache_capacity, 1));
+    evaluator_options.cache = &*cache;
+  }
+  if (options.parallel_scenarios &&
+      evaluator_options.scenario_pool == nullptr)
+    evaluator_options.scenario_pool = &pool;
+  const core::Evaluator evaluator(*arch_, *apps_, *backend_,
+                                  evaluator_options);
+
   GaResult result;
   result.best_feasible_power = std::numeric_limits<double>::quiet_NaN();
 
+  // Genotype-level memo in front of the candidate cache.  Decode randomness
+  // is seeded from the chromosome's content hash, so decode + repair +
+  // evaluation is a pure function of the genotype (for a fixed options
+  // seed): a recurring chromosome can skip the whole pipeline, including
+  // the reliability-repair attempts that make decoding itself expensive.
+  // Exact genotype equality guards against hash collisions, mirroring the
+  // EvaluationCache contract (a collision degrades to a miss, never to a
+  // wrong result).
+  struct DecodeMemoEntry {
+    Chromosome genotype;  ///< pre-repair content (the key's preimage)
+    Chromosome repaired;  ///< post-Lamarckian-repair genotype
+    core::Candidate candidate;
+    core::Evaluation evaluation;
+  };
+  std::mutex memo_mutex;
+  std::unordered_map<std::uint64_t, DecodeMemoEntry> decode_memo;
+
+  // Per-batch counters, copied into the following generation's stats.
+  struct BatchStats {
+    std::size_t evaluations = 0;
+    std::size_t cache_hits = 0;
+    std::size_t scenarios_analyzed = 0;
+    double seconds = 0.0;
+  } last_batch;
+
   // Evaluates a batch of chromosomes in parallel; repair mutates the
   // chromosomes in place (Lamarckian), so the batch is taken by reference.
-  auto evaluate_batch = [&](std::vector<Chromosome>& batch,
-                            std::uint64_t stream_salt) {
+  auto evaluate_batch = [&](std::vector<Chromosome>& batch) {
     std::vector<Individual> individuals(batch.size());
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> scenarios{0};
+    const auto start = std::chrono::steady_clock::now();
     pool.parallel_for(batch.size(), [&](std::size_t index) {
-      util::Rng rng(options.seed ^ (stream_salt + 0x9e3779b97f4a7c15ULL *
-                                                      (index + 1)));
       Individual& individual = individuals[index];
-      individual.candidate = decoder.decode(batch[index], rng);
-      individual.chromosome = batch[index];
-      individual.evaluation = evaluator.evaluate(individual.candidate);
+      // Decode randomness (random repair) is seeded from the chromosome's
+      // content, not the population slot: identical genotypes then repair
+      // to identical candidates no matter where or when they recur.  That
+      // determinism is what makes the genotype memo and the candidate
+      // cache sound — and keeps the run reproducible for a fixed seed.
+      const std::uint64_t key = chromosome_hash(batch[index], options.seed);
+
+      bool cache_hit = false;
+      if (options.cache_evaluations) {
+        std::lock_guard lock(memo_mutex);
+        const auto found = decode_memo.find(key);
+        if (found != decode_memo.end() &&
+            found->second.genotype == batch[index]) {
+          batch[index] = found->second.repaired;  // Lamarckian write-back
+          individual.chromosome = found->second.repaired;
+          individual.candidate = found->second.candidate;
+          individual.evaluation = found->second.evaluation;
+          cache_hit = true;
+        }
+      }
+
+      if (!cache_hit) {
+        Chromosome genotype;
+        if (options.cache_evaluations) genotype = batch[index];
+        util::Rng rng(key);
+        individual.candidate = decoder.decode(batch[index], rng);
+        individual.chromosome = batch[index];
+        individual.evaluation =
+            evaluator.evaluate(individual.candidate, &cache_hit);
+        if (options.cache_evaluations) {
+          std::lock_guard lock(memo_mutex);
+          if (decode_memo.size() < options.cache_capacity)
+            decode_memo.emplace(
+                key, DecodeMemoEntry{std::move(genotype), batch[index],
+                                     individual.candidate,
+                                     individual.evaluation});
+        }
+      }
+
+      if (cache_hit) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        scenarios.fetch_add(individual.evaluation.scenario_count,
+                            std::memory_order_relaxed);
+      }
       individual.objectives =
           objectives_of(individual.evaluation, options.optimize_service);
       if (observer_) {
@@ -66,6 +151,13 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
         observer_(individual.candidate, individual.evaluation);
       }
     });
+    last_batch.evaluations = batch.size();
+    last_batch.cache_hits = hits.load();
+    last_batch.scenarios_analyzed = scenarios.load();
+    last_batch.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     result.evaluations += batch.size();
     return individuals;
   };
@@ -75,7 +167,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
   seeds.reserve(options.population);
   for (std::size_t i = 0; i < options.population; ++i)
     seeds.push_back(random_chromosome(shape, master));
-  std::vector<Individual> population = evaluate_batch(seeds, 0);
+  std::vector<Individual> population = evaluate_batch(seeds);
   std::vector<Individual> archive;
 
   for (std::size_t generation = 0; generation <= options.generations;
@@ -110,6 +202,21 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
         result.best_feasible_power = individual.evaluation.power;
     }
     stats.best_feasible_power = result.best_feasible_power;
+    stats.evaluations = last_batch.evaluations;
+    stats.cache_hits = last_batch.cache_hits;
+    stats.cache_misses = last_batch.evaluations - last_batch.cache_hits;
+    stats.cache_hit_rate =
+        last_batch.evaluations == 0
+            ? 0.0
+            : static_cast<double>(last_batch.cache_hits) /
+                  static_cast<double>(last_batch.evaluations);
+    stats.scenarios_analyzed = last_batch.scenarios_analyzed;
+    stats.evaluation_seconds = last_batch.seconds;
+    stats.scenarios_per_second =
+        last_batch.seconds > 0.0
+            ? static_cast<double>(last_batch.scenarios_analyzed) /
+                  last_batch.seconds
+            : 0.0;
     result.history.push_back(stats);
     if (options.on_generation) options.on_generation(stats);
 
@@ -135,8 +242,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
       mutate(child, shape, options.variation, master);
       offspring.push_back(std::move(child));
     }
-    population =
-        evaluate_batch(offspring, (generation + 1) * 0x100000001ULL);
+    population = evaluate_batch(offspring);
   }
 
   // --- Feasible Pareto front (one representative per objective vector) ----
@@ -157,6 +263,8 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     result.pareto.push_back(individual);
   }
   result.archive = std::move(archive);
+  if (evaluator.options().cache != nullptr)
+    result.cache = evaluator.options().cache->stats();
   return result;
 }
 

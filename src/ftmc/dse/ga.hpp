@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 
+#include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/core/evaluator.hpp"
 #include "ftmc/dse/chromosome.hpp"
 #include "ftmc/dse/decoder.hpp"
@@ -33,6 +34,22 @@ struct GenerationStats {
   std::size_t feasible_in_archive = 0;
   /// Best (lowest) feasible power seen so far; NaN until one exists.
   double best_feasible_power = 0.0;
+  /// Candidates evaluated for this generation (initial population for
+  /// generation 0, the offspring batch otherwise).
+  std::size_t evaluations = 0;
+  /// Of those, how many were served from the shared EvaluationCache /
+  /// recomputed (always 0 / evaluations when the cache is disabled).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// cache_hits / evaluations for this generation's batch.
+  double cache_hit_rate = 0.0;
+  /// Algorithm-1 transition scenarios actually analyzed for this
+  /// generation (cache hits skip their scenarios entirely).
+  std::size_t scenarios_analyzed = 0;
+  /// Analysis throughput of this generation's evaluation batch.
+  double scenarios_per_second = 0.0;
+  /// Wall-clock seconds spent evaluating this generation's batch.
+  double evaluation_seconds = 0.0;
 };
 
 struct GaOptions {
@@ -43,6 +60,19 @@ struct GaOptions {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
   /// Bi-objective power/service exploration (Figure 5) vs. power only.
   bool optimize_service = true;
+  /// Memoize evaluations in a run-local EvaluationCache shared by all GA
+  /// workers.  The cached value is exactly what evaluation would have
+  /// produced, so the search trajectory is identical either way (guarded by
+  /// the cache differential tests).  Ignored when `evaluator.cache` is
+  /// already set by the caller.
+  bool cache_evaluations = true;
+  /// Total entry bound of the run-local cache.
+  std::size_t cache_capacity = 1 << 16;
+  /// Fan Algorithm 1's transition scenarios out over the same worker pool
+  /// that evaluates candidates (nesting-safe; drains generation tails when
+  /// there are fewer pending candidates than threads).  Ignored when
+  /// `evaluator.scenario_pool` is already set by the caller.
+  bool parallel_scenarios = true;
   VariationOptions variation;
   Decoder::Options decoder;
   core::Evaluator::Options evaluator;
@@ -59,6 +89,9 @@ struct GaResult {
   /// Best feasible power (NaN if no feasible candidate was ever seen).
   double best_feasible_power = 0.0;
   std::vector<GenerationStats> history;
+  /// Final counters of the run-local EvaluationCache (all zero when
+  /// caching was disabled).
+  core::CacheStats cache;
 };
 
 class GeneticOptimizer {

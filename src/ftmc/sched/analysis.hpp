@@ -38,6 +38,10 @@ struct ExecBounds {
   /// the trigger's maxFinish), no further job of a dropped task appears
   /// until the hyperperiod resets the system.
   model::Time release_cutoff = kNoCutoff;
+
+  /// Equal inputs yield equal analysis output (the backend is a pure
+  /// function); Algorithm 1 uses this to dedupe identical scenarios.
+  bool operator==(const ExecBounds&) const = default;
 };
 
 /// Sentinel finish time of tasks whose response-time iteration diverged.

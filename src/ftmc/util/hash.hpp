@@ -1,0 +1,78 @@
+// Stable 64-bit content hashing for cache keys and fingerprints.
+//
+// The evaluation-memoization layer (ftmc/core/evaluation_cache.hpp) keys
+// cached results by a hash of the decoded candidate, so the hash must be
+// deterministic across runs, platforms, and library versions — std::hash
+// guarantees none of that.  FNV-1a over an explicit byte feed gives a
+// stable, order-sensitive digest; the final avalanche step (splitmix64's
+// finalizer) decorrelates the low bits used for shard selection.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ftmc::util {
+
+/// Incremental FNV-1a (64-bit) hasher with a strong finalizer.
+class Fnv1aHasher {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ULL;
+
+  Fnv1aHasher() noexcept = default;
+  explicit Fnv1aHasher(std::uint64_t seed) noexcept { feed(seed); }
+
+  void feed_byte(std::uint8_t byte) noexcept {
+    state_ = (state_ ^ byte) * kPrime;
+  }
+
+  /// Feeds any trivially-copyable value byte-wise (host byte order; the
+  /// digest is only required to be stable for a fixed platform ABI).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void feed(const T& value) noexcept {
+    std::uint8_t bytes[sizeof(T)];
+    std::memcpy(bytes, &value, sizeof(T));
+    for (std::uint8_t byte : bytes) feed_byte(byte);
+  }
+
+  /// Length-prefixed span feed, so {1,2},{3} and {1},{2,3} differ.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void feed_range(std::span<const T> values) noexcept {
+    feed(static_cast<std::uint64_t>(values.size()));
+    for (const T& value : values) feed(value);
+  }
+
+  /// vector<bool> has no contiguous storage; feed packed words.
+  void feed_bits(const std::vector<bool>& bits) noexcept {
+    feed(static_cast<std::uint64_t>(bits.size()));
+    std::uint64_t word = 0;
+    std::size_t filled = 0;
+    for (bool bit : bits) {
+      word = (word << 1) | static_cast<std::uint64_t>(bit);
+      if (++filled == 64) {
+        feed(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled > 0) feed(word);
+  }
+
+  /// Finalized digest (splitmix64 avalanche over the FNV state).
+  std::uint64_t digest() const noexcept {
+    std::uint64_t z = state_ + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace ftmc::util

@@ -1,6 +1,7 @@
 #include "ftmc/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace ftmc::util {
 
@@ -37,6 +38,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
@@ -44,7 +57,19 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& future : futures) future.get();
+  // Help drain the queue instead of blocking outright: this keeps nested
+  // parallel_for calls from the pool's own workers deadlock-free (a worker
+  // waiting here executes queued tasks, including the ones it submitted).
+  for (auto& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!run_one_task()) {
+        future.wait();
+        break;
+      }
+    }
+    future.get();
+  }
 }
 
 }  // namespace ftmc::util

@@ -44,10 +44,17 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Exceptions from tasks are rethrown (the first one encountered).
+  ///
+  /// Nesting-safe: while waiting, the calling thread drains queued work
+  /// itself, so a task may call parallel_for on its own pool (candidate-
+  /// level evaluation fanning out into per-scenario analysis) without
+  /// deadlocking — some thread always holds a runnable task.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  /// Pops and runs one queued task if any; returns false when idle.
+  bool run_one_task();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -130,4 +130,102 @@ TEST(Ga, ArchiveRespectsPopulationBound) {
   EXPECT_LE(result.archive.size(), options.population);
 }
 
+// Memoization must never steer the search: for a fixed seed, the run with
+// the evaluation cache enabled and the run with it disabled must walk the
+// exact same trajectory — identical archive objectives, identical
+// chromosomes, identical best power (ISSUE 1 differential guarantee).
+void expect_same_trajectory(const GaResult& a, const GaResult& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  if (std::isnan(a.best_feasible_power)) {
+    EXPECT_TRUE(std::isnan(b.best_feasible_power));
+  } else {
+    EXPECT_EQ(a.best_feasible_power, b.best_feasible_power);
+  }
+  ASSERT_EQ(a.archive.size(), b.archive.size());
+  for (std::size_t i = 0; i < a.archive.size(); ++i) {
+    EXPECT_EQ(a.archive[i].objectives, b.archive[i].objectives);
+    EXPECT_EQ(a.archive[i].chromosome, b.archive[i].chromosome);
+    EXPECT_EQ(a.archive[i].candidate, b.archive[i].candidate);
+  }
+}
+
+TEST(Ga, CacheOnOffTrajectoriesIdentical) {
+  GaRig rig;
+  auto cached = tiny_options();
+  cached.cache_evaluations = true;
+  auto uncached = tiny_options();
+  uncached.cache_evaluations = false;
+  expect_same_trajectory(rig.optimizer.run(cached),
+                         rig.optimizer.run(uncached));
+}
+
+TEST(Ga, ParallelScenariosOnOffTrajectoriesIdentical) {
+  GaRig rig;
+  auto parallel = tiny_options();
+  parallel.parallel_scenarios = true;
+  auto sequential = tiny_options();
+  sequential.parallel_scenarios = false;
+  expect_same_trajectory(rig.optimizer.run(parallel),
+                         rig.optimizer.run(sequential));
+}
+
+TEST(Ga, SeedPathEqualsOptimizedPath) {
+  // Both knobs together: the full optimized configuration against the full
+  // seed-path configuration.
+  GaRig rig;
+  auto optimized = tiny_options();
+  optimized.cache_evaluations = true;
+  optimized.parallel_scenarios = true;
+  auto seed_path = tiny_options();
+  seed_path.cache_evaluations = false;
+  seed_path.parallel_scenarios = false;
+  expect_same_trajectory(rig.optimizer.run(optimized),
+                         rig.optimizer.run(seed_path));
+}
+
+TEST(Ga, CacheStatisticsAreReportedAndConsistent) {
+  GaRig rig;
+  auto options = tiny_options();
+  options.cache_evaluations = true;
+  const GaResult result = rig.optimizer.run(options);
+
+  std::size_t evaluations = 0, hits = 0, misses = 0;
+  for (const auto& stats : result.history) {
+    evaluations += stats.evaluations;
+    hits += stats.cache_hits;
+    misses += stats.cache_misses;
+    EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.evaluations);
+    EXPECT_GE(stats.cache_hit_rate, 0.0);
+    EXPECT_LE(stats.cache_hit_rate, 1.0);
+    EXPECT_GE(stats.evaluation_seconds, 0.0);
+  }
+  EXPECT_EQ(evaluations, result.evaluations);
+  EXPECT_EQ(hits + misses, result.evaluations);
+  // The tiny instance converges quickly, so repeats must occur.
+  EXPECT_GT(hits, 0u);
+  // The candidate cache's own counters never exceed the combined totals
+  // (the genotype memo answers some repeats before the cache sees them).
+  EXPECT_LE(result.cache.hits, hits);
+  EXPECT_GT(result.cache.lookups(), 0u);
+}
+
+TEST(Ga, ExternalCacheIsSharedAcrossRuns) {
+  GaRig rig;
+  core::EvaluationCache shared;
+  auto options = tiny_options();
+  options.evaluator.cache = &shared;
+  const GaResult first = rig.optimizer.run(options);
+  const std::size_t entries_after_first = shared.stats().entries;
+  EXPECT_GT(entries_after_first, 0u);
+
+  // Identical rerun: every candidate evaluation is answered by the shared
+  // cache, and the trajectory is unchanged.
+  const core::CacheStats before = shared.stats();
+  const GaResult second = rig.optimizer.run(options);
+  expect_same_trajectory(first, second);
+  const core::CacheStats after = shared.stats();
+  EXPECT_EQ(after.misses, before.misses);  // no new analysis ran
+  EXPECT_GT(after.hits, before.hits);
+}
+
 }  // namespace

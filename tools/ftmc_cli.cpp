@@ -6,6 +6,7 @@
 //       --profiles=N (default 1000) --fault-prob=P (0.3) --seed=S (1)
 //   ftmc optimize <system.ftmc> [options]    GA design-space exploration
 //       --generations=N (60) --population=N (40) --seed=S (42)
+//       --threads=N (hardware) --no-cache --sequential-scenarios
 //       --no-dropping --power-only --out=<file>   (write best candidate)
 //
 // The system file format is documented in ftmc/io/text_format.hpp; `ftmc
@@ -14,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "ftmc/core/evaluator.hpp"
@@ -23,6 +25,7 @@
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
 #include "ftmc/util/table.hpp"
+#include "ftmc/util/thread_pool.hpp"
 
 using namespace ftmc;
 
@@ -35,10 +38,12 @@ int usage() {
       "  info      print a model summary\n"
       "  dot       emit Graphviz (hardened view when a candidate exists)\n"
       "  analyze   run Algorithm 1 on the file's candidate block\n"
+      "            [--threads=N]  (parallel transition scenarios)\n"
       "  simulate  Monte-Carlo fault injection on the candidate\n"
       "            [--profiles=N] [--fault-prob=P] [--seed=S]\n"
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
+      "            [--threads=N] [--no-cache] [--sequential-scenarios]\n"
       "            [--no-dropping] [--power-only] [--out=FILE]\n";
   return 2;
 }
@@ -107,10 +112,20 @@ int cmd_info(const io::SystemSpec& spec) {
   return 0;
 }
 
-int cmd_analyze(const io::SystemSpec& spec) {
+int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
   const core::Candidate candidate = require_candidate(spec);
   const sched::HolisticAnalysis backend;
-  const core::Evaluator evaluator(spec.arch, spec.apps, backend);
+  // Transition scenarios are independent; fan them out unless --threads=1.
+  const std::size_t threads =
+      std::stoul(option(argc, argv, "threads", "0"));
+  std::optional<util::ThreadPool> pool;
+  core::Evaluator::Options evaluator_options;
+  if (threads != 1) {
+    pool.emplace(threads);
+    evaluator_options.scenario_pool = &*pool;
+  }
+  const core::Evaluator evaluator(spec.arch, spec.apps, backend,
+                                  evaluator_options);
   if (const auto error = evaluator.structural_error(candidate);
       !error.empty())
     throw std::runtime_error("candidate invalid: " + error);
@@ -202,6 +217,9 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
       std::stoul(option(argc, argv, "population", "40"));
   options.offspring = options.population;
   options.seed = std::stoull(option(argc, argv, "seed", "42"));
+  options.threads = std::stoul(option(argc, argv, "threads", "0"));
+  options.cache_evaluations = !flag(argc, argv, "no-cache");
+  options.parallel_scenarios = !flag(argc, argv, "sequential-scenarios");
   options.optimize_service = !flag(argc, argv, "power-only");
   if (flag(argc, argv, "no-dropping")) {
     options.decoder.allow_dropping = false;
@@ -210,10 +228,18 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   options.on_generation = [&](const dse::GenerationStats& stats) {
     if (stats.generation % 10 == 0)
       std::cerr << "generation " << stats.generation << ", best power "
-                << stats.best_feasible_power << " mW\n";
+                << stats.best_feasible_power << " mW, cache hit rate "
+                << static_cast<int>(stats.cache_hit_rate * 100.0 + 0.5)
+                << "%, " << static_cast<std::size_t>(
+                       stats.scenarios_per_second)
+                << " scenarios/s\n";
   };
 
   const auto result = optimizer.run(options);
+  std::cerr << "evaluation cache: " << result.cache.hits << " hits / "
+            << result.cache.lookups() << " lookups ("
+            << static_cast<int>(result.cache.hit_rate() * 100.0 + 0.5)
+            << "%), " << result.cache.evictions << " evictions\n";
   if (result.pareto.empty()) {
     std::cout << "no feasible design found (" << result.evaluations
               << " evaluations) — raise --generations/--population\n";
@@ -250,7 +276,7 @@ int main(int argc, char** argv) {
     const io::SystemSpec spec = io::parse_system_file(argv[2]);
     if (command == "info") return cmd_info(spec);
     if (command == "dot") return cmd_dot(spec);
-    if (command == "analyze") return cmd_analyze(spec);
+    if (command == "analyze") return cmd_analyze(spec, argc, argv);
     if (command == "simulate") return cmd_simulate(spec, argc, argv);
     if (command == "optimize") return cmd_optimize(spec, argc, argv);
     std::cerr << "unknown command '" << command << "'\n";
