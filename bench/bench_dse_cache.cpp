@@ -22,6 +22,9 @@
 //
 // Environment knobs: FTMC_GENERATIONS (default 50), FTMC_POPULATION (40),
 // FTMC_SEED (2014), FTMC_THREADS (hardware), FTMC_REPS (3).
+//
+// The last line is a one-line JSON summary for CI and scripted regression
+// tracking; the exit code is non-zero if any arm's best power diverges.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -121,6 +124,8 @@ int main() {
                     "cold hits", "warm [s]", "warm speedup", "scenarios/s",
                     "best power equal"});
 
+  std::string json_benchmarks;
+  bool all_equal = true;
   for (int index : {1, 2}) {
     const benchmarks::Benchmark benchmark =
         benchmarks::synth_benchmark(index);
@@ -159,6 +164,22 @@ int main() {
          util::Table::cell(before.seconds / warm.seconds, 2) + "x",
          util::Table::cell(cold.scenarios_per_second, 0),
          equal ? "yes" : "NO"});
+
+    all_equal = all_equal && equal;
+    if (!json_benchmarks.empty()) json_benchmarks += ",";
+    json_benchmarks +=
+        "{\"name\":\"" + benchmark.name +
+        "\",\"seed_s\":" + util::Table::cell(before.seconds, 4) +
+        ",\"cold_s\":" + util::Table::cell(cold.seconds, 4) +
+        ",\"cold_speedup\":" +
+        util::Table::cell(before.seconds / cold.seconds, 2) +
+        ",\"cold_hit_rate\":" + util::Table::cell(cold.hit_rate, 3) +
+        ",\"warm_s\":" + util::Table::cell(warm.seconds, 4) +
+        ",\"warm_speedup\":" +
+        util::Table::cell(before.seconds / warm.seconds, 2) +
+        ",\"scenarios_per_s\":" +
+        util::Table::cell(cold.scenarios_per_second, 0) +
+        ",\"equal\":" + (equal ? "true" : "false") + "}";
   }
   table.print(std::cout);
   std::cout
@@ -167,5 +188,9 @@ int main() {
          "is bounded by the GA's duplicate-candidate rate; warm shows the "
          "steady-state regime of repeated exploration on an unchanged "
          "model.)\n";
-  return 0;
+  std::cout << "JSON: {\"bench\":\"dse_cache\",\"generations\":" << generations
+            << ",\"population\":" << population << ",\"reps\":" << reps
+            << ",\"benchmarks\":[" << json_benchmarks
+            << "],\"equal\":" << (all_equal ? "true" : "false") << "}\n";
+  return all_equal ? 0 : 1;
 }

@@ -1,8 +1,11 @@
 #include "ftmc/core/mc_analysis.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "ftmc/util/hash.hpp"
 #include "ftmc/util/thread_pool.hpp"
 
 namespace ftmc::core {
@@ -60,6 +63,14 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   const std::size_t n = apps.task_count();
   const auto priorities = sched::assign_priorities(apps, policy_);
 
+  // Every backend run below analyzes the same candidate (mapping +
+  // priorities) against a different bounds vector, so the problem build is
+  // done once here and amortized over the normal state, the Naive pass, and
+  // every transition scenario (prepare-once/solve-N; the fallback adapter
+  // keeps third-party backends working unchanged).
+  const std::unique_ptr<sched::PreparedAnalysis> prepared =
+      backend_->prepare(arch, apps, system.mapping, priorities);
+
   auto task_of = [&](std::size_t i) -> const model::Task& {
     return apps.task(apps.task_ref(i));
   };
@@ -68,8 +79,7 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
 
   // --- Normal state (lines 2-9): passive standbys at [0,0], no faults. ---
   const std::vector<sched::ExecBounds> nominal = nominal_bounds_of(system);
-  result.normal =
-      backend_->analyze(arch, apps, system.mapping, nominal, priorities);
+  result.normal = prepared->solve(nominal);
   // Divergent tasks carry kUnschedulable finishes, so the deadline check
   // subsumes the global schedulability flag per graph.
   result.normal_schedulable = result.normal.meets_deadlines(apps);
@@ -86,8 +96,7 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
       bounds[i] = critical_bounds(task_of(i), system.info[i]);
       if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
     }
-    const auto run =
-        backend_->analyze(arch, apps, system.mapping, bounds, priorities);
+    const auto run = prepared->solve(bounds);
     merge_wcrt(result.wcrt, run);
     result.critical_schedulable = non_dropped_meet_deadlines(apps, run, drop);
     result.scenario_count = 1;
@@ -167,23 +176,43 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
     return bounds;
   };
 
+  // Hash-keyed dedup (first-occurrence order preserved): O(k) expected
+  // instead of the former O(k^2) pairwise scan.  Exact equality is verified
+  // against every same-hash entry, so a collision costs one extra
+  // comparison — at worst a duplicate analysis, never a dropped distinct
+  // scenario (the same degrade-to-miss contract as EvaluationCache).
   std::vector<std::vector<sched::ExecBounds>> unique_scenarios;
   unique_scenarios.reserve(triggers.size());
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_by_hash;
+  index_by_hash.reserve(triggers.size());
   for (const std::size_t v : triggers) {
     std::vector<sched::ExecBounds> bounds = scenario_bounds(v);
+    util::Fnv1aHasher hasher;
+    for (const sched::ExecBounds& b : bounds) {
+      hasher.feed(b.bcet);
+      hasher.feed(b.wcet);
+      hasher.feed(b.release_cutoff);
+    }
+    std::vector<std::size_t>& slots = index_by_hash[hasher.digest()];
     bool seen = false;
-    for (const auto& existing : unique_scenarios)
-      if (existing == bounds) {
+    for (const std::size_t slot : slots)
+      if (unique_scenarios[slot] == bounds) {
         seen = true;
         break;
       }
-    if (!seen) unique_scenarios.push_back(std::move(bounds));
+    if (!seen) {
+      slots.push_back(unique_scenarios.size());
+      unique_scenarios.push_back(std::move(bounds));
+    }
   }
 
   std::vector<model::Time> naive_part(n);
   std::vector<std::vector<model::Time>> scenario_finish(
       unique_scenarios.size());
 
+  // Each unit solves against the shared immutable prepared problem; the
+  // per-worker scratch lives inside the backend's solve() (thread-local
+  // arena), so the fan-out allocates nothing per scenario in the kernel.
   auto run_unit = [&](std::size_t unit) {
     if (unit == 0) {
       std::vector<sched::ExecBounds> bounds(n);
@@ -191,15 +220,12 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
         bounds[i] = critical_bounds(task_of(i), system.info[i]);
         if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
       }
-      const auto run =
-          backend_->analyze(arch, apps, system.mapping, bounds, priorities);
+      const auto run = prepared->solve(bounds);
       for (std::size_t i = 0; i < n; ++i)
         naive_part[i] = run.windows[i].max_finish;
       return;
     }
-    const auto run = backend_->analyze(arch, apps, system.mapping,
-                                       unique_scenarios[unit - 1],
-                                       priorities);
+    const auto run = prepared->solve(unique_scenarios[unit - 1]);
     auto& finish = scenario_finish[unit - 1];
     finish.resize(n);
     for (std::size_t i = 0; i < n; ++i)

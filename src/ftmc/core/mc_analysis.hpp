@@ -86,6 +86,11 @@ class McAnalysis {
   /// with the graphs of `system.apps`, which the transform keeps aligned
   /// with the original set).
   ///
+  /// The backend problem (flat graph, interferer lists, relation matrix) is
+  /// prepared once per call and shared — immutably — by the normal state,
+  /// the Naive pass, and every transition scenario, which differ only in
+  /// their bounds vectors (SchedulingAnalysis::prepare / solve).
+  ///
   /// When `pool` is non-null the independent transition scenarios (and the
   /// Naive intersection pass) of Algorithm 1 run concurrently on it; the
   /// result is bitwise identical to the sequential path — each scenario is

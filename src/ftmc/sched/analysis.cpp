@@ -23,4 +23,44 @@ bool AnalysisResult::meets_deadlines(const model::ApplicationSet& apps) const {
   return true;
 }
 
+namespace {
+
+/// Fallback PreparedAnalysis: no shared state, every solve() rebuilds the
+/// whole problem through the plain analyze() entry.  Thread safety follows
+/// from analyze() being const and stateless.
+class RebuildPerSolve final : public PreparedAnalysis {
+ public:
+  RebuildPerSolve(const SchedulingAnalysis& backend,
+                  const model::Architecture& arch,
+                  const model::ApplicationSet& apps,
+                  const model::Mapping& mapping,
+                  std::span<const std::uint32_t> priorities)
+      : backend_(&backend),
+        arch_(&arch),
+        apps_(&apps),
+        mapping_(&mapping),
+        priorities_(priorities) {}
+
+  AnalysisResult solve(std::span<const ExecBounds> bounds) const override {
+    return backend_->analyze(*arch_, *apps_, *mapping_, bounds, priorities_);
+  }
+
+ private:
+  const SchedulingAnalysis* backend_;
+  const model::Architecture* arch_;
+  const model::ApplicationSet* apps_;
+  const model::Mapping* mapping_;
+  std::span<const std::uint32_t> priorities_;
+};
+
+}  // namespace
+
+std::unique_ptr<PreparedAnalysis> SchedulingAnalysis::prepare(
+    const model::Architecture& arch, const model::ApplicationSet& apps,
+    const model::Mapping& mapping,
+    std::span<const std::uint32_t> priorities) const {
+  return std::make_unique<RebuildPerSolve>(*this, arch, apps, mapping,
+                                           priorities);
+}
+
 }  // namespace ftmc::sched

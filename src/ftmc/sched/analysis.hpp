@@ -11,6 +11,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,26 @@ struct AnalysisResult {
   bool meets_deadlines(const model::ApplicationSet& apps) const;
 };
 
+/// A backend instantiated for one (arch, apps, mapping, priorities) tuple.
+///
+/// Algorithm 1 analyzes many transition scenarios of the *same* candidate —
+/// the scenarios differ only in their exec-bounds vector — so a backend can
+/// amortize everything bounds-independent (flat graph structure, interferer
+/// lists, precedence relations) across them.  `prepare` captures that shared
+/// state once; `solve` then runs one analysis per bounds vector.
+///
+/// Contract: `solve(bounds)` returns exactly what
+/// `analyze(arch, apps, mapping, bounds, priorities)` would (the prepared
+/// path is an amortization, never an approximation), and is safe to call
+/// concurrently from multiple threads on one instance.  The prepared object
+/// borrows every constructor argument; the caller keeps them alive.
+class PreparedAnalysis {
+ public:
+  virtual ~PreparedAnalysis() = default;
+
+  virtual AnalysisResult solve(std::span<const ExecBounds> bounds) const = 0;
+};
+
 /// Abstract backend.  `priorities` ranks tasks globally (flat-aligned,
 /// 0 = highest); `bounds` is flat-aligned with `apps`.
 class SchedulingAnalysis {
@@ -85,6 +106,17 @@ class SchedulingAnalysis {
       const model::Architecture& arch, const model::ApplicationSet& apps,
       const model::Mapping& mapping, std::span<const ExecBounds> bounds,
       std::span<const std::uint32_t> priorities) const = 0;
+
+  /// Binds the backend to one candidate for repeated multi-scenario solving.
+  /// The default adapter simply re-runs analyze() per solve() call, so any
+  /// third-party backend participates unchanged; backends with a genuinely
+  /// amortizable problem build (see HolisticAnalysis / PreparedProblem)
+  /// override this.  All arguments are borrowed for the lifetime of the
+  /// returned object; this backend must outlive it too.
+  virtual std::unique_ptr<PreparedAnalysis> prepare(
+      const model::Architecture& arch, const model::ApplicationSet& apps,
+      const model::Mapping& mapping,
+      std::span<const std::uint32_t> priorities) const;
 };
 
 }  // namespace ftmc::sched

@@ -1,386 +1,33 @@
 #include "ftmc/sched/holistic.hpp"
 
-#include <algorithm>
-#include <set>
 #include <stdexcept>
 
-#include "ftmc/hardening/reliability.hpp"  // scaled_time
+#include "ftmc/sched/prepared_problem.hpp"
 
 namespace ftmc::sched {
-
-namespace {
-
-/// Incoming dependency of a task: producing task (flat index) + latency.
-struct InEdge {
-  std::size_t src;
-  model::Time delay;
-};
-
-/// ceil(a / b) for non-negative a, positive b.
-constexpr model::Time ceil_div(model::Time a, model::Time b) noexcept {
-  return (a + b - 1) / b;
-}
-
-/// Flattened, immutable view of one analysis problem.
-struct Problem {
-  std::size_t n = 0;
-  std::vector<model::Time> c_min, c_max, period, release_cutoff;
-  std::vector<std::vector<InEdge>> in_edges;
-  /// interferers[i]: higher-priority tasks on the same PE.
-  std::vector<std::vector<std::size_t>> interferers;
-  /// related[i][u]: u is a transitive same-graph predecessor or successor.
-  std::vector<std::vector<bool>> related;
-  std::vector<std::uint32_t> graph_of;
-  model::Time horizon = 0;
-};
-
-/// Transitive reachability over the precedence edges (u ~ i iff u reaches i
-/// or i reaches u).  Edges only exist within a graph, so this is the
-/// same-graph relation the interference refinement needs; it also covers
-/// message nodes when bus contention is modeled.
-std::vector<std::vector<bool>> compute_relations(
-    std::size_t n, const std::vector<std::vector<InEdge>>& in_edges) {
-  std::vector<std::vector<std::size_t>> succs(n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (const InEdge& edge : in_edges[i]) succs[edge.src].push_back(i);
-
-  std::vector<std::vector<bool>> related(n, std::vector<bool>(n, false));
-  std::vector<std::size_t> stack;
-  std::vector<bool> seen(n, false);
-  for (std::size_t s = 0; s < n; ++s) {
-    std::fill(seen.begin(), seen.end(), false);
-    stack.assign(1, s);
-    seen[s] = true;
-    while (!stack.empty()) {
-      const std::size_t v = stack.back();
-      stack.pop_back();
-      for (const std::size_t w : succs[v]) {
-        if (seen[w]) continue;
-        seen[w] = true;
-        related[s][w] = related[w][s] = true;
-        stack.push_back(w);
-      }
-    }
-  }
-  return related;
-}
-
-struct FixedPointResult {
-  std::vector<model::Time> min_start, min_finish, max_arrival, max_finish;
-  bool diverged = false;
-};
-
-/// One full best-case + worst-case fixed-point run.
-///
-/// Worst case, offset-aware formulation: all graphs are released in phase
-/// (synchronous periodic model), so every job of every task lives in an
-/// absolute window [k*T_u + minStart_u, k*T_u + maxFinish_u] relative to the
-/// common release.  The busy window of the analyzed job of task i starts at
-/// its (hypothetical) arrival S in [minStart_i, maxArrival_i]; a job (u, k)
-/// can steal CPU inside [S, S + w) only if it may be unfinished at S
-/// (k*T_u + maxFinish_u > S) and may arrive before the window closes
-/// (k*T_u + minStart_u < S + w).  Same-graph precedence excludes the k = 0
-/// job of transitive predecessors (they finished before i became ready) and
-/// successors (they cannot start before i completes).  The response is the
-/// max of S + w(S) over the candidate window starts (S right below each
-/// exclusion boundary, and S = maxArrival_i).  All operators are monotone in
-/// the iterated quantities, so iterating from the best-case solution yields
-/// a safe least fixed point.
-///
-/// If the single-instance response exceeds the task's own period, own jobs
-/// can pile up and the offset argument for self-interference breaks; the
-/// task then falls back to the classical jitter-based busy-window bound
-/// (`jitter_fallback`), which is unconditionally safe.
-FixedPointResult run_fixed_point(const Problem& problem,
-                                 const HolisticAnalysis::Options& options,
-                                 bool offset_aware) {
-  const std::size_t n = problem.n;
-  FixedPointResult result;
-
-  // --- Best case: interference-free longest path ------------------------
-  result.min_start.assign(n, 0);
-  result.min_finish.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i)
-    result.min_finish[i] = problem.c_min[i];
-  bool stable = false;
-  while (!stable) {
-    stable = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      model::Time ready = 0;
-      for (const InEdge& edge : problem.in_edges[i])
-        ready = std::max(ready, result.min_finish[edge.src] + edge.delay);
-      if (ready != result.min_start[i]) {
-        result.min_start[i] = ready;
-        result.min_finish[i] = ready + problem.c_min[i];
-        stable = false;
-      }
-    }
-  }
-
-  result.max_arrival = result.min_start;
-  result.max_finish = result.min_finish;
-
-  // Release jitter of a task: the width of its ready-time band.
-  auto jitter = [&](std::size_t u) {
-    return result.max_arrival[u] - result.min_start[u];
-  };
-
-  // --- Classical jitter-based bound (fallback / offset_aware == false) ---
-  auto jitter_interference = [&](std::size_t i, model::Time w) {
-    model::Time total = 0;
-    for (std::size_t u : problem.interferers[i]) {
-      if (problem.c_max[u] == 0) continue;
-      total += ceil_div(w + jitter(u), problem.period[u]) * problem.c_max[u];
-    }
-    return total;
-  };
-
-  auto solve_jitter_window = [&](std::size_t i, model::Time base) {
-    model::Time w = base;
-    for (std::size_t iter = 0; iter < options.max_inner_iterations; ++iter) {
-      const model::Time next = base + jitter_interference(i, w);
-      if (next == w) return w;
-      w = next;
-      if (w > problem.horizon) return problem.horizon + 1;
-    }
-    return problem.horizon + 1;
-  };
-
-  auto jitter_fallback = [&](std::size_t i, model::Time arrival) {
-    const model::Time busy = solve_jitter_window(i, problem.c_max[i]);
-    const model::Time own_jobs =
-        busy > problem.horizon
-            ? 1
-            : ceil_div(busy + (arrival - result.min_start[i]),
-                       problem.period[i]);
-    model::Time best = 0;
-    for (model::Time q = 0; q < own_jobs; ++q) {
-      const model::Time w =
-          solve_jitter_window(i, (q + 1) * problem.c_max[i]);
-      if (w > problem.horizon) return problem.horizon + 1;
-      best = std::max(best, w + arrival - q * problem.period[i]);
-    }
-    return best;
-  };
-
-  // --- Offset-aware bound -------------------------------------------------
-  // Interference on i inside [start, start + w).
-  auto offset_interference = [&](std::size_t i, model::Time start,
-                                 model::Time w) {
-    model::Time total = 0;
-    for (std::size_t u : problem.interferers[i]) {
-      if (problem.c_max[u] == 0) continue;
-      const bool same_graph_related =
-          problem.graph_of[u] == problem.graph_of[i] &&
-          problem.related[i][u];
-      const model::Time t_u = problem.period[u];
-      // Jobs whose activity window can overlap [start, start + w).
-      const model::Time k_end = (start + w - result.min_start[u] + t_u - 1) / t_u;
-      for (model::Time k = 0; k < k_end; ++k) {
-        if (same_graph_related && k == 0) continue;
-        // Dropped applications release no further instances once the
-        // critical-state transition is complete.
-        if (k * t_u + result.min_start[u] > problem.release_cutoff[u])
-          continue;
-        if (k * t_u + result.max_finish[u] <= start) continue;
-        if (k * t_u + result.min_start[u] >= start + w) break;
-        total += problem.c_max[u];
-      }
-    }
-    return total;
-  };
-
-  auto solve_offset_window = [&](std::size_t i, model::Time start) {
-    model::Time w = problem.c_max[i];
-    for (std::size_t iter = 0; iter < options.max_inner_iterations; ++iter) {
-      const model::Time next =
-          problem.c_max[i] + offset_interference(i, start, w);
-      if (next == w) return w;
-      w = next;
-      if (w > problem.horizon) return problem.horizon + 1;
-    }
-    return problem.horizon + 1;
-  };
-
-  auto offset_finish = [&](std::size_t i, model::Time arrival) {
-    // For preemptive fixed priorities the completion of a job is monotone
-    // in its arrival (a later arrival can only see less available CPU), so
-    // the latest ready time is the worst-case window start.
-    const model::Time w = solve_offset_window(i, arrival);
-    if (w > problem.horizon) return problem.horizon + 1;
-    return arrival + w;
-  };
-
-  // --- Global fixed point --------------------------------------------------
-  stable = false;
-  for (std::size_t outer = 0;
-       outer < options.max_outer_iterations && !stable; ++outer) {
-    stable = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      model::Time arrival = 0;
-      for (const InEdge& edge : problem.in_edges[i])
-        arrival = std::max(arrival, result.max_finish[edge.src] + edge.delay);
-      if (arrival > problem.horizon) {
-        result.diverged = true;
-        arrival = problem.horizon + 1;
-      }
-
-      model::Time finish;
-      if (problem.c_max[i] == 0) {
-        // Zero-length (dropped / inactive) tasks complete upon readiness.
-        finish = arrival;
-      } else if (arrival > problem.horizon) {
-        finish = problem.horizon + 1;
-      } else {
-        finish = offset_aware ? offset_finish(i, arrival)
-                              : jitter_fallback(i, arrival);
-        // Self re-arrival: beyond one period the offset argument for the
-        // analyzed job no longer holds; use the jitter-based bound.
-        if (offset_aware && finish > problem.period[i])
-          finish = std::max(finish, jitter_fallback(i, arrival));
-        if (finish > problem.horizon) {
-          result.diverged = true;
-          finish = problem.horizon + 1;
-        }
-      }
-
-      if (arrival != result.max_arrival[i] ||
-          finish != result.max_finish[i]) {
-        // Monotone non-decreasing updates only; guard for safety.
-        result.max_arrival[i] = std::max(result.max_arrival[i], arrival);
-        result.max_finish[i] = std::max(result.max_finish[i], finish);
-        stable = false;
-      }
-    }
-    // Keep iterating even after a divergence: values clamp at horizon + 1,
-    // so the sweep still stabilizes, and tasks not involved in the overload
-    // (e.g. high-priority critical graphs above diverging dropped ones)
-    // retain trustworthy fixed-point bounds.
-  }
-  if (!stable) {
-    // Could not certify a fixed point: no value is trustworthy.
-    result.diverged = true;
-    std::fill(result.max_finish.begin(), result.max_finish.end(),
-              problem.horizon + 1);
-  }
-  return result;
-}
-
-}  // namespace
 
 AnalysisResult HolisticAnalysis::analyze(
     const model::Architecture& arch, const model::ApplicationSet& apps,
     const model::Mapping& mapping, std::span<const ExecBounds> bounds,
     std::span<const std::uint32_t> priorities) const {
-  const std::size_t n = apps.task_count();
-  if (bounds.size() != n)
+  if (bounds.size() != apps.task_count())
     throw std::invalid_argument("HolisticAnalysis: bounds size mismatch");
-  if (priorities.size() != n)
-    throw std::invalid_argument("HolisticAnalysis: priorities size mismatch");
-  if (!mapping.within(arch.processor_count()))
-    throw std::invalid_argument("HolisticAnalysis: mapping out of range");
+  // One-shot entry: prepare and solve in place.  Multi-scenario callers use
+  // prepare() once and amortize the problem build (see prepared_problem.hpp).
+  const PreparedProblem prepared(arch, apps, mapping, priorities, options_);
+  PreparedProblem::Scratch& scratch = PreparedProblem::thread_scratch();
+  prepared.solve(bounds, scratch);
+  return prepared.materialize(scratch);
+}
 
-  // Remote channels: plain added latency by default, or explicit message
-  // nodes scheduled on a shared-bus pseudo-PE when contention is modeled.
-  struct Message {
-    std::size_t src, dst;
-    model::Time transfer;
-  };
-  std::vector<Message> messages;
-  std::vector<std::vector<InEdge>> in_edges(n);
-  for (std::uint32_t g = 0; g < apps.graph_count(); ++g) {
-    const model::TaskGraph& graph = apps.graph(model::GraphId{g});
-    for (const model::Channel& channel : graph.channels()) {
-      const std::size_t src = apps.flat_index({g, channel.src});
-      const std::size_t dst = apps.flat_index({g, channel.dst});
-      const bool remote =
-          mapping.processor_of_flat(src) != mapping.processor_of_flat(dst);
-      if (remote && options_.bus_contention &&
-          arch.transfer_time(channel.size_bytes) > 0) {
-        messages.push_back(
-            {src, dst, arch.transfer_time(channel.size_bytes)});
-      } else {
-        const model::Time delay =
-            remote ? arch.transfer_time(channel.size_bytes) : 0;
-        in_edges[dst].push_back(InEdge{src, delay});
-      }
-    }
-  }
-
-  const std::size_t total = n + messages.size();
-  const std::uint32_t bus_pe =
-      static_cast<std::uint32_t>(arch.processor_count());
-
-  Problem problem;
-  problem.n = total;
-  problem.c_min.resize(total);
-  problem.c_max.resize(total);
-  problem.period.resize(total);
-  problem.release_cutoff.resize(total);
-  problem.interferers.resize(total);
-  problem.graph_of.resize(total);
-  in_edges.resize(total);
-  std::vector<std::uint32_t> pe_of(total);
-  std::vector<std::uint64_t> rank(total);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const model::TaskRef ref = apps.task_ref(i);
-    const model::Processor& pe = arch.processor(mapping.processor_of_flat(i));
-    if (bounds[i].bcet < 0 || bounds[i].wcet < bounds[i].bcet)
-      throw std::invalid_argument("HolisticAnalysis: invalid ExecBounds");
-    problem.c_min[i] = hardening::scaled_time(pe, bounds[i].bcet);
-    problem.c_max[i] = hardening::scaled_time(pe, bounds[i].wcet);
-    problem.period[i] = apps.graph(ref.graph_id()).period();
-    problem.release_cutoff[i] = bounds[i].release_cutoff;
-    problem.graph_of[i] = ref.graph;
-    pe_of[i] = mapping.processor_of_flat(i).value;
-    rank[i] = priorities[i];
-  }
-  for (std::size_t q = 0; q < messages.size(); ++q) {
-    const std::size_t node = n + q;
-    const Message& message = messages[q];
-    // A message exists exactly when its producer runs; zero-size producer
-    // bounds (dropped / inactive tasks) silence the message too.
-    problem.c_min[node] =
-        problem.c_min[message.src] == 0 ? 0 : message.transfer;
-    problem.c_max[node] =
-        problem.c_max[message.src] == 0 ? 0 : message.transfer;
-    problem.period[node] = problem.period[message.src];
-    problem.release_cutoff[node] = problem.release_cutoff[message.src];
-    problem.graph_of[node] = problem.graph_of[message.src];
-    pe_of[node] = bus_pe;
-    // Messages inherit the producer's priority; the edge index keeps bus
-    // ranks unique (only bus nodes are ever compared with each other).
-    rank[node] = (static_cast<std::uint64_t>(priorities[message.src]) << 16) |
-                 q;
-    in_edges[node].push_back(InEdge{message.src, 0});
-    in_edges[message.dst].push_back(InEdge{node, 0});
-  }
-  problem.in_edges = std::move(in_edges);
-
-  for (std::size_t i = 0; i < total; ++i)
-    for (std::size_t u = 0; u < total; ++u)
-      if (u != i && pe_of[u] == pe_of[i] && rank[u] < rank[i])
-        problem.interferers[i].push_back(u);
-  problem.related = compute_relations(total, problem.in_edges);
-  problem.horizon = options_.horizon_hyperperiods * apps.hyperperiod();
-
-  const FixedPointResult fixed_point =
-      run_fixed_point(problem, options_, options_.precedence_aware);
-
-  AnalysisResult result;
-  result.windows.assign(n, TaskWindow{});
-  for (std::size_t i = 0; i < n; ++i) {
-    TaskWindow& window = result.windows[i];
-    window.min_start = fixed_point.min_start[i];
-    window.min_finish = fixed_point.min_finish[i];
-    window.max_start = fixed_point.max_arrival[i];
-    window.max_finish = fixed_point.max_finish[i];
-    window.schedulable = fixed_point.max_finish[i] <= problem.horizon;
-    if (!window.schedulable) window.max_finish = kUnschedulable;
-  }
-  result.schedulable = !fixed_point.diverged;
-  return result;
+std::unique_ptr<PreparedAnalysis> HolisticAnalysis::prepare(
+    const model::Architecture& arch, const model::ApplicationSet& apps,
+    const model::Mapping& mapping,
+    std::span<const std::uint32_t> priorities) const {
+  if (!options_.prepared_kernel)
+    return SchedulingAnalysis::prepare(arch, apps, mapping, priorities);
+  return std::make_unique<PreparedProblem>(arch, apps, mapping, priorities,
+                                           options_);
 }
 
 }  // namespace ftmc::sched

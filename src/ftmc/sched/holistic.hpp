@@ -45,6 +45,18 @@ class HolisticAnalysis final : public SchedulingAnalysis {
     /// contend with each other instead of each enjoying the full bandwidth.
     /// Off by default (the paper's model grants bw_nw to every transfer).
     bool bus_contention = false;
+    /// prepare() returns the amortized PreparedProblem kernel (build the
+    /// problem once per candidate, solve per scenario).  Set to false to
+    /// fall back to the generic rebuild-per-solve adapter — observationally
+    /// identical, only slower; exposed for the differential tests and the
+    /// prepare-vs-rebuild arm of bench_sched_kernel.
+    bool prepared_kernel = true;
+    /// Worst-case global fixed point: change-driven worklist in topological
+    /// order (default) vs. the original full sweep over all nodes until
+    /// stable.  Bit-identical results either way (the operator is monotone,
+    /// so the least fixed point is iteration-order independent); exposed
+    /// for the differential tests and the worklist-vs-sweep bench.
+    bool worklist_fixed_point = true;
   };
 
   HolisticAnalysis() : options_() {}
@@ -56,6 +68,15 @@ class HolisticAnalysis final : public SchedulingAnalysis {
                          std::span<const ExecBounds> bounds,
                          std::span<const std::uint32_t> priorities)
       const override;
+
+  /// The amortized kernel: one PreparedProblem shared by every solve()
+  /// (see prepared_problem.hpp).  Honors Options::prepared_kernel.
+  std::unique_ptr<PreparedAnalysis> prepare(
+      const model::Architecture& arch, const model::ApplicationSet& apps,
+      const model::Mapping& mapping,
+      std::span<const std::uint32_t> priorities) const override;
+
+  const Options& options() const noexcept { return options_; }
 
  private:
   Options options_;

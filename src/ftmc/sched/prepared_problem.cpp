@@ -1,0 +1,485 @@
+#include "ftmc/sched/prepared_problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ftmc/hardening/reliability.hpp"  // scaled_time
+
+namespace ftmc::sched {
+
+namespace {
+
+/// ceil(a / b) for non-negative a, positive b.
+constexpr model::Time ceil_div(model::Time a, model::Time b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+PreparedProblem::PreparedProblem(const model::Architecture& arch,
+                                 const model::ApplicationSet& apps,
+                                 const model::Mapping& mapping,
+                                 std::span<const std::uint32_t> priorities,
+                                 const HolisticAnalysis::Options& options)
+    : options_(options) {
+  n_ = apps.task_count();
+  if (priorities.size() != n_)
+    throw std::invalid_argument("HolisticAnalysis: priorities size mismatch");
+  if (!mapping.within(arch.processor_count()))
+    throw std::invalid_argument("HolisticAnalysis: mapping out of range");
+
+  // Remote channels: plain added latency by default, or explicit message
+  // nodes scheduled on a shared-bus pseudo-PE when contention is modeled.
+  struct Message {
+    std::size_t src, dst;
+    model::Time transfer;
+  };
+  std::vector<Message> messages;
+  std::vector<std::vector<InEdge>> in_edges(n_);
+  for (std::uint32_t g = 0; g < apps.graph_count(); ++g) {
+    const model::TaskGraph& graph = apps.graph(model::GraphId{g});
+    for (const model::Channel& channel : graph.channels()) {
+      const std::size_t src = apps.flat_index({g, channel.src});
+      const std::size_t dst = apps.flat_index({g, channel.dst});
+      const bool remote =
+          mapping.processor_of_flat(src) != mapping.processor_of_flat(dst);
+      if (remote && options_.bus_contention &&
+          arch.transfer_time(channel.size_bytes) > 0) {
+        messages.push_back(
+            {src, dst, arch.transfer_time(channel.size_bytes)});
+      } else {
+        const model::Time delay =
+            remote ? arch.transfer_time(channel.size_bytes) : 0;
+        in_edges[dst].push_back(InEdge{src, delay});
+      }
+    }
+  }
+
+  total_ = n_ + messages.size();
+  const std::uint32_t bus_pe =
+      static_cast<std::uint32_t>(arch.processor_count());
+
+  pe_ref_.resize(n_);
+  period_.resize(total_);
+  graph_of_.resize(total_);
+  in_edges.resize(total_);
+  std::vector<std::uint32_t> pe_of(total_);
+  std::vector<std::uint64_t> rank(total_);
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const model::TaskRef ref = apps.task_ref(i);
+    pe_ref_[i] = &arch.processor(mapping.processor_of_flat(i));
+    period_[i] = apps.graph(ref.graph_id()).period();
+    graph_of_[i] = ref.graph;
+    pe_of[i] = mapping.processor_of_flat(i).value;
+    rank[i] = priorities[i];
+  }
+  message_src_.resize(messages.size());
+  message_transfer_.resize(messages.size());
+  for (std::size_t q = 0; q < messages.size(); ++q) {
+    const std::size_t node = n_ + q;
+    const Message& message = messages[q];
+    message_src_[q] = message.src;
+    message_transfer_[q] = message.transfer;
+    period_[node] = period_[message.src];
+    graph_of_[node] = graph_of_[message.src];
+    pe_of[node] = bus_pe;
+    // Messages inherit the producer's priority; the edge index keeps bus
+    // ranks unique (only bus nodes are ever compared with each other).
+    rank[node] = (static_cast<std::uint64_t>(priorities[message.src]) << 16) |
+                 q;
+    in_edges[node].push_back(InEdge{message.src, 0});
+    in_edges[message.dst].push_back(InEdge{node, 0});
+  }
+  in_edges_ = std::move(in_edges);
+
+  interferers_.resize(total_);
+  for (std::size_t i = 0; i < total_; ++i)
+    for (std::size_t u = 0; u < total_; ++u)
+      if (u != i && pe_of[u] == pe_of[i] && rank[u] < rank[i])
+        interferers_[i].push_back(u);
+
+  // Successor lists drive the relation DFS, the topological sort, and the
+  // worklist dependency edges.
+  std::vector<std::vector<std::size_t>> succs(total_);
+  for (std::size_t i = 0; i < total_; ++i)
+    for (const InEdge& edge : in_edges_[i]) succs[edge.src].push_back(i);
+
+  // Transitive reachability over the precedence edges (u ~ i iff u reaches
+  // i or i reaches u), packed as one bitset row per node.  Edges only exist
+  // within a graph, so this is the same-graph relation the interference
+  // refinement needs; it also covers message nodes under bus contention.
+  words_ = (total_ + 63) / 64;
+  related_bits_.assign(total_ * words_, 0);
+  auto set_related = [&](std::size_t a, std::size_t b) {
+    related_bits_[a * words_ + (b >> 6)] |= std::uint64_t{1} << (b & 63);
+  };
+  std::vector<std::size_t> stack;
+  std::vector<std::uint8_t> seen(total_, 0);
+  for (std::size_t s = 0; s < total_; ++s) {
+    std::fill(seen.begin(), seen.end(), 0);
+    stack.assign(1, s);
+    seen[s] = 1;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (const std::size_t w : succs[v]) {
+        if (seen[w]) continue;
+        seen[w] = 1;
+        set_related(s, w);
+        set_related(w, s);
+        stack.push_back(w);
+      }
+    }
+  }
+
+  // Kahn topological order over the precedence DAG (task graphs are
+  // validated acyclic at construction; message nodes split existing edges,
+  // so the flattened graph stays a DAG — the throw is a safety net).
+  std::vector<std::size_t> indegree(total_, 0);
+  for (std::size_t i = 0; i < total_; ++i) indegree[i] = in_edges_[i].size();
+  topo_order_.reserve(total_);
+  for (std::size_t i = 0; i < total_; ++i)
+    if (indegree[i] == 0) topo_order_.push_back(i);
+  for (std::size_t head = 0; head < topo_order_.size(); ++head) {
+    const std::size_t v = topo_order_[head];
+    for (const std::size_t w : succs[v])
+      if (--indegree[w] == 0) topo_order_.push_back(w);
+  }
+  if (topo_order_.size() != total_)
+    throw std::invalid_argument("HolisticAnalysis: precedence cycle");
+
+  // Worklist dependency edges: node i's worst-case equation reads the
+  // windows of its precedence predecessors (arrival) and of every
+  // higher-priority same-PE node (interference) — so a change to node u
+  // must re-queue u's successors and the nodes u interferes with.
+  dependents_.resize(total_);
+  for (std::size_t i = 0; i < total_; ++i)
+    for (const InEdge& edge : in_edges_[i]) dependents_[edge.src].push_back(i);
+  for (std::size_t i = 0; i < total_; ++i)
+    for (const std::size_t u : interferers_[i]) dependents_[u].push_back(i);
+  for (std::vector<std::size_t>& deps : dependents_) {
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  }
+
+  horizon_ = options_.horizon_hyperperiods * apps.hyperperiod();
+}
+
+void PreparedProblem::load_bounds(std::span<const ExecBounds> bounds,
+                                  Scratch& s) const {
+  if (bounds.size() != n_)
+    throw std::invalid_argument("HolisticAnalysis: bounds size mismatch");
+  s.c_min.resize(total_);
+  s.c_max.resize(total_);
+  s.release_cutoff.resize(total_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (bounds[i].bcet < 0 || bounds[i].wcet < bounds[i].bcet)
+      throw std::invalid_argument("HolisticAnalysis: invalid ExecBounds");
+    s.c_min[i] = hardening::scaled_time(*pe_ref_[i], bounds[i].bcet);
+    s.c_max[i] = hardening::scaled_time(*pe_ref_[i], bounds[i].wcet);
+    s.release_cutoff[i] = bounds[i].release_cutoff;
+  }
+  for (std::size_t q = 0; q < message_src_.size(); ++q) {
+    const std::size_t node = n_ + q;
+    const std::size_t src = message_src_[q];
+    // A message exists exactly when its producer runs; zero-size producer
+    // bounds (dropped / inactive tasks) silence the message too.
+    s.c_min[node] = s.c_min[src] == 0 ? 0 : message_transfer_[q];
+    s.c_max[node] = s.c_max[src] == 0 ? 0 : message_transfer_[q];
+    s.release_cutoff[node] = s.release_cutoff[src];
+  }
+}
+
+void PreparedProblem::best_case(Scratch& s) const {
+  // Interference-free longest path: exact in one topological pass (the
+  // original swept to stability, but the DAG fixed point is unique and a
+  // topo pass reaches it directly).
+  s.min_start.resize(total_);
+  s.min_finish.resize(total_);
+  for (const std::size_t i : topo_order_) {
+    model::Time ready = 0;
+    for (const InEdge& edge : in_edges_[i])
+      ready = std::max(ready, s.min_finish[edge.src] + edge.delay);
+    s.min_start[i] = ready;
+    s.min_finish[i] = ready + s.c_min[i];
+  }
+}
+
+// One worst-case re-evaluation of node i — the exact operator of the
+// original monolithic kernel (see holistic.hpp for the formulation):
+//
+// Offset-aware: all graphs release in phase, so every job of every task
+// lives in an absolute window [k*T_u + minStart_u, k*T_u + maxFinish_u]
+// relative to the common release.  A job (u, k) can steal CPU inside
+// [S, S + w) only if it may be unfinished at S and may arrive before the
+// window closes; same-graph precedence excludes the k = 0 job of transitive
+// predecessors and successors.  If the single-instance response exceeds the
+// task's own period, the offset argument for self-interference breaks and
+// the task falls back to the classical jitter-based busy window, which is
+// unconditionally safe.  Note the operator is NOT monotone in the node's
+// arrival (a later window start can exclude whole interfering jobs), so the
+// global fixed point depends on evaluation order; both drivers below
+// preserve the reference sweep's flat evaluation order exactly.
+PreparedProblem::UpdateOutcome PreparedProblem::update_node(
+    std::size_t i, Scratch& s) const {
+  const bool offset_aware = options_.precedence_aware;
+  const model::Time horizon = horizon_;
+
+  // Release jitter of a task: the width of its ready-time band.
+  const auto jitter = [&](std::size_t u) {
+    return s.max_arrival[u] - s.min_start[u];
+  };
+
+  // --- Classical jitter-based bound (fallback / offset_aware == false) ---
+  const auto jitter_interference = [&](model::Time w) {
+    model::Time total = 0;
+    for (const std::size_t u : interferers_[i]) {
+      if (s.c_max[u] == 0) continue;
+      total += ceil_div(w + jitter(u), period_[u]) * s.c_max[u];
+    }
+    return total;
+  };
+
+  const auto solve_jitter_window = [&](model::Time base) {
+    model::Time w = base;
+    for (std::size_t iter = 0; iter < options_.max_inner_iterations; ++iter) {
+      const model::Time next = base + jitter_interference(w);
+      if (next == w) return w;
+      w = next;
+      if (w > horizon) return horizon + 1;
+    }
+    return horizon + 1;
+  };
+
+  const auto jitter_fallback = [&](model::Time arrival) {
+    const model::Time busy = solve_jitter_window(s.c_max[i]);
+    const model::Time own_jobs =
+        busy > horizon
+            ? 1
+            : ceil_div(busy + (arrival - s.min_start[i]), period_[i]);
+    model::Time best = 0;
+    for (model::Time q = 0; q < own_jobs; ++q) {
+      const model::Time w = solve_jitter_window((q + 1) * s.c_max[i]);
+      if (w > horizon) return horizon + 1;
+      best = std::max(best, w + arrival - q * period_[i]);
+    }
+    return best;
+  };
+
+  // --- Offset-aware bound: interference on i inside [start, start + w). ---
+  const auto offset_interference = [&](model::Time start, model::Time w) {
+    model::Time total = 0;
+    for (const std::size_t u : interferers_[i]) {
+      if (s.c_max[u] == 0) continue;
+      const bool same_graph_related =
+          graph_of_[u] == graph_of_[i] && related(i, u);
+      const model::Time t_u = period_[u];
+      // Jobs whose activity window can overlap [start, start + w).
+      const model::Time k_end =
+          (start + w - s.min_start[u] + t_u - 1) / t_u;
+      for (model::Time k = 0; k < k_end; ++k) {
+        if (same_graph_related && k == 0) continue;
+        // Dropped applications release no further instances once the
+        // critical-state transition is complete.
+        if (k * t_u + s.min_start[u] > s.release_cutoff[u]) continue;
+        if (k * t_u + s.max_finish[u] <= start) continue;
+        if (k * t_u + s.min_start[u] >= start + w) break;
+        total += s.c_max[u];
+      }
+    }
+    return total;
+  };
+
+  const auto solve_offset_window = [&](model::Time start) {
+    model::Time w = s.c_max[i];
+    for (std::size_t iter = 0; iter < options_.max_inner_iterations; ++iter) {
+      const model::Time next = s.c_max[i] + offset_interference(start, w);
+      if (next == w) return w;
+      w = next;
+      if (w > horizon) return horizon + 1;
+    }
+    return horizon + 1;
+  };
+
+  const auto offset_finish = [&](model::Time arrival) {
+    // For preemptive fixed priorities the completion of a job is monotone
+    // in its arrival (a later arrival can only see less available CPU), so
+    // the latest ready time is the worst-case window start.
+    const model::Time w = solve_offset_window(arrival);
+    if (w > horizon) return horizon + 1;
+    return arrival + w;
+  };
+
+  model::Time arrival = 0;
+  for (const InEdge& edge : in_edges_[i])
+    arrival = std::max(arrival, s.max_finish[edge.src] + edge.delay);
+  if (arrival > horizon) {
+    s.diverged = true;
+    arrival = horizon + 1;
+  }
+
+  model::Time finish;
+  if (s.c_max[i] == 0) {
+    // Zero-length (dropped / inactive) tasks complete upon readiness.
+    finish = arrival;
+  } else if (arrival > horizon) {
+    finish = horizon + 1;
+  } else {
+    finish = offset_aware ? offset_finish(arrival) : jitter_fallback(arrival);
+    // Self re-arrival: beyond one period the offset argument for the
+    // analyzed job no longer holds; use the jitter-based bound.
+    if (offset_aware && finish > period_[i])
+      finish = std::max(finish, jitter_fallback(arrival));
+    if (finish > horizon) {
+      s.diverged = true;
+      finish = horizon + 1;
+    }
+  }
+
+  UpdateOutcome outcome;
+  outcome.raw_changed =
+      arrival != s.max_arrival[i] || finish != s.max_finish[i];
+  if (outcome.raw_changed) {
+    // Non-decreasing updates only (guarded max), as in the reference sweep.
+    const model::Time new_arrival = std::max(s.max_arrival[i], arrival);
+    const model::Time new_finish = std::max(s.max_finish[i], finish);
+    outcome.stored_changed = new_arrival != s.max_arrival[i] ||
+                             new_finish != s.max_finish[i];
+    s.max_arrival[i] = new_arrival;
+    s.max_finish[i] = new_finish;
+    // Computed window still below the ratcheted state: with unchanged
+    // inputs this node will report raw_changed on every future visit.
+    outcome.sticky =
+        arrival != s.max_arrival[i] || finish != s.max_finish[i];
+  }
+  return outcome;
+}
+
+void PreparedProblem::worst_case_worklist(Scratch& s) const {
+  // Change-driven rounds in the reference sweep's flat order: a round
+  // re-evaluates only the nodes whose inputs (the stored windows of their
+  // precedence predecessors and interferers) changed since their last
+  // visit.  Skipped evaluations are exactly the ones that are no-ops in the
+  // reference sweep — unchanged inputs reproduce the previous computed
+  // window, which the guarded max already absorbed — so the stored-state
+  // trajectory, round for round, is identical to sweeping every node.
+  // Within a round the ascending scan preserves the sweep's Gauss-Seidel
+  // visibility: when node u's stored window changes, readers with a higher
+  // flat index are picked up later in the same round, lower ones next
+  // round, exactly as the full sweep would see them.
+  //
+  // "Sticky" nodes (computed window below the ratcheted stored state) are
+  // the one case where the reference sweep re-reports instability without
+  // changing any value; once only sticky nodes remain the sweep burns its
+  // remaining round budget and lands on the diverged path, which we can
+  // take immediately.
+  s.dirty.assign(total_, 1);
+  s.sticky.assign(total_, 0);
+  std::size_t dirty_count = total_;
+  std::size_t sticky_count = 0;
+  bool stable = false;
+  for (std::size_t outer = 0;
+       outer < options_.max_outer_iterations && !stable; ++outer) {
+    stable = true;
+    for (std::size_t i = 0; i < total_; ++i) {
+      if (!s.dirty[i]) {
+        if (s.sticky[i]) stable = false;
+        continue;
+      }
+      s.dirty[i] = 0;
+      --dirty_count;
+      const UpdateOutcome outcome = update_node(i, s);
+      if (outcome.raw_changed) stable = false;
+      if (outcome.sticky != static_cast<bool>(s.sticky[i])) {
+        s.sticky[i] = outcome.sticky ? 1 : 0;
+        outcome.sticky ? ++sticky_count : --sticky_count;
+      }
+      if (outcome.stored_changed) {
+        for (const std::size_t dep : dependents_[i]) {
+          if (!s.dirty[dep]) {
+            s.dirty[dep] = 1;
+            ++dirty_count;
+          }
+        }
+      }
+    }
+    // Keep iterating even after a divergence: values clamp at horizon + 1,
+    // so the rounds still stabilize, and tasks not involved in the overload
+    // (e.g. high-priority critical graphs above diverging dropped ones)
+    // retain trustworthy fixed-point bounds.
+    //
+    // Only sticky nodes left: no stored value can ever change again, so
+    // every remaining reference round is a no-op with stable == false — the
+    // reference sweep burns its whole round budget and diverges.  (With no
+    // sticky nodes the next round is the cheap stability confirmation.)
+    if (!stable && dirty_count == 0 && sticky_count > 0) break;
+  }
+  if (!stable) {
+    // Could not certify a fixed point: no value is trustworthy.
+    s.diverged = true;
+    std::fill(s.max_finish.begin(), s.max_finish.end(), horizon_ + 1);
+  }
+}
+
+void PreparedProblem::worst_case_sweep(Scratch& s) const {
+  // Reference mode: the original full sweep over all nodes in flat order
+  // until a sweep changes nothing (or the budget runs out).
+  bool stable = false;
+  for (std::size_t outer = 0;
+       outer < options_.max_outer_iterations && !stable; ++outer) {
+    stable = true;
+    for (std::size_t i = 0; i < total_; ++i)
+      if (update_node(i, s).raw_changed) stable = false;
+  }
+  if (!stable) {
+    s.diverged = true;
+    std::fill(s.max_finish.begin(), s.max_finish.end(), horizon_ + 1);
+  }
+}
+
+void PreparedProblem::solve(std::span<const ExecBounds> bounds,
+                            Scratch& s) const {
+  load_bounds(bounds, s);
+  s.diverged = false;
+  best_case(s);
+  // Worst-case iteration starts from the best-case solution, exactly like
+  // the reference sweep (both drivers replay its evaluation order, so the
+  // whole trajectory — including the divergence verdict — is identical).
+  s.max_arrival.assign(s.min_start.begin(), s.min_start.end());
+  s.max_finish.assign(s.min_finish.begin(), s.min_finish.end());
+  if (options_.worklist_fixed_point)
+    worst_case_worklist(s);
+  else
+    worst_case_sweep(s);
+}
+
+AnalysisResult PreparedProblem::materialize(const Scratch& s) const {
+  AnalysisResult result;
+  result.windows.assign(n_, TaskWindow{});
+  for (std::size_t i = 0; i < n_; ++i) {
+    TaskWindow& window = result.windows[i];
+    window.min_start = s.min_start[i];
+    window.min_finish = s.min_finish[i];
+    window.max_start = s.max_arrival[i];
+    window.max_finish = s.max_finish[i];
+    window.schedulable = s.max_finish[i] <= horizon_;
+    if (!window.schedulable) window.max_finish = kUnschedulable;
+  }
+  result.schedulable = !s.diverged;
+  return result;
+}
+
+AnalysisResult PreparedProblem::solve(
+    std::span<const ExecBounds> bounds) const {
+  Scratch& scratch = thread_scratch();
+  solve(bounds, scratch);
+  return materialize(scratch);
+}
+
+PreparedProblem::Scratch& PreparedProblem::thread_scratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+}  // namespace ftmc::sched

@@ -79,15 +79,21 @@ MonteCarloResult monte_carlo_wcrt(
 
   for (std::size_t g = 0; g < graphs; ++g) {
     ResponseDistribution& dist = result.distribution[g];
-    dist.observations = samples[g].size();
-    if (samples[g].empty()) continue;
+    std::vector<double>& sample_set = samples[g];
+    dist.observations = sample_set.size();
+    if (sample_set.empty()) continue;
+    // One streaming pass for the mean, one sort shared by min/max/p95/p99
+    // (percentile() would re-copy and re-sort the samples per call).
     util::RunningStats stats;
-    for (const double sample : samples[g]) stats.add(sample);
+    for (const double sample : sample_set) stats.add(sample);
+    std::sort(sample_set.begin(), sample_set.end());
     dist.mean = stats.mean();
-    dist.min = static_cast<model::Time>(stats.min());
-    dist.max = static_cast<model::Time>(stats.max());
-    dist.p95 = static_cast<model::Time>(util::percentile(samples[g], 0.95));
-    dist.p99 = static_cast<model::Time>(util::percentile(samples[g], 0.99));
+    dist.min = static_cast<model::Time>(sample_set.front());
+    dist.max = static_cast<model::Time>(sample_set.back());
+    dist.p95 =
+        static_cast<model::Time>(util::percentile_sorted(sample_set, 0.95));
+    dist.p99 =
+        static_cast<model::Time>(util::percentile_sorted(sample_set, 0.99));
   }
 
   result.deadline_miss_profiles = miss_count;

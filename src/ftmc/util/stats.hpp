@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace ftmc::util {
@@ -31,5 +32,10 @@ class RunningStats {
 /// Percentile of a sample set via linear interpolation (q in [0,1]).
 /// Copies and sorts; intended for bench-sized sample vectors.
 double percentile(std::vector<double> samples, double q);
+
+/// Same interpolation over an already ascending-sorted sample set — no copy,
+/// no sort.  Callers needing several percentiles of one sample set sort once
+/// and query this repeatedly.
+double percentile_sorted(std::span<const double> sorted, double q);
 
 }  // namespace ftmc::util
