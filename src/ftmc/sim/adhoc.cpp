@@ -1,17 +1,22 @@
 #include "ftmc/sim/adhoc.hpp"
 
+#include "ftmc/sim/prepared_sim.hpp"
+
 namespace ftmc::sim {
 
 std::vector<model::Time> adhoc_wcrt(
     const model::Architecture& arch, const hardening::HardenedSystem& system,
     const core::DropSet& drop,
     const std::vector<std::uint32_t>& priorities) {
-  const Simulator simulator(arch, system, drop, priorities);
+  const PreparedSim prepared(arch, system, drop, priorities);
   AlwaysFaults faults;
   WcetExecution durations;
-  SimOptions options;
+  RunOptions options;
   options.start_in_critical_state = true;
-  const SimResult result = simulator.run(faults, durations, options);
+  // The estimator only reads per-graph responses; skip trace construction.
+  options.trace = TraceLevel::kResponses;
+  const SimResult& result =
+      prepared.run(faults, durations, options, PreparedSim::thread_scratch());
   return result.graph_response;
 }
 

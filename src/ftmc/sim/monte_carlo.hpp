@@ -24,6 +24,12 @@ struct MonteCarloOptions {
   std::uint64_t seed = 1;
   /// Worker threads (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Per-profile event budget (throws, wrapped with profile context).
+  std::size_t max_events = 50'000'000;
+  /// Trace detail per profile.  The campaign aggregates only per-graph
+  /// responses, so anything above kResponses is pure overhead — exposed for
+  /// A/B measurement (`ftmc simulate --trace-level`, bench_sim_kernel).
+  TraceLevel trace = TraceLevel::kResponses;
 };
 
 /// Response-time distribution of one graph over the simulated profiles.
@@ -46,6 +52,9 @@ struct MonteCarloResult {
   /// Profiles in which any non-dropped graph missed its deadline.
   std::size_t deadline_miss_profiles = 0;
   std::size_t profiles = 0;
+  /// Simulation events processed across all profiles (kernel throughput
+  /// counter; order-independent sum, so deterministic).
+  std::size_t events_processed = 0;
 };
 
 /// Runs `options.profiles` independent simulations and aggregates maxima.

@@ -1,0 +1,29 @@
+// Reference implementation of the trace simulator — the original monolithic
+// Simulator::run() preserved verbatim (modulo the `events` output counter).
+//
+// The production path is the prepared kernel (ftmc/sim/prepared_sim.hpp);
+// this copy exists so the differential tests (tests/test_sim_kernel.cpp) and
+// the bench_sim_kernel seed arm always compare the kernel against the code
+// it replaced rather than against itself.  It rebuilds every static table
+// per call, allocates freely, and always materializes the full trace
+// (SimOptions::trace is ignored — output is TraceLevel::kFull).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftmc/sim/simulator.hpp"
+
+namespace ftmc::sim::reference {
+
+/// One full simulation run, legacy style: validate, build all tables, run,
+/// materialize the complete trace.  Semantics and output are bit-identical
+/// to PreparedSim::run at TraceLevel::kFull.
+SimResult run(const model::Architecture& arch,
+              const hardening::HardenedSystem& system,
+              const core::DropSet& drop,
+              const std::vector<std::uint32_t>& priorities,
+              FaultModel& faults, ExecTimeModel& durations,
+              const SimOptions& options = {});
+
+}  // namespace ftmc::sim::reference

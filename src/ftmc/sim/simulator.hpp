@@ -20,6 +20,12 @@
 //
 // The simulator never produces a response time above Algorithm 1's bound —
 // that safety relation is exercised extensively in the property tests.
+//
+// Simulator is the one-shot convenience wrapper: each run() prepares the
+// static problem and runs the prepared kernel against a fresh scratch.
+// Repeated simulation of one candidate (Monte-Carlo campaigns, the Adhoc
+// estimator) should use ftmc/sim/prepared_sim.hpp directly — prepare once,
+// run N times against reused scratch.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,9 @@ struct SimOptions {
   /// contend with each other.  Must match the analysis-side option for the
   /// safety relation to be meaningful.
   bool bus_contention = false;
+  /// How much trace output to materialize (see TraceLevel); the simulation
+  /// itself is identical at every level.
+  TraceLevel trace = TraceLevel::kFull;
 };
 
 class Simulator {

@@ -23,6 +23,22 @@ enum class JobState : std::uint8_t {
 
 const char* to_string(JobState state) noexcept;
 
+/// How much of the trace a simulation run materializes.  The simulation
+/// itself (event order, fault decisions, response times) is identical at
+/// every level; lower levels only skip building output vectors.
+enum class TraceLevel : std::uint8_t {
+  /// Aggregates only: graph_response, responses-free deadline_miss,
+  /// unsafe_result, critical_entry, events.  `jobs`, `segments`, and
+  /// `responses` stay empty — the Monte-Carlo profile setting.
+  kResponses,
+  /// Adds per-job records and per-instance responses (no segments).
+  kJobs,
+  /// Everything, including per-PE execution segments (Gantt rendering).
+  kFull,
+};
+
+const char* to_string(TraceLevel level) noexcept;
+
 /// One job = one release of one task of T'.
 struct JobRecord {
   std::size_t flat_task = 0;
@@ -66,6 +82,9 @@ struct SimResult {
   bool deadline_miss = false;
   /// Any task's hardening was exhausted by faults (unsafe result).
   bool unsafe_result = false;
+  /// Release/delivery/boundary events processed by the kernel's event loop
+  /// (the unit `SimOptions::max_events` budgets).
+  std::size_t events = 0;
 
   model::Time response_of(model::GraphId graph) const {
     return graph_response.at(graph.value);

@@ -4,6 +4,7 @@
 //   ftmc analyze <system.ftmc>               Algorithm 1 on the candidate
 //   ftmc simulate <system.ftmc> [options]    Monte-Carlo fault injection
 //       --profiles=N (default 1000) --fault-prob=P (0.3) --seed=S (1)
+//       --threads=N (hardware) --trace-level=responses|jobs|full (responses)
 //   ftmc optimize <system.ftmc> [options]    GA design-space exploration
 //       --generations=N (60) --population=N (40) --seed=S (42)
 //       --threads=N (hardware) --no-cache --sequential-scenarios
@@ -12,6 +13,7 @@
 // The system file format is documented in ftmc/io/text_format.hpp; `ftmc
 // optimize --out=` writes a full system + candidate file that `analyze` and
 // `simulate` accept.
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -41,6 +43,7 @@ int usage() {
       "            [--threads=N]  (parallel transition scenarios)\n"
       "  simulate  Monte-Carlo fault injection on the candidate\n"
       "            [--profiles=N] [--fault-prob=P] [--seed=S]\n"
+      "            [--threads=N] [--trace-level=responses|jobs|full]\n"
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
       "            [--threads=N] [--no-cache] [--sequential-scenarios]\n"
@@ -163,6 +166,14 @@ int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
   return evaluation.feasible() ? 0 : 1;
 }
 
+sim::TraceLevel parse_trace_level(const std::string& name) {
+  if (name == "responses") return sim::TraceLevel::kResponses;
+  if (name == "jobs") return sim::TraceLevel::kJobs;
+  if (name == "full") return sim::TraceLevel::kFull;
+  throw std::runtime_error("unknown --trace-level '" + name +
+                           "' (expected responses, jobs, or full)");
+}
+
 int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
   const core::Candidate candidate = require_candidate(spec);
   const auto system = hardening::apply_hardening(
@@ -175,9 +186,16 @@ int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
   options.fault_probability =
       std::stod(option(argc, argv, "fault-prob", "0.3"));
   options.seed = std::stoull(option(argc, argv, "seed", "1"));
+  options.threads = std::stoul(option(argc, argv, "threads", "0"));
+  options.trace =
+      parse_trace_level(option(argc, argv, "trace-level", "responses"));
+  const auto start = std::chrono::steady_clock::now();
   const auto result = sim::monte_carlo_wcrt(spec.arch, system,
                                             candidate.drop, priorities,
                                             options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   util::Table table("Monte-Carlo response distribution (" +
                     std::to_string(options.profiles) + " profiles, p_fault " +
                     option(argc, argv, "fault-prob", "0.3") + ")");
@@ -204,6 +222,13 @@ int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
   std::cout << "profiles with a deadline miss: "
             << result.deadline_miss_profiles << " / " << options.profiles
             << '\n';
+  std::cout << "events processed: " << result.events_processed << " ("
+            << static_cast<std::size_t>(
+                   seconds > 0.0
+                       ? static_cast<double>(result.events_processed) / seconds
+                       : 0.0)
+            << " events/s, " << util::Table::cell(seconds, 3)
+            << " s, trace level " << to_string(options.trace) << ")\n";
   return 0;
 }
 
