@@ -8,6 +8,7 @@
 // random repaired candidates under each backend.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ftmc/benchmarks/cruise.hpp"
 #include "ftmc/benchmarks/dream.hpp"
 #include "ftmc/benchmarks/synth.hpp"
@@ -72,13 +73,15 @@ Row measure(const benchmarks::Benchmark& bench) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   util::Table table(
       "Backend ablation: offset-aware vs classical jitter-only analysis\n"
       "(60 random repaired candidates per benchmark)");
   table.set_header({"Benchmark", "feasible % (offset-aware)",
                     "feasible % (classic)", "classic/offset bound ratio"});
   bool offset_never_worse = true;
+  obs::Json rows = obs::Json::array();
   for (const auto& bench :
        {benchmarks::synth_benchmark(1), benchmarks::dt_med_benchmark(),
         benchmarks::cruise_benchmark()}) {
@@ -87,9 +90,22 @@ int main() {
     table.add_row({row.name, util::Table::cell(row.offset_feasible, 1),
                    util::Table::cell(row.classic_feasible, 1),
                    util::Table::cell(row.tightness_gain, 2) + "x"});
+    rows.push(obs::Json::object()
+                  .set("name", row.name)
+                  .set("offset_feasible_pct",
+                       obs::Json::number(row.offset_feasible, 1))
+                  .set("classic_feasible_pct",
+                       obs::Json::number(row.classic_feasible, 1))
+                  .set("tightness_gain",
+                       obs::Json::number(row.tightness_gain, 2)));
   }
   table.print(std::cout);
   std::cout << "\nOffset-aware accepts at least as many candidates: "
             << (offset_never_worse ? "yes" : "NO") << '\n';
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "ablation")
+      .set("benchmarks", std::move(rows))
+      .set("offset_never_worse", offset_never_worse);
+  reporter.finish(summary);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <mutex>
 
+#include "bench_common.hpp"
 #include "ftmc/benchmarks/cruise.hpp"
 #include "ftmc/benchmarks/dream.hpp"
 #include "ftmc/benchmarks/synth.hpp"
@@ -126,7 +127,8 @@ std::string pct(double value) { return util::Table::cell(value, 2) + "%"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const std::uint64_t seed = env_or("FTMC_SEED", 2014);
   std::cout << "Section 5.2 reproduction (population "
             << env_or("FTMC_POPULATION", 40) << ", "
@@ -174,5 +176,27 @@ int main() {
                "(DT-large), 99.98% (Cruise);\nre-execution shares 87.03% "
                "(DT-med), 98.66% (DT-large), 83.23% (Cruise), 44.29% "
                "(Synth-1).\n";
+
+  obs::Json benchmarks_json = obs::Json::array();
+  for (const auto& outcome : outcomes)
+    benchmarks_json.push(
+        obs::Json::object()
+            .set("name", outcome.name)
+            .set("power_with_dropping",
+                 obs::Json::number(outcome.power_with_dropping, 1))
+            .set("power_without_dropping",
+                 obs::Json::number(outcome.power_without_dropping, 1))
+            .set("rescue_ratio_pct",
+                 obs::Json::number(outcome.rescue_ratio, 2))
+            .set("reexecution_share_pct",
+                 obs::Json::number(outcome.reexecution_share, 2))
+            .set("evaluations", outcome.evaluations));
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "dropping")
+      .set("population", env_or("FTMC_POPULATION", 40))
+      .set("generations", env_or("FTMC_GENERATIONS", 60))
+      .set("seed", seed)
+      .set("benchmarks", std::move(benchmarks_json));
+  reporter.finish(summary);
   return 0;
 }

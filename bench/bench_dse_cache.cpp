@@ -32,6 +32,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "ftmc/benchmarks/synth.hpp"
 #include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/dse/ga.hpp"
@@ -104,7 +105,8 @@ bool same_power(double a, double b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const std::size_t generations = env_or("FTMC_GENERATIONS", 50);
   const std::size_t population = env_or("FTMC_POPULATION", 40);
   const std::uint64_t seed = env_or("FTMC_SEED", 2014);
@@ -124,7 +126,7 @@ int main() {
                     "cold hits", "warm [s]", "warm speedup", "scenarios/s",
                     "best power equal"});
 
-  std::string json_benchmarks;
+  obs::Json json_benchmarks = obs::Json::array();
   bool all_equal = true;
   for (int index : {1, 2}) {
     const benchmarks::Benchmark benchmark =
@@ -166,20 +168,20 @@ int main() {
          equal ? "yes" : "NO"});
 
     all_equal = all_equal && equal;
-    if (!json_benchmarks.empty()) json_benchmarks += ",";
-    json_benchmarks +=
-        "{\"name\":\"" + benchmark.name +
-        "\",\"seed_s\":" + util::Table::cell(before.seconds, 4) +
-        ",\"cold_s\":" + util::Table::cell(cold.seconds, 4) +
-        ",\"cold_speedup\":" +
-        util::Table::cell(before.seconds / cold.seconds, 2) +
-        ",\"cold_hit_rate\":" + util::Table::cell(cold.hit_rate, 3) +
-        ",\"warm_s\":" + util::Table::cell(warm.seconds, 4) +
-        ",\"warm_speedup\":" +
-        util::Table::cell(before.seconds / warm.seconds, 2) +
-        ",\"scenarios_per_s\":" +
-        util::Table::cell(cold.scenarios_per_second, 0) +
-        ",\"equal\":" + (equal ? "true" : "false") + "}";
+    json_benchmarks.push(
+        obs::Json::object()
+            .set("name", benchmark.name)
+            .set("seed_s", obs::Json::number(before.seconds, 4))
+            .set("cold_s", obs::Json::number(cold.seconds, 4))
+            .set("cold_speedup",
+                 obs::Json::number(before.seconds / cold.seconds, 2))
+            .set("cold_hit_rate", obs::Json::number(cold.hit_rate, 3))
+            .set("warm_s", obs::Json::number(warm.seconds, 4))
+            .set("warm_speedup",
+                 obs::Json::number(before.seconds / warm.seconds, 2))
+            .set("scenarios_per_s",
+                 obs::Json::number(cold.scenarios_per_second, 0))
+            .set("equal", equal));
   }
   table.print(std::cout);
   std::cout
@@ -188,9 +190,13 @@ int main() {
          "is bounded by the GA's duplicate-candidate rate; warm shows the "
          "steady-state regime of repeated exploration on an unchanged "
          "model.)\n";
-  std::cout << "JSON: {\"bench\":\"dse_cache\",\"generations\":" << generations
-            << ",\"population\":" << population << ",\"reps\":" << reps
-            << ",\"benchmarks\":[" << json_benchmarks
-            << "],\"equal\":" << (all_equal ? "true" : "false") << "}\n";
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "dse_cache")
+      .set("generations", generations)
+      .set("population", population)
+      .set("reps", reps)
+      .set("benchmarks", std::move(json_benchmarks))
+      .set("equal", all_equal);
+  reporter.finish(summary);
   return all_equal ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "ftmc/core/mc_analysis.hpp"
+#include "bench_common.hpp"
 #include "ftmc/model/task_graph.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sim/simulator.hpp"
@@ -83,7 +84,8 @@ void report(const char* title, const model::ApplicationSet& apps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const auto apps = figure1_apps();
   const auto arch = two_pes();
 
@@ -149,5 +151,13 @@ int main() {
                           !keeping.schedulable() && dropping.schedulable();
   std::cout << "Figure 1 narrative reproduced: "
             << (reproduced ? "yes" : "NO") << '\n';
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "motivational")
+      .set("miss_without_dropping", miss_without_dropping)
+      .set("met_with_dropping", met_with_dropping)
+      .set("keeping_schedulable", keeping.schedulable())
+      .set("dropping_schedulable", dropping.schedulable())
+      .set("reproduced", reproduced);
+  reporter.finish(summary);
   return reproduced ? 0 : 1;
 }

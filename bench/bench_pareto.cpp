@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "ftmc/benchmarks/dream.hpp"
+#include "bench_common.hpp"
 #include "ftmc/dse/ga.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/util/table.hpp"
@@ -45,7 +46,8 @@ std::string alive_label(const model::ApplicationSet& apps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const auto bench = benchmarks::dt_med_benchmark();
   const sched::HolisticAnalysis backend;
   dse::GeneticOptimizer optimizer(bench.arch, bench.apps, backend);
@@ -90,5 +92,11 @@ int main() {
             << "Front monotone in (power, service): "
             << (monotone ? "yes" : "NO") << '\n'
             << "Evaluations: " << result.evaluations << '\n';
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "pareto")
+      .set("pareto_points", result.pareto.size())
+      .set("monotone", monotone)
+      .set("evaluations", result.evaluations);
+  reporter.finish(summary);
   return result.pareto.empty() ? 1 : 0;
 }

@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "ftmc/benchmarks/dream.hpp"
 #include "ftmc/core/mc_analysis.hpp"
 #include "ftmc/dse/decoder.hpp"
@@ -224,7 +225,8 @@ MicroOutcome relation_micro() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const std::size_t candidate_count = env_or("FTMC_CANDIDATES", 24);
   const std::uint64_t seed = env_or("FTMC_SEED", 2014);
   const std::size_t threads = env_or("FTMC_THREADS", 0);
@@ -254,7 +256,7 @@ int main() {
                     "worklist speedup", "prepared [s]", "total speedup",
                     "identical"});
 
-  std::string json_benchmarks;
+  obs::Json json_benchmarks = obs::Json::array();
   bool all_identical = true;
   double dream_total_speedup = 0.0;
   for (const bool large : {false, true}) {
@@ -286,20 +288,17 @@ int main() {
                    util::Table::cell(total_speedup, 2) + "x",
                    identical ? "yes" : "NO"});
 
-    if (!json_benchmarks.empty()) json_benchmarks += ",";
-    json_benchmarks += "{\"name\":\"" + benchmark.name +
-                       "\",\"scenarios\":" + std::to_string(seed_arm.scenarios) +
-                       ",\"seed_s\":" + util::Table::cell(seed_arm.seconds, 4) +
-                       ",\"rebuild_worklist_s\":" +
-                       util::Table::cell(worklist_arm.seconds, 4) +
-                       ",\"prepared_s\":" +
-                       util::Table::cell(prepared_arm.seconds, 4) +
-                       ",\"worklist_speedup\":" +
-                       util::Table::cell(worklist_speedup, 2) +
-                       ",\"total_speedup\":" +
-                       util::Table::cell(total_speedup, 2) +
-                       ",\"identical\":" + (identical ? "true" : "false") +
-                       "}";
+    json_benchmarks.push(
+        obs::Json::object()
+            .set("name", benchmark.name)
+            .set("scenarios", seed_arm.scenarios)
+            .set("seed_s", obs::Json::number(seed_arm.seconds, 4))
+            .set("rebuild_worklist_s",
+                 obs::Json::number(worklist_arm.seconds, 4))
+            .set("prepared_s", obs::Json::number(prepared_arm.seconds, 4))
+            .set("worklist_speedup", obs::Json::number(worklist_speedup, 2))
+            .set("total_speedup", obs::Json::number(total_speedup, 2))
+            .set("identical", identical));
   }
   table.print(std::cout);
 
@@ -318,17 +317,17 @@ int main() {
                "cross-checks the WCRT checksum across the three kernel "
                "configurations.)\n";
 
-  std::cout << "JSON: {\"bench\":\"sched_kernel\",\"candidates\":"
-            << candidate_count << ",\"reps\":" << reps
-            << ",\"threads\":" << threads << ",\"benchmarks\":["
-            << json_benchmarks << "],\"bitset_ns\":"
-            << util::Table::cell(micro.bitset_ns, 2)
-            << ",\"bool_ns\":" << util::Table::cell(micro.bool_ns, 2)
-            << ",\"bitset_build_us\":"
-            << util::Table::cell(micro.bitset_build_us, 1)
-            << ",\"bool_build_us\":"
-            << util::Table::cell(micro.bool_build_us, 1)
-            << ",\"identical\":" << (all_identical ? "true" : "false")
-            << "}\n";
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "sched_kernel")
+      .set("candidates", candidate_count)
+      .set("reps", reps)
+      .set("threads", threads)
+      .set("benchmarks", std::move(json_benchmarks))
+      .set("bitset_ns", obs::Json::number(micro.bitset_ns, 2))
+      .set("bool_ns", obs::Json::number(micro.bool_ns, 2))
+      .set("bitset_build_us", obs::Json::number(micro.bitset_build_us, 1))
+      .set("bool_build_us", obs::Json::number(micro.bool_build_us, 1))
+      .set("identical", all_identical);
+  reporter.finish(summary);
   return all_identical && dream_total_speedup > 0.0 ? 0 : 1;
 }

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "ftmc/benchmarks/dream.hpp"
 #include "ftmc/dse/decoder.hpp"
 #include "ftmc/sched/priority.hpp"
@@ -182,7 +183,8 @@ std::vector<ArmOutcome> best_of_interleaved(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const std::size_t profiles = env_or("FTMC_MC_PROFILES", 2000);
   const std::uint64_t seed = env_or("FTMC_SEED", 2014);
   const std::size_t threads = env_or("FTMC_THREADS", 0);
@@ -265,19 +267,22 @@ int main() {
                "'identical' cross-checks worst / p95 / p99 / miss / dropped "
                "counts and the processed-event total.)\n";
 
-  std::cout << "JSON: {\"bench\":\"sim_kernel\",\"benchmark\":\""
-            << rig.benchmark.name << "\",\"profiles\":" << profiles
-            << ",\"reps\":" << reps << ",\"threads\":" << pool.thread_count()
-            << ",\"events\":" << seed_arm.events
-            << ",\"seed_s\":" << util::Table::cell(seed_arm.seconds, 4)
-            << ",\"prepared_full_s\":" << util::Table::cell(full_arm.seconds, 4)
-            << ",\"prepared_responses_s\":"
-            << util::Table::cell(responses_arm.seconds, 4)
-            << ",\"full_speedup\":" << util::Table::cell(full_speedup, 2)
-            << ",\"responses_speedup\":"
-            << util::Table::cell(responses_speedup, 2)
-            << ",\"responses_events_per_s\":"
-            << util::Table::cell(events_per_s(responses_arm), 0)
-            << ",\"identical\":" << (identical ? "true" : "false") << "}\n";
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "sim_kernel")
+      .set("benchmark", rig.benchmark.name)
+      .set("profiles", profiles)
+      .set("reps", reps)
+      .set("threads", pool.thread_count())
+      .set("events", seed_arm.events)
+      .set("seed_s", obs::Json::number(seed_arm.seconds, 4))
+      .set("prepared_full_s", obs::Json::number(full_arm.seconds, 4))
+      .set("prepared_responses_s",
+           obs::Json::number(responses_arm.seconds, 4))
+      .set("full_speedup", obs::Json::number(full_speedup, 2))
+      .set("responses_speedup", obs::Json::number(responses_speedup, 2))
+      .set("responses_events_per_s",
+           obs::Json::number(events_per_s(responses_arm), 0))
+      .set("identical", identical);
+  reporter.finish(summary);
   return identical ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 // dynamic-flow verdict (Algorithm 1, with dropping) on the same design.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ftmc/baseline/static_schedule.hpp"
 #include "ftmc/benchmarks/cruise.hpp"
 #include "ftmc/core/mc_analysis.hpp"
@@ -26,7 +27,8 @@
 
 using namespace ftmc;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const auto cruise = benchmarks::cruise_benchmark();
   const auto configs = benchmarks::cruise_sample_configs(cruise);
   const sched::HolisticAnalysis backend;
@@ -38,6 +40,7 @@ int main() {
   table.set_header({"Design", "fault budget", "schedules", "table entries",
                     "static deadlines", "dynamic verdict (w/ dropping)"});
 
+  obs::Json rows = obs::Json::array();
   for (const auto& config : configs) {
     const auto system = hardening::apply_hardening(
         cruise.apps, config.candidate.plan, config.candidate.base_mapping,
@@ -59,6 +62,14 @@ int main() {
            util::Table::cell(contingency.table_entries),
            contingency.all_deadlines_met ? "met" : "MISSED",
            dynamic});
+      rows.push(obs::Json::object()
+                    .set("design", config.name)
+                    .set("fault_budget", budget)
+                    .set("schedules", contingency.schedule_count)
+                    .set("table_entries", contingency.table_entries)
+                    .set("static_deadlines_met",
+                         contingency.all_deadlines_met)
+                    .set("dynamic_schedulable", verdict.schedulable()));
     }
   }
   table.print(std::cout);
@@ -68,5 +79,8 @@ int main() {
       "[2].  The dynamic flow stores no tables and stays schedulable by\n"
       "dropping low-criticality load exactly in the scenarios where the\n"
       "rigid static tables overrun deadlines.\n";
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "static_baseline").set("designs", std::move(rows));
+  reporter.finish(summary);
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ftmc/benchmarks/cruise.hpp"
 #include "ftmc/core/mc_analysis.hpp"
 #include "ftmc/sched/holistic.hpp"
@@ -43,7 +44,8 @@ std::string ms(model::Time t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
   const auto cruise = benchmarks::cruise_benchmark();
   const auto configs = benchmarks::cruise_sample_configs(cruise);
   const std::size_t profiles = env_or("FTMC_MC_PROFILES", 10'000);
@@ -130,5 +132,12 @@ int main() {
             << (naive_pessimistic ? "yes" : "NO") << '\n'
             << "WC-Sim exceeds Adhoc somewhere (Adhoc unsafe):     "
             << (adhoc_beaten ? "yes" : "no (needs more profiles)") << '\n';
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "table2")
+      .set("profiles", profiles)
+      .set("safe", safe)
+      .set("naive_pessimistic", naive_pessimistic)
+      .set("adhoc_beaten", adhoc_beaten);
+  reporter.finish(summary);
   return safe && naive_pessimistic ? 0 : 1;
 }

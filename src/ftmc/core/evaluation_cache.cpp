@@ -4,7 +4,29 @@
 #include <bit>
 #include <stdexcept>
 
+#include "ftmc/obs/metrics.hpp"
+
 namespace ftmc::core {
+
+namespace {
+
+/// Registry mirror of CacheStats: the per-shard counters stay the source
+/// of truth for GaResult::cache (an exact per-instance tally), while the
+/// process-wide registry aggregates across every cache instance for
+/// --metrics-json / dashboards.
+struct CacheCounters {
+  obs::Counter hits{"cache.eval.hits"};
+  obs::Counter misses{"cache.eval.misses"};
+  obs::Counter insertions{"cache.eval.insertions"};
+  obs::Counter evictions{"cache.eval.evictions"};
+};
+
+CacheCounters& cache_counters() {
+  static CacheCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 EvaluationCache::EvaluationCache(std::size_t capacity, std::size_t shards) {
   if (capacity == 0)
@@ -27,9 +49,11 @@ std::optional<Evaluation> EvaluationCache::find(std::uint64_t key,
     // Absent, or a 64-bit collision between distinct candidates: both are
     // misses — the caller recomputes, correctness is never at stake.
     ++shard.misses;
+    cache_counters().misses.add(1);
     return std::nullopt;
   }
   ++shard.hits;
+  cache_counters().hits.add(1);
   return it->second.evaluation;
 }
 
@@ -48,9 +72,11 @@ void EvaluationCache::insert(std::uint64_t key, const Candidate& candidate,
     // one recomputation.
     shard.table.erase(shard.table.begin());
     ++shard.evictions;
+    cache_counters().evictions.add(1);
   }
   shard.table.emplace(key, Entry{candidate, evaluation});
   ++shard.insertions;
+  cache_counters().insertions.add(1);
 }
 
 CacheStats EvaluationCache::stats() const {

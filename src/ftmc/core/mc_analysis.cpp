@@ -5,10 +5,30 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/obs/trace.hpp"
 #include "ftmc/util/hash.hpp"
 #include "ftmc/util/thread_pool.hpp"
 
 namespace ftmc::core {
+
+namespace {
+
+/// Algorithm-1 orchestration counters (flushed with plain adds; nothing the
+/// analysis computes ever reads them back).
+struct AnalysisCounters {
+  obs::Counter prepares{"analysis.prepares"};
+  obs::Counter scenarios{"analysis.scenarios"};
+  obs::Counter dedup_hits{"analysis.scenario_dedup_hits"};
+  obs::Counter solves{"analysis.scenario_solves"};
+};
+
+AnalysisCounters& analysis_counters() {
+  static AnalysisCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 void validate_drop_set(const model::ApplicationSet& apps,
                        const DropSet& drop) {
@@ -68,8 +88,11 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   // done once here and amortized over the normal state, the Naive pass, and
   // every transition scenario (prepare-once/solve-N; the fallback adapter
   // keeps third-party backends working unchanged).
-  const std::unique_ptr<sched::PreparedAnalysis> prepared =
-      backend_->prepare(arch, apps, system.mapping, priorities);
+  const std::unique_ptr<sched::PreparedAnalysis> prepared = [&] {
+    obs::Span span("analysis.prepare");
+    analysis_counters().prepares.add(1);
+    return backend_->prepare(arch, apps, system.mapping, priorities);
+  }();
 
   auto task_of = [&](std::size_t i) -> const model::Task& {
     return apps.task(apps.task_ref(i));
@@ -205,6 +228,9 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
       unique_scenarios.push_back(std::move(bounds));
     }
   }
+  analysis_counters().scenarios.add(triggers.size());
+  analysis_counters().dedup_hits.add(triggers.size() -
+                                     unique_scenarios.size());
 
   std::vector<model::Time> naive_part(n);
   std::vector<std::vector<model::Time>> scenario_finish(
@@ -214,6 +240,8 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   // per-worker scratch lives inside the backend's solve() (thread-local
   // arena), so the fan-out allocates nothing per scenario in the kernel.
   auto run_unit = [&](std::size_t unit) {
+    obs::Span span("analysis.solve");
+    analysis_counters().solves.add(1);
     if (unit == 0) {
       std::vector<sched::ExecBounds> bounds(n);
       for (std::size_t i = 0; i < n; ++i) {

@@ -9,6 +9,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/obs/trace.hpp"
+#include "ftmc/util/stats.hpp"
 #include "ftmc/util/thread_pool.hpp"
 
 namespace ftmc::dse {
@@ -19,6 +22,18 @@ GeneticOptimizer::GeneticOptimizer(const model::Architecture& arch,
     : arch_(&arch), apps_(&apps), backend_(&backend) {}
 
 namespace {
+
+struct GaCounters {
+  obs::Counter generations{"dse.generations"};
+  obs::Counter evaluations{"dse.evaluations"};
+  obs::Counter decode_memo_hits{"dse.decode_memo_hits"};
+  obs::Histogram eval_us{"dse.eval_us"};
+};
+
+GaCounters& ga_counters() {
+  static GaCounters counters;
+  return counters;
+}
 
 ObjectiveVector objectives_of(const core::Evaluation& evaluation,
                               bool optimize_service) {
@@ -88,16 +103,22 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     std::size_t cache_hits = 0;
     std::size_t scenarios_analyzed = 0;
     double seconds = 0.0;
+    /// Per-candidate wall-clock latencies, ascending (for percentiles).
+    std::vector<double> eval_us;
   } last_batch;
 
   // Evaluates a batch of chromosomes in parallel; repair mutates the
   // chromosomes in place (Lamarckian), so the batch is taken by reference.
   auto evaluate_batch = [&](std::vector<Chromosome>& batch) {
+    obs::Span batch_span("ga.evaluate_batch");
     std::vector<Individual> individuals(batch.size());
+    std::vector<double> latencies(batch.size());
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> scenarios{0};
     const auto start = std::chrono::steady_clock::now();
     pool.parallel_for(batch.size(), [&](std::size_t index) {
+      obs::Span candidate_span("ga.candidate");
+      const auto candidate_start = std::chrono::steady_clock::now();
       Individual& individual = individuals[index];
       // Decode randomness (random repair) is seeded from the chromosome's
       // content, not the population slot: identical genotypes then repair
@@ -117,6 +138,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
           individual.candidate = found->second.candidate;
           individual.evaluation = found->second.evaluation;
           cache_hit = true;
+          ga_counters().decode_memo_hits.add(1);
         }
       }
 
@@ -150,7 +172,17 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
         std::lock_guard lock(observer_mutex);
         observer_(individual.candidate, individual.evaluation);
       }
+      const double micros =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - candidate_start)
+              .count();
+      latencies[index] = micros;
+      ga_counters().eval_us.record(
+          micros <= 0.0 ? 0 : static_cast<std::uint64_t>(micros));
     });
+    ga_counters().evaluations.add(batch.size());
+    std::sort(latencies.begin(), latencies.end());
+    last_batch.eval_us = std::move(latencies);
     last_batch.evaluations = batch.size();
     last_batch.cache_hits = hits.load();
     last_batch.scenarios_analyzed = scenarios.load();
@@ -172,6 +204,8 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
 
   for (std::size_t generation = 0; generation <= options.generations;
        ++generation) {
+    obs::Span generation_span("ga.generation");
+    ga_counters().generations.add(1);
     // --- Environmental selection over archive + population ----------------
     std::vector<Individual> combined;
     combined.reserve(archive.size() + population.size());
@@ -217,6 +251,11 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
             ? static_cast<double>(last_batch.scenarios_analyzed) /
                   last_batch.seconds
             : 0.0;
+    if (!last_batch.eval_us.empty()) {
+      stats.eval_p50_us = util::percentile_sorted(last_batch.eval_us, 0.50);
+      stats.eval_p95_us = util::percentile_sorted(last_batch.eval_us, 0.95);
+      stats.eval_max_us = last_batch.eval_us.back();
+    }
     result.history.push_back(stats);
     if (options.on_generation) options.on_generation(stats);
 

@@ -50,6 +50,12 @@ struct GenerationStats {
   double scenarios_per_second = 0.0;
   /// Wall-clock seconds spent evaluating this generation's batch.
   double evaluation_seconds = 0.0;
+  /// Per-candidate evaluation latency percentiles across the batch, in
+  /// microseconds (0 when the batch was empty).  Telemetry only: timing
+  /// never feeds back into the search, so runs stay bit-identical.
+  double eval_p50_us = 0.0;
+  double eval_p95_us = 0.0;
+  double eval_max_us = 0.0;
 };
 
 struct GaOptions {

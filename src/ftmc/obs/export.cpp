@@ -1,0 +1,63 @@
+#include "ftmc/obs/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "ftmc/obs/trace.hpp"
+
+namespace ftmc::obs {
+
+Json metrics_to_json(const MetricsSnapshot& snapshot) {
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  Json histograms = Json::object();
+  for (const MetricValue& metric : snapshot.metrics) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        counters.set(metric.name, Json::uinteger(metric.value));
+        break;
+      case MetricKind::kGauge:
+        gauges.set(metric.name, Json::uinteger(metric.value));
+        break;
+      case MetricKind::kHistogram: {
+        std::size_t used = metric.buckets.size();
+        while (used > 0 && metric.buckets[used - 1] == 0) --used;
+        Json buckets = Json::array();
+        for (std::size_t b = 0; b < used; ++b)
+          buckets.push(Json::uinteger(metric.buckets[b]));
+        histograms.set(metric.name,
+                       Json::object()
+                           .set("count", Json::uinteger(metric.value))
+                           .set("sum", Json::uinteger(metric.sum))
+                           .set("buckets", std::move(buckets)));
+        break;
+      }
+    }
+  }
+  return Json::object()
+      .set("schema", "ftmc.metrics.v1")
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+}
+
+void write_metrics_json(std::ostream& out) {
+  metrics_to_json(snapshot()).write(out);
+  out << '\n';
+}
+
+void export_metrics_file(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write metrics to '" + path + "'");
+  write_metrics_json(out);
+}
+
+void export_chrome_trace_file(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace to '" + path + "'");
+  write_chrome_trace(out);
+}
+
+}  // namespace ftmc::obs

@@ -1,0 +1,36 @@
+// Serialization of MetricsSnapshot to the stable `ftmc.metrics.v1` JSON
+// schema consumed by tools/check_metrics.py and the CI artifact pipeline:
+//
+//   {"schema": "ftmc.metrics.v1",
+//    "counters":   {"sim.events": 123, ...},
+//    "gauges":     {"dse.archive_size": 40, ...},
+//    "histograms": {"dse.eval_us": {"count": n, "sum": s,
+//                                   "buckets": [...]} , ...}}
+//
+// Histogram buckets are log2: buckets[b] counts samples whose bit width is
+// b (sample 0 lands in bucket 0; otherwise value in [2^(b-1), 2^b)).
+// Trailing all-zero buckets are trimmed.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ftmc/obs/json.hpp"
+#include "ftmc/obs/metrics.hpp"
+
+namespace ftmc::obs {
+
+Json metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// snapshot() -> JSON -> `out`, one line.
+void write_metrics_json(std::ostream& out);
+
+/// Writes the current registry snapshot to `path` (throws on I/O failure);
+/// no-op when `path` is empty.
+void export_metrics_file(const std::string& path);
+
+/// Writes the recorded Chrome trace to `path` (throws on I/O failure);
+/// no-op when `path` is empty.
+void export_chrome_trace_file(const std::string& path);
+
+}  // namespace ftmc::obs

@@ -1,0 +1,180 @@
+#include "ftmc/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace ftmc::obs {
+
+Json Json::object() {
+  Json value;
+  value.kind_ = Kind::kObject;
+  return value;
+}
+
+Json Json::array() {
+  Json value;
+  value.kind_ = Kind::kArray;
+  return value;
+}
+
+Json Json::str(std::string value) {
+  Json result;
+  result.kind_ = Kind::kString;
+  result.string_ = std::move(value);
+  return result;
+}
+
+Json Json::boolean(bool value) {
+  Json result;
+  result.kind_ = Kind::kBool;
+  result.bool_ = value;
+  return result;
+}
+
+Json Json::integer(std::int64_t value) {
+  Json result;
+  result.kind_ = Kind::kInt;
+  result.int_ = value;
+  return result;
+}
+
+Json Json::uinteger(std::uint64_t value) {
+  Json result;
+  result.kind_ = Kind::kUint;
+  result.uint_ = value;
+  return result;
+}
+
+Json Json::number(double value, int decimals) {
+  Json result;
+  result.kind_ = Kind::kDouble;
+  result.double_ = value;
+  result.decimals_ = decimals;
+  return result;
+}
+
+Json& Json::set(std::string key, Json value) {
+  kind_ = Kind::kObject;  // first set() on a default value makes it an object
+  for (auto& [name, member] : members_)
+    if (name == key) {
+      member = std::move(value);
+      return *this;
+    }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string key, const char* value) {
+  return set(std::move(key), str(std::string(value)));
+}
+
+Json& Json::set(std::string key, std::string_view value) {
+  return set(std::move(key), str(std::string(value)));
+}
+
+Json& Json::set(std::string key, bool value) {
+  return set(std::move(key), boolean(value));
+}
+
+Json& Json::set(std::string key, double value) {
+  return set(std::move(key), number(value));
+}
+
+Json& Json::push(Json value) {
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::write(std::ostream& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out << "null";
+      break;
+    case Kind::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      out << int_;
+      break;
+    case Kind::kUint:
+      out << uint_;
+      break;
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        out << "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buffer[64];
+      if (decimals_ >= 0)
+        std::snprintf(buffer, sizeof buffer, "%.*f", decimals_, double_);
+      else
+        std::snprintf(buffer, sizeof buffer, "%.*g",
+                      std::numeric_limits<double>::max_digits10, double_);
+      out << buffer;
+      break;
+    }
+    case Kind::kString:
+      out << '"' << escape(string_) << '"';
+      break;
+    case Kind::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << escape(key) << "\":";
+        value.write(out);
+      }
+      out << '}';
+      break;
+    }
+    case Kind::kArray: {
+      out << '[';
+      bool first = true;
+      for (const Json& value : elements_) {
+        if (!first) out << ',';
+        first = false;
+        value.write(out);
+      }
+      out << ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+}  // namespace ftmc::obs

@@ -1,0 +1,86 @@
+// Scoped-span tracing with Chrome trace-event JSON export.
+//
+// A Span records a begin event at construction and an end event at
+// destruction into a per-thread ring buffer — when tracing is enabled.
+// When it is not (the default), constructing a Span costs one relaxed
+// atomic load and a predictable branch, so the instrumentation points in
+// the DSE/analysis/simulation paths can stay in place permanently.
+//
+// Rings are fixed-capacity and wrap: a long run keeps the most recent
+// events per thread instead of growing without bound.  The exporter
+// re-matches begin/end pairs per thread (a wrap can orphan begins whose
+// ends were overwritten and vice versa; orphans are dropped), so the
+// emitted JSON always contains balanced, properly nested B/E pairs —
+// tests/test_obs.cpp validates exactly that, and the file loads directly
+// in Perfetto / chrome://tracing.
+//
+// Span names must be string literals (or otherwise outlive the trace
+// session): the ring stores the pointer, not a copy.
+//
+// Concurrency contract: enable/disable/record are safe from any thread;
+// clear_trace() and write_chrome_trace() expect span activity to be
+// quiescent (call them after joining/downing the worker pools, as the CLI
+// and benches do).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+namespace ftmc::obs {
+
+#if !defined(FTMC_OBS_DISABLED)
+
+bool tracing_enabled() noexcept;
+
+/// Starts (or restarts) a trace session.  `ring_capacity` is per thread,
+/// in events (one span = two events); it applies to rings created from now
+/// on.  Events recorded before the call are kept.
+void enable_tracing(std::size_t ring_capacity = 1u << 15);
+
+/// Stops recording; the events stay exportable.
+void disable_tracing();
+
+/// Drops every recorded event (live rings and exited threads').
+void clear_trace();
+
+/// Writes the Chrome trace-event JSON (an object with "traceEvents") for
+/// everything recorded so far.
+void write_chrome_trace(std::ostream& out);
+
+class Span {
+ public:
+  explicit Span(const char* name) noexcept : name_(nullptr) {
+    if (tracing_enabled()) begin(name);
+  }
+  ~Span() {
+    if (name_ != nullptr) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name) noexcept;
+  void end() noexcept;
+
+  const char* name_;
+};
+
+#else  // FTMC_OBS_DISABLED
+
+inline bool tracing_enabled() noexcept { return false; }
+inline void enable_tracing(std::size_t = 0) {}
+inline void disable_tracing() {}
+inline void clear_trace() {}
+void write_chrome_trace(std::ostream& out);  // writes an empty trace
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // FTMC_OBS_DISABLED
+
+}  // namespace ftmc::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ftmc/hardening/reliability.hpp"  // scaled_time
+#include "ftmc/obs/metrics.hpp"
 
 namespace ftmc::sched {
 
@@ -12,6 +13,23 @@ namespace {
 /// ceil(a / b) for non-negative a, positive b.
 constexpr model::Time ceil_div(model::Time a, model::Time b) noexcept {
   return (a + b - 1) / b;
+}
+
+/// Kernel counters, tallied in plain locals during a solve and flushed once
+/// at the end — the fixed point itself never reads them, so instrumented
+/// and uninstrumented runs are bitwise identical.
+struct KernelCounters {
+  obs::Counter solves{"sched.solves"};
+  obs::Counter diverged{"sched.solve_divergences"};
+  obs::Counter worklist_evals{"sched.worklist.node_evals"};
+  obs::Counter worklist_skips{"sched.worklist.skipped_evals"};
+  obs::Counter sticky_hits{"sched.worklist.sticky_hits"};
+  obs::Counter sweep_evals{"sched.sweep.node_evals"};
+};
+
+KernelCounters& kernel_counters() {
+  static KernelCounters counters;
+  return counters;
 }
 
 }  // namespace
@@ -378,17 +396,23 @@ void PreparedProblem::worst_case_worklist(Scratch& s) const {
   s.sticky.assign(total_, 0);
   std::size_t dirty_count = total_;
   std::size_t sticky_count = 0;
+  std::uint64_t evals = 0, skips = 0, sticky_hits = 0;
   bool stable = false;
   for (std::size_t outer = 0;
        outer < options_.max_outer_iterations && !stable; ++outer) {
     stable = true;
     for (std::size_t i = 0; i < total_; ++i) {
       if (!s.dirty[i]) {
-        if (s.sticky[i]) stable = false;
+        ++skips;
+        if (s.sticky[i]) {
+          ++sticky_hits;
+          stable = false;
+        }
         continue;
       }
       s.dirty[i] = 0;
       --dirty_count;
+      ++evals;
       const UpdateOutcome outcome = update_node(i, s);
       if (outcome.raw_changed) stable = false;
       if (outcome.sticky != static_cast<bool>(s.sticky[i])) {
@@ -420,22 +444,30 @@ void PreparedProblem::worst_case_worklist(Scratch& s) const {
     s.diverged = true;
     std::fill(s.max_finish.begin(), s.max_finish.end(), horizon_ + 1);
   }
+  KernelCounters& counters = kernel_counters();
+  counters.worklist_evals.add(evals);
+  counters.worklist_skips.add(skips);
+  counters.sticky_hits.add(sticky_hits);
 }
 
 void PreparedProblem::worst_case_sweep(Scratch& s) const {
   // Reference mode: the original full sweep over all nodes in flat order
   // until a sweep changes nothing (or the budget runs out).
+  std::uint64_t evals = 0;
   bool stable = false;
   for (std::size_t outer = 0;
        outer < options_.max_outer_iterations && !stable; ++outer) {
     stable = true;
-    for (std::size_t i = 0; i < total_; ++i)
+    for (std::size_t i = 0; i < total_; ++i) {
+      ++evals;
       if (update_node(i, s).raw_changed) stable = false;
+    }
   }
   if (!stable) {
     s.diverged = true;
     std::fill(s.max_finish.begin(), s.max_finish.end(), horizon_ + 1);
   }
+  kernel_counters().sweep_evals.add(evals);
 }
 
 void PreparedProblem::solve(std::span<const ExecBounds> bounds,
@@ -452,6 +484,9 @@ void PreparedProblem::solve(std::span<const ExecBounds> bounds,
     worst_case_worklist(s);
   else
     worst_case_sweep(s);
+  KernelCounters& counters = kernel_counters();
+  counters.solves.add(1);
+  if (s.diverged) counters.diverged.add(1);
 }
 
 AnalysisResult PreparedProblem::materialize(const Scratch& s) const {

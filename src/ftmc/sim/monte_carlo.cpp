@@ -6,16 +6,34 @@
 #include <stdexcept>
 #include <string>
 
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/obs/trace.hpp"
 #include "ftmc/sim/prepared_sim.hpp"
 #include "ftmc/util/stats.hpp"
 #include "ftmc/util/thread_pool.hpp"
 
 namespace ftmc::sim {
 
+namespace {
+
+struct McCounters {
+  obs::Counter campaigns{"mc.campaigns"};
+  obs::Counter profiles{"mc.profiles"};
+};
+
+McCounters& mc_counters() {
+  static McCounters counters;
+  return counters;
+}
+
+}  // namespace
+
 MonteCarloResult monte_carlo_wcrt(
     const model::Architecture& arch, const hardening::HardenedSystem& system,
     const core::DropSet& drop, const std::vector<std::uint32_t>& priorities,
     const MonteCarloOptions& options) {
+  obs::Span campaign_span("mc.campaign");
+  mc_counters().campaigns.add(1);
   // Build the static problem once; every profile below only re-runs it.
   const PreparedSim prepared(arch, system, drop, priorities,
                              PrepareOptions{options.hyperperiods, false});
@@ -50,6 +68,7 @@ MonteCarloResult monte_carlo_wcrt(
                std::max<std::size_t>(options.profiles, 1));
 
   pool.parallel_for(workers, [&](std::size_t) {
+    obs::Span worker_span("mc.worker");
     // One scratch arena per worker thread, shared across all its profiles
     // (and with any other campaign this thread ever runs).
     PreparedSim::Scratch& scratch = PreparedSim::thread_scratch();
@@ -59,11 +78,13 @@ MonteCarloResult monte_carlo_wcrt(
     std::vector<std::size_t> local_misses(graphs, 0);
     std::size_t local_miss = 0;
     std::size_t local_events = 0;
+    std::uint64_t local_profiles = 0;
 
     for (;;) {
       const std::size_t profile =
           next_profile.fetch_add(1, std::memory_order_relaxed);
       if (profile >= options.profiles) break;
+      ++local_profiles;
       // Independent, reproducible stream per profile.
       const std::uint64_t profile_seed =
           options.seed + 0x51ed270b * static_cast<std::uint64_t>(profile);
@@ -109,6 +130,7 @@ MonteCarloResult monte_carlo_wcrt(
     }
     miss_count += local_miss;
     events_total += local_events;
+    mc_counters().profiles.add(local_profiles);
   });
 
   for (std::size_t g = 0; g < graphs; ++g) {

@@ -7,12 +7,32 @@
 
 #include "ftmc/core/exec_model.hpp"
 #include "ftmc/hardening/reliability.hpp"
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/obs/trace.hpp"
 
 namespace ftmc::sim {
 
 namespace {
 
 constexpr model::Time kNever = std::numeric_limits<model::Time>::max();
+
+/// Event-loop counters: tallied in plain locals during a run and flushed
+/// once at the end, so the loop's control flow and output stay bitwise
+/// identical whether anyone is watching or not.
+struct SimCounters {
+  obs::Counter runs{"sim.runs"};
+  obs::Counter events{"sim.events"};
+  obs::Counter heap_pushes{"sim.heap_pushes"};
+  obs::Counter heap_pops{"sim.heap_pops"};
+  obs::Counter dispatch_wakeups{"sim.dispatch_wakeups"};
+  obs::Counter replica_activations{"sim.replica_activations"};
+  obs::Counter preemptions{"sim.preemptions"};
+};
+
+SimCounters& sim_counters() {
+  static SimCounters counters;
+  return counters;
+}
 
 /// Execution-time bounds of a single attempt on the task's PE (scaled).
 sched::ExecBounds attempt_bounds(const model::Task& task,
@@ -226,6 +246,7 @@ const SimResult& PreparedSim::run(FaultModel& faults,
                                   ExecTimeModel& durations,
                                   const RunOptions& options,
                                   Scratch& scratch) const {
+  obs::Span run_span("sim.run");
   const bool trace_segments = options.trace == TraceLevel::kFull;
   const bool trace_jobs = options.trace != TraceLevel::kResponses;
 
@@ -273,6 +294,14 @@ const SimResult& PreparedSim::run(FaultModel& faults,
     return slot;
   };
 
+  // Plain local tallies (flushed once after the loop): the initial heap
+  // contents count as pushes so pops never exceed pushes in a snapshot.
+  std::uint64_t tally_heap_pushes = initial_events_.size();
+  std::uint64_t tally_heap_pops = 0;
+  std::uint64_t tally_dispatches = 0;
+  std::uint64_t tally_activations = 0;
+  std::uint64_t tally_preemptions = 0;
+
   constexpr EventGreater event_greater{};
   bool now_valid = false;  // false until the main loop sets `now`
   model::Time now = 0;
@@ -289,10 +318,12 @@ const SimResult& PreparedSim::run(FaultModel& faults,
     }
     scratch.heap.push_back(Event{time, event_key(kind, seq++), job});
     std::push_heap(scratch.heap.begin(), scratch.heap.end(), event_greater);
+    ++tally_heap_pushes;
   };
   auto heap_pop_top = [&] {
     std::pop_heap(scratch.heap.begin(), scratch.heap.end(), event_greater);
     scratch.heap.pop_back();
+    ++tally_heap_pops;
   };
 
   auto ready_push = [&](Scratch::PeSlot& pe, std::size_t j) {
@@ -418,6 +449,7 @@ const SimResult& PreparedSim::run(FaultModel& faults,
         push_deliveries(j, at, /*zero_delay=*/true);
         return;
       }
+      ++tally_activations;
       enter_critical(at);
       // The critical entry above may have cancelled this very job (standbys
       // of a dropped application).
@@ -483,6 +515,7 @@ const SimResult& PreparedSim::run(FaultModel& faults,
       if (node_prio_[job_flat_[pe.running]] <= best_prio) return;
       // Preempt.  The preempted job's rank is above best_prio, so pushing
       // it cannot displace the captured front.
+      ++tally_preemptions;
       close_segment(pe_index, at);
       jobs[pe.running].remaining = scratch.completion[pe_index] - at;
       ready_push(pe, pe.running);
@@ -572,8 +605,20 @@ const SimResult& PreparedSim::run(FaultModel& faults,
     for (std::size_t p = 0; p < scratch.pes.size(); ++p)
       if (scratch.dispatch_pending[p]) {
         scratch.dispatch_pending[p] = 0;
+        ++tally_dispatches;
         dispatch(p, now);
       }
+  }
+
+  {
+    SimCounters& counters = sim_counters();
+    counters.runs.add(1);
+    counters.events.add(events);
+    counters.heap_pushes.add(tally_heap_pushes);
+    counters.heap_pops.add(tally_heap_pops);
+    counters.dispatch_wakeups.add(tally_dispatches);
+    counters.replica_activations.add(tally_activations);
+    counters.preemptions.add(tally_preemptions);
   }
 
   // ---- Finalize ----------------------------------------------------------

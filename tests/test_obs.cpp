@@ -1,0 +1,518 @@
+// Observability layer: metrics registry semantics under concurrency, span
+// tracing + Chrome-trace export shape, and the differential guarantee that
+// telemetry never changes results.
+#include "ftmc/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/dse/ga.hpp"
+#include "ftmc/obs/export.hpp"
+#include "ftmc/obs/json.hpp"
+#include "ftmc/obs/trace.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/util/thread_pool.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to validate exporter output and walk the
+// trace-event array.  Throws std::runtime_error on malformed input, so a
+// test failure pinpoints the first bad byte.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      value.string = parse_string();
+      return value;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out += "\\u";  // keep raw; tests never compare escaped content
+            out.append(text_, pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::stod(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return value;
+    while (true) {
+      value.array.push_back(parse_value());
+      skip_ws();
+      if (consume(']')) return value;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return value;
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      value.object[std::move(key)] = parse_value();
+      skip_ws();
+      if (consume('}')) return value;
+      expect(',');
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+#if !defined(FTMC_OBS_DISABLED)
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistry, CounterMergesThreadPoolIncrements) {
+  obs::reset();
+  constexpr std::size_t kTasks = 512;
+  constexpr std::uint64_t kDelta = 3;
+  util::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [](std::size_t) {
+    // Per-call handle construction exercises idempotent registration; real
+    // hot paths hoist the handle into a function-local static.
+    obs::Counter counter("test.pool_counter");
+    counter.add(kDelta);
+  });
+  const auto snap = obs::snapshot();
+  EXPECT_EQ(snap.value_of("test.pool_counter"), kTasks * kDelta);
+}
+
+TEST(MetricsRegistry, CountsSurviveThreadExit) {
+  obs::reset();
+  {
+    // Shards of exited workers must drain into the retired accumulator.
+    util::ThreadPool pool(3);
+    pool.parallel_for(64, [](std::size_t) {
+      obs::Counter counter("test.retired_counter");
+      counter.add(1);
+    });
+  }  // pool joins here
+  EXPECT_EQ(obs::snapshot().value_of("test.retired_counter"), 64u);
+}
+
+TEST(MetricsRegistry, GaugeLastWriterWins) {
+  obs::reset();
+  obs::Gauge gauge("test.gauge");
+  gauge.set(41);
+  gauge.add(1);
+  EXPECT_EQ(obs::snapshot().value_of("test.gauge"), 42u);
+  gauge.set(7);
+  EXPECT_EQ(obs::snapshot().value_of("test.gauge"), 7u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsCountAndSum) {
+  obs::reset();
+  obs::Histogram histogram("test.hist");
+  histogram.record(0);    // bucket 0
+  histogram.record(1);    // bucket 1
+  histogram.record(5);    // bucket 3: [4, 8)
+  histogram.record(7);    // bucket 3
+  histogram.record(800);  // bucket 10: [512, 1024)
+  const auto snap = obs::snapshot();
+  const auto* metric = snap.find("test.hist");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(metric->value, 5u);
+  EXPECT_EQ(metric->sum, 813u);
+  ASSERT_GE(metric->buckets.size(), 11u);
+  EXPECT_EQ(metric->buckets[0], 1u);
+  EXPECT_EQ(metric->buckets[1], 1u);
+  EXPECT_EQ(metric->buckets[3], 2u);
+  EXPECT_EQ(metric->buckets[10], 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistration) {
+  obs::reset();
+  obs::Counter counter("test.reset_counter");
+  counter.add(9);
+  obs::reset();
+  const auto snap = obs::snapshot();
+  const auto* metric = snap.find("test.reset_counter");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->value, 0u);
+  counter.add(2);
+  EXPECT_EQ(obs::snapshot().value_of("test.reset_counter"), 2u);
+}
+
+TEST(MetricsExport, SchemaRoundTripsThroughJson) {
+  obs::reset();
+  obs::Counter counter("test.export_counter");
+  counter.add(5);
+  obs::Gauge gauge("test.export_gauge");
+  gauge.set(11);
+  obs::Histogram histogram("test.export_hist");
+  histogram.record(6);
+  std::ostringstream out;
+  obs::write_metrics_json(out);
+  const JsonValue doc = JsonReader(out.str()).parse();
+  EXPECT_EQ(doc.at("schema").string, "ftmc.metrics.v1");
+  EXPECT_EQ(doc.at("counters").at("test.export_counter").number, 5.0);
+  EXPECT_EQ(doc.at("gauges").at("test.export_gauge").number, 11.0);
+  const JsonValue& hist = doc.at("histograms").at("test.export_hist");
+  EXPECT_EQ(hist.at("count").number, 1.0);
+  EXPECT_EQ(hist.at("sum").number, 6.0);
+  ASSERT_EQ(hist.at("buckets").array.size(), 4u);  // trailing zeros trimmed
+  EXPECT_EQ(hist.at("buckets").array[3].number, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+/// Collects {ph, name, tid, ts} trace events from an exported document and
+/// checks per-thread begin/end matching with a stack — exactly the property
+/// chrome://tracing needs for duration events.
+void check_trace(const std::string& text, std::size_t* spans_out = nullptr) {
+  const JsonValue doc = JsonReader(text).parse();
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  std::map<double, std::vector<std::string>> stacks;  // tid -> open names
+  std::map<double, double> last_ts;
+  std::size_t spans = 0;
+  for (const JsonValue& event : events.array) {
+    const std::string& phase = event.at("ph").string;
+    if (phase == "M") continue;  // thread_name metadata carries no ts
+    const double tid = event.at("tid").number;
+    const double ts = event.at("ts").number;
+    ASSERT_TRUE(phase == "B" || phase == "E") << "unexpected phase " << phase;
+    if (last_ts.count(tid) != 0) {
+      EXPECT_GE(ts, last_ts[tid]) << "per-thread timestamps must not go back";
+    }
+    last_ts[tid] = ts;
+    if (phase == "B") {
+      stacks[tid].push_back(event.at("name").string);
+    } else {
+      ASSERT_FALSE(stacks[tid].empty()) << "end without matching begin";
+      EXPECT_EQ(stacks[tid].back(), event.at("name").string)
+          << "ends must close the innermost open span";
+      stacks[tid].pop_back();
+      ++spans;
+    }
+  }
+  for (const auto& [tid, stack] : stacks)
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  if (spans_out != nullptr) *spans_out = spans;
+}
+
+TEST(Tracing, DisabledSpansRecordNothing) {
+  obs::disable_tracing();
+  obs::clear_trace();
+  { obs::Span span("test.ignored"); }
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  std::size_t spans = 999;
+  check_trace(out.str(), &spans);
+  EXPECT_EQ(spans, 0u);
+}
+
+TEST(Tracing, NestedSpansExportMatchedPairs) {
+  obs::enable_tracing();
+  obs::clear_trace();
+  {
+    obs::Span outer("test.outer");
+    {
+      obs::Span middle("test.middle");
+      obs::Span inner("test.inner");
+    }
+  }
+  obs::disable_tracing();
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  std::size_t spans = 0;
+  check_trace(out.str(), &spans);
+  EXPECT_EQ(spans, 3u);
+}
+
+TEST(Tracing, RingWraparoundStillExportsBalancedPairs) {
+  // 8-event ring, far more spans than fit: old events are overwritten and
+  // the exporter must drop the resulting orphans instead of emitting
+  // unbalanced B/E pairs.  Ring capacity binds at ring creation, so the
+  // spans run on a fresh thread (whose ring is created under the new cap).
+  obs::enable_tracing(8);
+  obs::clear_trace();
+  std::thread([] {
+    obs::Span session("test.session");  // begin will be overwritten
+    for (int i = 0; i < 100; ++i) obs::Span span("test.wrapped");
+  }).join();
+  obs::disable_tracing();
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  std::size_t spans = 0;
+  check_trace(out.str(), &spans);
+  EXPECT_GT(spans, 0u);
+  EXPECT_LE(spans, 4u);  // at most ring_capacity / 2 complete spans
+}
+
+TEST(Tracing, WorkerThreadSpansCarryDistinctTids) {
+  obs::enable_tracing();
+  obs::clear_trace();
+  {
+    util::ThreadPool pool(2);
+    pool.parallel_for(32, [](std::size_t) { obs::Span span("test.worker"); });
+  }
+  obs::disable_tracing();
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  check_trace(out.str());
+}
+
+#endif  // !FTMC_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Differential: telemetry must never change results.  Runs each flow once
+// with tracing off and once with tracing on (metrics always accumulate) and
+// pins the outputs bitwise-identical.
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+struct TraceSession {
+  TraceSession() { obs::enable_tracing(); }
+  ~TraceSession() {
+    obs::disable_tracing();
+    obs::clear_trace();
+  }
+};
+
+TEST(TelemetryDifferential, AnalyzeBitwiseIdentical) {
+  const auto apps = fixtures::small_mixed_apps();
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[0].technique = hardening::Technique::kReexecution;
+  plan[0].reexecutions = 1;
+  std::vector<model::ProcessorId> mapping(apps.task_count());
+  for (std::size_t i = 0; i < mapping.size(); ++i)
+    mapping[i] = model::ProcessorId{static_cast<std::uint32_t>(i % 2)};
+  const auto arch = fixtures::test_arch(2);
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 2);
+  const sched::HolisticAnalysis backend;
+  const core::McAnalysis analysis(backend);
+
+  obs::disable_tracing();
+  const auto baseline = analysis.analyze(arch, system, {false, true});
+  TraceSession session;
+  const auto traced = analysis.analyze(arch, system, {false, true});
+
+  ASSERT_EQ(baseline.wcrt.size(), traced.wcrt.size());
+  for (std::size_t i = 0; i < baseline.wcrt.size(); ++i)
+    EXPECT_EQ(baseline.wcrt[i], traced.wcrt[i]);
+  EXPECT_EQ(baseline.scenario_count, traced.scenario_count);
+  EXPECT_EQ(baseline.schedulable(), traced.schedulable());
+}
+
+TEST(TelemetryDifferential, SimulateBitwiseIdentical) {
+  const auto apps = fixtures::small_mixed_apps();
+  hardening::HardeningPlan plan(apps.task_count());
+  plan[1].technique = hardening::Technique::kReexecution;
+  plan[1].reexecutions = 1;
+  std::vector<model::ProcessorId> mapping(apps.task_count());
+  for (std::size_t i = 0; i < mapping.size(); ++i)
+    mapping[i] = model::ProcessorId{static_cast<std::uint32_t>(i % 2)};
+  const auto arch = fixtures::test_arch(2);
+  const auto system = hardening::apply_hardening(apps, plan, mapping, 2);
+  const auto priorities = sched::assign_priorities(system.apps);
+
+  sim::MonteCarloOptions options;
+  options.profiles = 200;
+  options.seed = 7;
+  options.threads = 2;
+
+  const core::DropSet drop{false, false};
+  obs::disable_tracing();
+  const auto baseline =
+      sim::monte_carlo_wcrt(arch, system, drop, priorities, options);
+  TraceSession session;
+  const auto traced =
+      sim::monte_carlo_wcrt(arch, system, drop, priorities, options);
+
+  EXPECT_EQ(baseline.worst_response, traced.worst_response);
+  EXPECT_EQ(baseline.deadline_miss_profiles, traced.deadline_miss_profiles);
+  EXPECT_EQ(baseline.events_processed, traced.events_processed);
+  ASSERT_EQ(baseline.distribution.size(), traced.distribution.size());
+  for (std::size_t g = 0; g < baseline.distribution.size(); ++g) {
+    EXPECT_EQ(bits(baseline.distribution[g].mean),
+              bits(traced.distribution[g].mean));
+    EXPECT_EQ(baseline.distribution[g].max, traced.distribution[g].max);
+    EXPECT_EQ(baseline.distribution[g].p99, traced.distribution[g].p99);
+  }
+}
+
+TEST(TelemetryDifferential, OptimizeBitwiseIdentical) {
+  const auto apps = fixtures::small_mixed_apps();
+  const auto arch = fixtures::test_arch(2);
+  const sched::HolisticAnalysis backend;
+  dse::GeneticOptimizer optimizer(arch, apps, backend);
+  dse::GaOptions options;
+  options.population = 12;
+  options.offspring = 12;
+  options.generations = 4;
+  options.seed = 17;
+  options.threads = 2;
+
+  obs::disable_tracing();
+  const auto baseline = optimizer.run(options);
+  TraceSession session;
+  const auto traced = optimizer.run(options);
+
+  EXPECT_EQ(baseline.evaluations, traced.evaluations);
+  EXPECT_EQ(bits(baseline.best_feasible_power),
+            bits(traced.best_feasible_power));
+  ASSERT_EQ(baseline.pareto.size(), traced.pareto.size());
+  for (std::size_t i = 0; i < baseline.pareto.size(); ++i) {
+    EXPECT_EQ(bits(baseline.pareto[i].evaluation.power),
+              bits(traced.pareto[i].evaluation.power));
+    EXPECT_EQ(bits(baseline.pareto[i].evaluation.service),
+              bits(traced.pareto[i].evaluation.service));
+    EXPECT_EQ(baseline.pareto[i].candidate.base_mapping,
+              traced.pareto[i].candidate.base_mapping);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate ftmc telemetry artifacts.
+
+Three kinds of input, all optional, each repeatable:
+
+  --metrics FILE        a --metrics-json export; must be a valid
+                        `ftmc.metrics.v1` document (schema marker, integer
+                        counters/gauges, histograms whose bucket sums match
+                        their counts).
+  --trace FILE          a --chrome-trace export; must be valid JSON with a
+                        `traceEvents` array of B/E duration events that are
+                        balanced and properly nested per (pid, tid), with
+                        per-thread non-decreasing timestamps.
+  --bench-output FILE   captured stdout of a bench binary; must contain
+                        exactly one `JSON: {...}` summary line (see
+                        bench/README.md) whose payload parses and carries a
+                        string `bench` key.
+
+Exits 0 when every artifact checks out; prints one line per violation and
+exits 1 otherwise.  CI runs this over the bench-smoke artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ftmc.metrics.v1"
+
+errors: list[str] = []
+
+
+def fail(path: str, message: str) -> None:
+    errors.append(f"{path}: {message}")
+
+
+def load_json(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, f"not readable as JSON: {exc}")
+        return None
+
+
+def is_count(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_metrics(path: str) -> None:
+    doc = load_json(path)
+    if doc is None:
+        return
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        fail(path, f"missing schema marker {SCHEMA!r}")
+        return
+    for section in ("counters", "gauges"):
+        values = doc.get(section, {})
+        if not isinstance(values, dict):
+            fail(path, f"{section} must be an object")
+            continue
+        for name, value in values.items():
+            if not is_count(value):
+                fail(path, f"{section}[{name}] = {value!r} is not a count")
+    histograms = doc.get("histograms", {})
+    if not isinstance(histograms, dict):
+        fail(path, "histograms must be an object")
+        return
+    for name, hist in histograms.items():
+        if not isinstance(hist, dict):
+            fail(path, f"histograms[{name}] must be an object")
+            continue
+        count, total = hist.get("count"), hist.get("sum")
+        buckets = hist.get("buckets")
+        if not is_count(count) or not is_count(total):
+            fail(path, f"histograms[{name}] needs integer count and sum")
+            continue
+        if not isinstance(buckets, list) or not all(is_count(b) for b in buckets):
+            fail(path, f"histograms[{name}].buckets must be counts")
+            continue
+        if sum(buckets) != count:
+            fail(
+                path,
+                f"histograms[{name}]: bucket sum {sum(buckets)}"
+                f" != count {count}",
+            )
+
+
+def check_trace(path: str) -> None:
+    doc = load_json(path)
+    if doc is None:
+        return
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        fail(path, "missing traceEvents array")
+        return
+    stacks: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, f"traceEvents[{index}] is not an object")
+            return
+        phase = event.get("ph")
+        if phase == "M":  # metadata (thread names)
+            continue
+        if phase not in ("B", "E"):
+            fail(path, f"traceEvents[{index}]: unexpected phase {phase!r}")
+            return
+        key = (event.get("pid"), event.get("tid"))
+        name = event.get("name")
+        ts = event.get("ts")
+        if not isinstance(name, str) or not isinstance(ts, (int, float)):
+            fail(path, f"traceEvents[{index}]: needs string name + numeric ts")
+            return
+        if key in last_ts and ts < last_ts[key]:
+            fail(path, f"traceEvents[{index}]: ts goes backwards on {key}")
+            return
+        last_ts[key] = ts
+        stack = stacks.setdefault(key, [])
+        if phase == "B":
+            stack.append(name)
+        else:
+            if not stack:
+                fail(path, f"traceEvents[{index}]: E {name!r} without open B")
+                return
+            if stack[-1] != name:
+                fail(
+                    path,
+                    f"traceEvents[{index}]: E {name!r} closes"
+                    f" open B {stack[-1]!r}",
+                )
+                return
+            stack.pop()
+    for key, stack in stacks.items():
+        if stack:
+            fail(path, f"unclosed spans {stack} on thread {key}")
+
+
+def check_bench_output(path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [
+                line[len("JSON: "):]
+                for line in handle
+                if line.startswith("JSON: ")
+            ]
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+        return
+    if len(lines) != 1:
+        fail(path, f"expected exactly one 'JSON: ' line, found {len(lines)}")
+        return
+    try:
+        summary = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        fail(path, f"summary line is not valid JSON: {exc}")
+        return
+    if not isinstance(summary, dict) or not isinstance(
+        summary.get("bench"), str
+    ):
+        fail(path, "summary must be an object with a string 'bench' key")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", action="append", default=[])
+    parser.add_argument("--trace", action="append", default=[])
+    parser.add_argument("--bench-output", action="append", default=[])
+    args = parser.parse_args()
+    if not (args.metrics or args.trace or args.bench_output):
+        parser.error("nothing to check; pass --metrics/--trace/--bench-output")
+    for path in args.metrics:
+        check_metrics(path)
+    for path in args.trace:
+        check_trace(path)
+    for path in args.bench_output:
+        check_bench_output(path)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(args.metrics) + len(args.trace) + len(args.bench_output)
+    if not errors:
+        print(f"check_metrics: {checked} artifact(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,19 +13,27 @@
 // The system file format is documented in ftmc/io/text_format.hpp; `ftmc
 // optimize --out=` writes a full system + candidate file that `analyze` and
 // `simulate` accept.
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "ftmc/core/evaluator.hpp"
 #include "ftmc/dse/ga.hpp"
 #include "ftmc/io/dot_export.hpp"
 #include "ftmc/io/text_format.hpp"
+#include "ftmc/obs/export.hpp"
+#include "ftmc/obs/json.hpp"
+#include "ftmc/obs/trace.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/util/log.hpp"
 #include "ftmc/util/table.hpp"
 #include "ftmc/util/thread_pool.hpp"
 
@@ -47,7 +55,12 @@ int usage() {
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
       "            [--threads=N] [--no-cache] [--sequential-scenarios]\n"
-      "            [--no-dropping] [--power-only] [--out=FILE]\n";
+      "            [--no-dropping] [--power-only] [--out=FILE]\n"
+      "            [--telemetry-jsonl=FILE]  (per-generation stats stream)\n"
+      "telemetry (analyze/simulate/optimize):\n"
+      "  --metrics-json=FILE   write the final counter/histogram snapshot\n"
+      "  --chrome-trace=FILE   record spans, write Chrome trace-event JSON\n"
+      "  --quiet               suppress progress output (results only)\n";
   return 2;
 }
 
@@ -67,6 +80,57 @@ bool flag(int argc, char** argv, const std::string& name) {
     if (wanted == argv[i]) return true;
   return false;
 }
+
+/// Strict option validation: every argument after the system file must be a
+/// known `--key=value` option or boolean `--flag` of the command.  A typo'd
+/// option fails loudly here instead of being silently ignored.
+void validate_options(const std::string& command, int argc, char** argv,
+                      std::initializer_list<std::string_view> keys,
+                      std::initializer_list<std::string_view> flags) {
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::runtime_error(command + ": unexpected argument '" +
+                               std::string(arg) + "'");
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string_view key = body.substr(0, eq);
+      if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+      throw std::runtime_error(command + ": unknown option '--" +
+                               std::string(key) +
+                               "' (run `ftmc` for usage)");
+    }
+    if (std::find(flags.begin(), flags.end(), body) != flags.end()) continue;
+    if (std::find(keys.begin(), keys.end(), body) != keys.end())
+      throw std::runtime_error(command + ": option '" + std::string(arg) +
+                               "' expects a value (" + std::string(arg) +
+                               "=...)");
+    throw std::runtime_error(command + ": unknown flag '" + std::string(arg) +
+                             "' (run `ftmc` for usage)");
+  }
+}
+
+/// --metrics-json= / --chrome-trace= handling, shared by the three heavy
+/// commands.  Tracing must start before the command runs, so construct this
+/// first; export after the command's result is printed.
+struct Telemetry {
+  std::string metrics_path;
+  std::string trace_path;
+
+  static Telemetry setup(int argc, char** argv) {
+    Telemetry telemetry;
+    telemetry.metrics_path = option(argc, argv, "metrics-json", "");
+    telemetry.trace_path = option(argc, argv, "chrome-trace", "");
+    if (!telemetry.trace_path.empty()) obs::enable_tracing();
+    return telemetry;
+  }
+
+  void finish() const {
+    obs::export_metrics_file(metrics_path);
+    obs::export_chrome_trace_file(trace_path);
+  }
+};
 
 core::Candidate require_candidate(const io::SystemSpec& spec) {
   if (!spec.candidate.has_value())
@@ -116,6 +180,9 @@ int cmd_info(const io::SystemSpec& spec) {
 }
 
 int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
+  validate_options("analyze", argc, argv,
+                   {"threads", "metrics-json", "chrome-trace"}, {"quiet"});
+  const Telemetry telemetry = Telemetry::setup(argc, argv);
   const core::Candidate candidate = require_candidate(spec);
   const sched::HolisticAnalysis backend;
   // Transition scenarios are independent; fan them out unless --threads=1.
@@ -163,6 +230,7 @@ int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
                    candidate.drop[g] ? "normal state only (dropped)" : ""});
   }
   table.print(std::cout);
+  telemetry.finish();
   return evaluation.feasible() ? 0 : 1;
 }
 
@@ -175,6 +243,11 @@ sim::TraceLevel parse_trace_level(const std::string& name) {
 }
 
 int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
+  validate_options("simulate", argc, argv,
+                   {"profiles", "fault-prob", "seed", "threads", "trace-level",
+                    "metrics-json", "chrome-trace"},
+                   {"quiet"});
+  const Telemetry telemetry = Telemetry::setup(argc, argv);
   const core::Candidate candidate = require_candidate(spec);
   const auto system = hardening::apply_hardening(
       spec.apps, candidate.plan, candidate.base_mapping,
@@ -222,17 +295,27 @@ int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
   std::cout << "profiles with a deadline miss: "
             << result.deadline_miss_profiles << " / " << options.profiles
             << '\n';
-  std::cout << "events processed: " << result.events_processed << " ("
-            << static_cast<std::size_t>(
-                   seconds > 0.0
-                       ? static_cast<double>(result.events_processed) / seconds
-                       : 0.0)
-            << " events/s, " << util::Table::cell(seconds, 3)
-            << " s, trace level " << to_string(options.trace) << ")\n";
+  // Throughput is progress/diagnostic output, not a result: it goes through
+  // the leveled logger so --quiet silences it.
+  util::log_info("events processed: ", result.events_processed, " (",
+                 static_cast<std::size_t>(
+                     seconds > 0.0
+                         ? static_cast<double>(result.events_processed) /
+                               seconds
+                         : 0.0),
+                 " events/s, ", util::Table::cell(seconds, 3),
+                 " s, trace level ", to_string(options.trace), ")");
+  telemetry.finish();
   return 0;
 }
 
 int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
+  validate_options("optimize", argc, argv,
+                   {"generations", "population", "seed", "threads", "out",
+                    "telemetry-jsonl", "metrics-json", "chrome-trace"},
+                   {"no-cache", "sequential-scenarios", "no-dropping",
+                    "power-only", "quiet"});
+  const Telemetry telemetry = Telemetry::setup(argc, argv);
   const sched::HolisticAnalysis backend;
   dse::GeneticOptimizer optimizer(spec.arch, spec.apps, backend);
   dse::GaOptions options;
@@ -250,24 +333,53 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
     options.decoder.allow_dropping = false;
     options.evaluator.allow_dropping = false;
   }
+  // Per-generation telemetry stream: one JSON object per line, written as
+  // each generation completes so a run can be watched (or post-processed)
+  // while it is still going.
+  const std::string jsonl_path = option(argc, argv, "telemetry-jsonl", "");
+  std::ofstream jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl.open(jsonl_path);
+    if (!jsonl)
+      throw std::runtime_error("cannot write '" + jsonl_path + "': " +
+                               std::strerror(errno));
+  }
   options.on_generation = [&](const dse::GenerationStats& stats) {
+    if (jsonl.is_open()) {
+      obs::Json line = obs::Json::object();
+      line.set("generation", stats.generation)
+          .set("front_size", stats.feasible_in_archive)
+          .set("best_feasible_power", stats.best_feasible_power)
+          .set("evaluations", stats.evaluations)
+          .set("cache_hits", stats.cache_hits)
+          .set("cache_misses", stats.cache_misses)
+          .set("cache_hit_rate", stats.cache_hit_rate)
+          .set("scenarios_analyzed", stats.scenarios_analyzed)
+          .set("scenarios_per_second", stats.scenarios_per_second)
+          .set("evaluation_seconds", stats.evaluation_seconds)
+          .set("eval_p50_us", stats.eval_p50_us)
+          .set("eval_p95_us", stats.eval_p95_us)
+          .set("eval_max_us", stats.eval_max_us);
+      jsonl << line << '\n' << std::flush;
+    }
     if (stats.generation % 10 == 0)
-      std::cerr << "generation " << stats.generation << ", best power "
-                << stats.best_feasible_power << " mW, cache hit rate "
-                << static_cast<int>(stats.cache_hit_rate * 100.0 + 0.5)
-                << "%, " << static_cast<std::size_t>(
-                       stats.scenarios_per_second)
-                << " scenarios/s\n";
+      util::log_info("generation ", stats.generation, ", best power ",
+                     stats.best_feasible_power, " mW, cache hit rate ",
+                     static_cast<int>(stats.cache_hit_rate * 100.0 + 0.5),
+                     "%, ",
+                     static_cast<std::size_t>(stats.scenarios_per_second),
+                     " scenarios/s");
   };
 
   const auto result = optimizer.run(options);
-  std::cerr << "evaluation cache: " << result.cache.hits << " hits / "
-            << result.cache.lookups() << " lookups ("
-            << static_cast<int>(result.cache.hit_rate() * 100.0 + 0.5)
-            << "%), " << result.cache.evictions << " evictions\n";
+  util::log_info("evaluation cache: ", result.cache.hits, " hits / ",
+                 result.cache.lookups(), " lookups (",
+                 static_cast<int>(result.cache.hit_rate() * 100.0 + 0.5),
+                 "%), ", result.cache.evictions, " evictions");
   if (result.pareto.empty()) {
     std::cout << "no feasible design found (" << result.evaluations
               << " evaluations) — raise --generations/--population\n";
+    telemetry.finish();
     return 1;
   }
   util::Table table("Pareto-optimal designs");
@@ -289,23 +401,49 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
     io::write_system(out, spec.arch, spec.apps, &best->candidate);
     std::cout << "lowest-power design written to " << out_path << '\n';
   }
+  telemetry.finish();
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string command = argv[1];
+  const bool known = command == "info" || command == "dot" ||
+                     command == "analyze" || command == "simulate" ||
+                     command == "optimize";
+  if (!known) {
+    std::cerr << "error: unknown command '" << command << "'\n";
+    return usage();
+  }
+  // A known command with no file is a targeted complaint, not a usage dump:
+  // the user got the command right and only needs the missing piece.
+  if (argc < 3) {
+    std::cerr << "error: " << command
+              << ": missing <system.ftmc> argument\n";
+    return 2;
+  }
+  // Progress goes through the leveled logger; results go to stdout.
+  util::Logger::instance().set_level(flag(argc, argv, "quiet")
+                                         ? util::LogLevel::kWarn
+                                         : util::LogLevel::kInfo);
   try {
+    {
+      // Probe the system file up front so a bad path names the file instead
+      // of surfacing as a parse error (or worse, a generic usage message).
+      std::ifstream probe(argv[2]);
+      if (!probe)
+        throw std::runtime_error("cannot read system file '" +
+                                 std::string(argv[2]) +
+                                 "': " + std::strerror(errno));
+    }
     const io::SystemSpec spec = io::parse_system_file(argv[2]);
     if (command == "info") return cmd_info(spec);
     if (command == "dot") return cmd_dot(spec);
     if (command == "analyze") return cmd_analyze(spec, argc, argv);
     if (command == "simulate") return cmd_simulate(spec, argc, argv);
-    if (command == "optimize") return cmd_optimize(spec, argc, argv);
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage();
+    return cmd_optimize(spec, argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
