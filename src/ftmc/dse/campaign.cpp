@@ -1,0 +1,167 @@
+#include "ftmc/dse/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "ftmc/dse/checkpoint.hpp"
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/util/file_io.hpp"
+
+namespace ftmc::dse {
+namespace {
+
+struct CampaignCounters {
+  obs::Counter shards{"dse.campaign.shards"};
+  obs::Counter retries{"dse.campaign.retries"};
+};
+
+CampaignCounters& counters() {
+  static CampaignCounters instance;
+  return instance;
+}
+
+}  // namespace
+
+std::string shard_checkpoint_path(const std::string& base, std::size_t shard,
+                                  std::size_t shard_count) {
+  if (base.empty() || shard_count <= 1) return base;
+  return base + ".s" + std::to_string(shard);
+}
+
+std::vector<Individual> merge_fronts(const std::vector<ShardResult>& shards) {
+  // Each shard front is already feasible and internally non-dominated;
+  // the union is not, so take the Pareto front of the concatenation and
+  // keep one representative per objective vector in shard order.
+  std::vector<const Individual*> members;
+  std::vector<ObjectiveVector> points;
+  for (const ShardResult& shard : shards)
+    for (const Individual& individual : shard.result.pareto) {
+      members.push_back(&individual);
+      points.push_back(individual.objectives);
+    }
+  std::vector<Individual> front;
+  std::vector<ObjectiveVector> seen;
+  for (std::size_t index : pareto_front(points)) {
+    const Individual& individual = *members[index];
+    if (std::find(seen.begin(), seen.end(), individual.objectives) !=
+        seen.end())
+      continue;
+    seen.push_back(individual.objectives);
+    front.push_back(individual);
+  }
+  return front;
+}
+
+Campaign::Campaign(const model::Architecture& arch,
+                   const model::ApplicationSet& apps,
+                   const sched::SchedulingAnalysis& backend)
+    : arch_(&arch), apps_(&apps), backend_(&backend) {}
+
+CampaignResult Campaign::run(const CampaignOptions& options) const {
+  const std::vector<std::uint64_t> seeds =
+      options.seeds.empty() ? std::vector<std::uint64_t>{options.ga.seed}
+                            : options.seeds;
+  const GeneticOptimizer optimizer(*arch_, *apps_, *backend_);
+  const auto campaign_start = std::chrono::steady_clock::now();
+
+  CampaignResult campaign;
+  bool stop_hit = false;
+  bool budget_hit = false;
+  std::size_t completed_evaluations = 0;  // finished shards only
+  std::size_t shard_evaluations = 0;      // current attempt, via telemetry
+
+  const auto elapsed_seconds = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         campaign_start)
+        .count();
+  };
+  // Polled by the GA at generation boundaries: the in-flight generation
+  // always completes (and checkpoints) before the campaign winds down.
+  const auto should_stop = [&]() {
+    if (options.stop_requested && options.stop_requested()) {
+      stop_hit = true;
+      return true;
+    }
+    if (options.max_seconds > 0.0 &&
+        elapsed_seconds() >= options.max_seconds) {
+      budget_hit = true;
+      return true;
+    }
+    if (options.max_evaluations > 0 &&
+        completed_evaluations + shard_evaluations >=
+            options.max_evaluations) {
+      budget_hit = true;
+      return true;
+    }
+    return false;
+  };
+
+  for (std::size_t shard = 0; shard < seeds.size(); ++shard) {
+    if (should_stop()) break;
+    counters().shards.add(1);
+
+    const std::string checkpoint_path =
+        shard_checkpoint_path(options.checkpoint_path, shard, seeds.size());
+    ShardResult shard_result;
+    shard_result.seed = seeds[shard];
+
+    double backoff = options.retry_backoff_seconds;
+    for (std::size_t attempt = 0;; ++attempt) {
+      GaOptions ga = options.ga;
+      ga.seed = seeds[shard];
+      ga.checkpoint_path = checkpoint_path;
+      ga.checkpoint_every = options.checkpoint_every;
+      ga.checkpoint_keep = options.checkpoint_keep;
+      ga.stop_requested = should_stop;
+      shard_evaluations = 0;
+      ga.on_generation = [&, shard](const GenerationStats& stats) {
+        shard_evaluations += stats.evaluations;
+        if (options.on_generation) options.on_generation(shard, stats);
+      };
+
+      // First attempt resumes only on request; retries always pick up the
+      // latest snapshot of the failed attempt (identical trajectory by the
+      // resume guarantee), or restart when checkpointing is off.
+      std::optional<Checkpoint> snapshot;
+      const bool want_resume = attempt > 0 || options.resume;
+      if (want_resume && !checkpoint_path.empty() &&
+          util::file_exists(checkpoint_path)) {
+        snapshot = load_checkpoint(checkpoint_path);
+        ga.resume = &*snapshot;
+        shard_result.resumed = shard_result.resumed || attempt == 0;
+      }
+
+      try {
+        shard_result.result = optimizer.run(ga);
+        break;
+      } catch (const CheckpointError&) {
+        throw;  // defective snapshot / options mismatch: never retried
+      } catch (const std::invalid_argument&) {
+        throw;  // configuration error: retrying cannot help
+      } catch (const std::exception&) {
+        if (attempt >= options.max_retries) throw;
+        counters().retries.add(1);
+        ++shard_result.retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(backoff, options.max_backoff_seconds)));
+        backoff *= 2.0;
+      }
+    }
+
+    completed_evaluations += shard_result.result.evaluations;
+    shard_evaluations = 0;
+    const bool interrupted = shard_result.result.interrupted;
+    campaign.shards.push_back(std::move(shard_result));
+    if (interrupted) break;
+  }
+
+  campaign.interrupted = stop_hit;
+  campaign.budget_exhausted = budget_hit;
+  campaign.evaluations = completed_evaluations;
+  campaign.front = merge_fronts(campaign.shards);
+  return campaign;
+}
+
+}  // namespace ftmc::dse

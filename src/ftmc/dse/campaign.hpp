@@ -1,0 +1,108 @@
+// Multi-seed DSE campaigns: the production driver around GeneticOptimizer.
+//
+// A campaign shards one exploration problem over several GA seeds, runs the
+// shards sequentially (each shard already saturates the machine through the
+// evaluator's thread pool), retries transient evaluator failures with
+// bounded exponential backoff, enforces wall-clock and evaluation budgets,
+// and merges the per-seed feasible fronts into one non-dominated set.
+//
+// Determinism: every shard is an ordinary GA run, so a fixed seed list
+// yields a bitwise-identical merged front; a retried shard reloads its
+// latest checkpoint (or restarts from scratch when checkpointing is off),
+// which by the resume guarantee of checkpoint.hpp reproduces the exact
+// trajectory the failed attempt was on.  Configuration errors
+// (std::invalid_argument) and checkpoint defects (CheckpointError) are
+// never retried — they fail the campaign immediately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ftmc/dse/ga.hpp"
+
+namespace ftmc::dse {
+
+struct CampaignOptions {
+  /// Per-shard GA configuration; `ga.seed` is overridden by each entry of
+  /// `seeds` and `ga.checkpoint_path`/`ga.resume` by the campaign's own
+  /// checkpoint management below.
+  GaOptions ga;
+  /// One shard per seed, run in order.  Empty = single shard with ga.seed.
+  std::vector<std::uint64_t> seeds;
+
+  /// Retries per shard on evaluator failure (any std::exception except
+  /// configuration and checkpoint errors).
+  std::size_t max_retries = 2;
+  /// First retry delay; doubles per retry, capped at max_backoff_seconds.
+  double retry_backoff_seconds = 0.1;
+  double max_backoff_seconds = 5.0;
+
+  /// Wall-clock budget over the whole campaign (0 = unlimited).  Checked at
+  /// generation boundaries: the in-flight generation always completes and,
+  /// with checkpointing on, a resumable snapshot is written.
+  double max_seconds = 0.0;
+  /// Evaluation budget over the whole campaign (0 = unlimited), same
+  /// boundary semantics.
+  std::size_t max_evaluations = 0;
+
+  /// Base snapshot path (empty = no checkpointing).  A single-seed campaign
+  /// uses it verbatim; shard i of a multi-seed campaign uses `<path>.s<i>`.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  std::size_t checkpoint_keep = 3;
+  /// Load existing shard snapshots and continue them; missing files start
+  /// fresh, defective or mismatched ones fail loudly (CheckpointError).
+  bool resume = false;
+
+  /// Cooperative interrupt, polled at generation boundaries (compose with
+  /// budgets; also stops the shard loop between shards).
+  std::function<bool()> stop_requested;
+  /// Telemetry fan-in: shard index + that shard's per-generation stats
+  /// (replayed from generation 0 when a shard resumes).
+  std::function<void(std::size_t, const GenerationStats&)> on_generation;
+};
+
+/// Per-shard checkpoint path under the campaign's base path.
+std::string shard_checkpoint_path(const std::string& base, std::size_t shard,
+                                  std::size_t shard_count);
+
+struct ShardResult {
+  std::uint64_t seed = 0;
+  GaResult result;
+  std::size_t retries = 0;  ///< evaluator failures recovered from
+  bool resumed = false;     ///< started from an existing snapshot
+};
+
+struct CampaignResult {
+  std::vector<ShardResult> shards;
+  /// Non-dominated union of the shards' feasible fronts, one representative
+  /// per objective vector (first shard in seed order wins ties).
+  std::vector<Individual> front;
+  std::size_t evaluations = 0;
+  /// True when stop_requested fired; shards not yet started are absent
+  /// from `shards` and the interrupted shard carries interrupted=true.
+  bool interrupted = false;
+  /// True when a wall-clock or evaluation budget ended the campaign early.
+  bool budget_exhausted = false;
+};
+
+/// Merges per-shard fronts into one non-dominated, deduplicated front.
+std::vector<Individual> merge_fronts(const std::vector<ShardResult>& shards);
+
+class Campaign {
+ public:
+  /// References must outlive the campaign.
+  Campaign(const model::Architecture& arch, const model::ApplicationSet& apps,
+           const sched::SchedulingAnalysis& backend);
+
+  CampaignResult run(const CampaignOptions& options) const;
+
+ private:
+  const model::Architecture* arch_;
+  const model::ApplicationSet* apps_;
+  const sched::SchedulingAnalysis* backend_;
+};
+
+}  // namespace ftmc::dse

@@ -1,0 +1,528 @@
+#include "ftmc/dse/checkpoint.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/util/file_io.hpp"
+#include "ftmc/util/hash.hpp"
+
+namespace ftmc::dse {
+namespace {
+
+struct CheckpointCounters {
+  obs::Counter writes{"dse.checkpoint.writes"};
+  obs::Counter bytes{"dse.checkpoint.bytes"};
+  obs::Counter loads{"dse.resume.loads"};
+  obs::Counter rejected{"dse.resume.rejected"};
+};
+
+CheckpointCounters& counters() {
+  static CheckpointCounters instance;
+  return instance;
+}
+
+// --- Little-endian field stream ---------------------------------------------
+//
+// Every multi-byte integer is written least-significant byte first and every
+// double as the little-endian bytes of its IEEE-754 bit pattern, so the
+// payload (and its digest) is identical across platforms and verifiable
+// from tools/check_metrics.py.
+
+class Writer {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void size(std::size_t value) { u64(static_cast<std::uint64_t>(value)); }
+
+  void bytes8(std::span<const std::uint8_t> values) {
+    size(values.size());
+    bytes_.insert(bytes_.end(), values.begin(), values.end());
+  }
+  void bits(const std::vector<bool>& values) {
+    size(values.size());
+    for (bool bit : values) u8(bit ? 1 : 0);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[offset_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+      value |= static_cast<std::uint32_t>(bytes_[offset_++]) << (8 * i);
+    return value;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+      value |= static_cast<std::uint64_t>(bytes_[offset_++]) << (8 * i);
+    return value;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Length prefix for a sequence whose elements take >= `element_bytes`
+  /// each; rejects lengths the remaining payload cannot possibly hold, so a
+  /// corrupted count fails loudly instead of allocating gigabytes.
+  std::size_t length(std::size_t element_bytes) {
+    const std::uint64_t count = u64();
+    if (element_bytes != 0 && count > remaining() / element_bytes)
+      throw CheckpointError(
+          "checkpoint payload is truncated: sequence length " +
+          std::to_string(count) + " exceeds the remaining " +
+          std::to_string(remaining()) + " bytes");
+    return static_cast<std::size_t>(count);
+  }
+
+  std::vector<std::uint8_t> bytes8() {
+    const std::size_t count = length(1);
+    need(count);
+    std::vector<std::uint8_t> values(bytes_.begin() + offset_,
+                                     bytes_.begin() + offset_ + count);
+    offset_ += count;
+    return values;
+  }
+  std::vector<bool> bits() {
+    const std::size_t count = length(1);
+    std::vector<bool> values(count);
+    for (std::size_t i = 0; i < count; ++i) values[i] = u8() != 0;
+    return values;
+  }
+
+ private:
+  void need(std::size_t count) const {
+    if (count > remaining())
+      throw CheckpointError(
+          "checkpoint payload is truncated: need " + std::to_string(count) +
+          " more bytes at offset " + std::to_string(offset_));
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+// --- Per-type encode / decode -----------------------------------------------
+
+void put(Writer& out, const TrajectoryOptions& options) {
+  out.u64(options.population);
+  out.u64(options.offspring);
+  out.u64(options.generations);
+  out.u64(options.seed);
+  out.u8(options.optimize_service);
+  out.f64(options.crossover_rate);
+  out.f64(options.allocation_flip_rate);
+  out.f64(options.keep_flip_rate);
+  out.f64(options.task_mutation_rate);
+  out.f64(options.graph_recluster_rate);
+  out.u64(options.reliability_repair_attempts);
+  out.u8(options.decoder_allow_dropping);
+  out.u32(options.technique_restriction);
+  out.u32(options.analysis_mode);
+  out.u32(options.priority_policy);
+  out.f64(options.infeasibility_penalty);
+  out.u8(options.evaluator_allow_dropping);
+}
+
+TrajectoryOptions get_options(Reader& in) {
+  TrajectoryOptions options;
+  options.population = in.u64();
+  options.offspring = in.u64();
+  options.generations = in.u64();
+  options.seed = in.u64();
+  options.optimize_service = in.u8();
+  options.crossover_rate = in.f64();
+  options.allocation_flip_rate = in.f64();
+  options.keep_flip_rate = in.f64();
+  options.task_mutation_rate = in.f64();
+  options.graph_recluster_rate = in.f64();
+  options.reliability_repair_attempts = in.u64();
+  options.decoder_allow_dropping = in.u8();
+  options.technique_restriction = in.u32();
+  options.analysis_mode = in.u32();
+  options.priority_policy = in.u32();
+  options.infeasibility_penalty = in.f64();
+  options.evaluator_allow_dropping = in.u8();
+  return options;
+}
+
+void put(Writer& out, const Chromosome& chromosome) {
+  out.bytes8(chromosome.allocation);
+  out.bytes8(chromosome.keep);
+  out.size(chromosome.tasks.size());
+  for (const TaskGenes& genes : chromosome.tasks) {
+    out.u8(static_cast<std::uint8_t>(genes.technique));
+    out.u8(genes.reexec);
+    out.u8(genes.active_n);
+    out.u32(genes.base_pe);
+    for (std::uint16_t pe : genes.replica_pe) out.u32(pe);
+    out.u32(genes.voter_pe);
+  }
+}
+
+Chromosome get_chromosome(Reader& in) {
+  Chromosome chromosome;
+  chromosome.allocation = in.bytes8();
+  chromosome.keep = in.bytes8();
+  const std::size_t tasks = in.length(3 + 6 * 4);
+  chromosome.tasks.resize(tasks);
+  for (TaskGenes& genes : chromosome.tasks) {
+    genes.technique = static_cast<TechniqueGene>(in.u8());
+    genes.reexec = in.u8();
+    genes.active_n = in.u8();
+    genes.base_pe = static_cast<std::uint16_t>(in.u32());
+    for (std::uint16_t& pe : genes.replica_pe)
+      pe = static_cast<std::uint16_t>(in.u32());
+    genes.voter_pe = static_cast<std::uint16_t>(in.u32());
+  }
+  return chromosome;
+}
+
+void put(Writer& out, const core::Candidate& candidate) {
+  out.bits(candidate.allocation);
+  out.bits(candidate.drop);
+  out.size(candidate.plan.size());
+  for (const hardening::TaskHardening& task : candidate.plan) {
+    out.u8(static_cast<std::uint8_t>(task.technique));
+    out.i64(task.reexecutions);
+    out.size(task.replica_pes.size());
+    for (model::ProcessorId pe : task.replica_pes) out.u32(pe.value);
+    out.u32(task.voter_pe.value);
+  }
+  out.size(candidate.base_mapping.size());
+  for (model::ProcessorId pe : candidate.base_mapping) out.u32(pe.value);
+}
+
+core::Candidate get_candidate(Reader& in) {
+  core::Candidate candidate;
+  candidate.allocation = in.bits();
+  candidate.drop = in.bits();
+  const std::size_t plan = in.length(1 + 8 + 8 + 4);
+  candidate.plan.resize(plan);
+  for (hardening::TaskHardening& task : candidate.plan) {
+    task.technique = static_cast<hardening::Technique>(in.u8());
+    task.reexecutions = static_cast<int>(in.i64());
+    const std::size_t replicas = in.length(4);
+    task.replica_pes.resize(replicas);
+    for (model::ProcessorId& pe : task.replica_pes)
+      pe = model::ProcessorId{in.u32()};
+    task.voter_pe = model::ProcessorId{in.u32()};
+  }
+  const std::size_t mapping = in.length(4);
+  candidate.base_mapping.resize(mapping);
+  for (model::ProcessorId& pe : candidate.base_mapping)
+    pe = model::ProcessorId{in.u32()};
+  return candidate;
+}
+
+void put(Writer& out, const core::Evaluation& evaluation) {
+  out.u8(evaluation.mapping_valid ? 1 : 0);
+  out.u8(evaluation.reliability_ok ? 1 : 0);
+  out.u8(evaluation.normal_schedulable ? 1 : 0);
+  out.u8(evaluation.critical_schedulable ? 1 : 0);
+  out.f64(evaluation.power);
+  out.f64(evaluation.service);
+  out.size(evaluation.scenario_count);
+  out.size(evaluation.graph_wcrt.size());
+  for (model::Time wcrt : evaluation.graph_wcrt) out.i64(wcrt);
+}
+
+core::Evaluation get_evaluation(Reader& in) {
+  core::Evaluation evaluation;
+  evaluation.mapping_valid = in.u8() != 0;
+  evaluation.reliability_ok = in.u8() != 0;
+  evaluation.normal_schedulable = in.u8() != 0;
+  evaluation.critical_schedulable = in.u8() != 0;
+  evaluation.power = in.f64();
+  evaluation.service = in.f64();
+  evaluation.scenario_count = static_cast<std::size_t>(in.u64());
+  const std::size_t wcrt = in.length(8);
+  evaluation.graph_wcrt.resize(wcrt);
+  for (model::Time& value : evaluation.graph_wcrt) value = in.i64();
+  return evaluation;
+}
+
+void put(Writer& out, const Individual& individual) {
+  put(out, individual.chromosome);
+  put(out, individual.candidate);
+  put(out, individual.evaluation);
+  out.size(individual.objectives.size());
+  for (double value : individual.objectives) out.f64(value);
+}
+
+Individual get_individual(Reader& in) {
+  Individual individual;
+  individual.chromosome = get_chromosome(in);
+  individual.candidate = get_candidate(in);
+  individual.evaluation = get_evaluation(in);
+  const std::size_t objectives = in.length(8);
+  individual.objectives.resize(objectives);
+  for (double& value : individual.objectives) value = in.f64();
+  return individual;
+}
+
+void put(Writer& out, const GenerationStats& stats) {
+  out.size(stats.generation);
+  out.size(stats.feasible_in_archive);
+  out.f64(stats.best_feasible_power);
+  out.size(stats.evaluations);
+  out.size(stats.cache_hits);
+  out.size(stats.cache_misses);
+  out.f64(stats.cache_hit_rate);
+  out.size(stats.scenarios_analyzed);
+  out.f64(stats.scenarios_per_second);
+  out.f64(stats.evaluation_seconds);
+  out.f64(stats.eval_p50_us);
+  out.f64(stats.eval_p95_us);
+  out.f64(stats.eval_max_us);
+}
+
+GenerationStats get_stats(Reader& in) {
+  GenerationStats stats;
+  stats.generation = static_cast<std::size_t>(in.u64());
+  stats.feasible_in_archive = static_cast<std::size_t>(in.u64());
+  stats.best_feasible_power = in.f64();
+  stats.evaluations = static_cast<std::size_t>(in.u64());
+  stats.cache_hits = static_cast<std::size_t>(in.u64());
+  stats.cache_misses = static_cast<std::size_t>(in.u64());
+  stats.cache_hit_rate = in.f64();
+  stats.scenarios_analyzed = static_cast<std::size_t>(in.u64());
+  stats.scenarios_per_second = in.f64();
+  stats.evaluation_seconds = in.f64();
+  stats.eval_p50_us = in.f64();
+  stats.eval_p95_us = in.f64();
+  stats.eval_max_us = in.f64();
+  return stats;
+}
+
+std::uint64_t payload_digest(std::span<const std::uint8_t> payload) {
+  util::Fnv1aHasher hasher;
+  for (std::uint8_t byte : payload) hasher.feed_byte(byte);
+  return hasher.digest();
+}
+
+}  // namespace
+
+TrajectoryOptions TrajectoryOptions::of(const GaOptions& options) {
+  TrajectoryOptions t;
+  t.population = options.population;
+  t.offspring = options.offspring;
+  t.generations = options.generations;
+  t.seed = options.seed;
+  t.optimize_service = options.optimize_service ? 1 : 0;
+  t.crossover_rate = options.variation.crossover_rate;
+  t.allocation_flip_rate = options.variation.allocation_flip_rate;
+  t.keep_flip_rate = options.variation.keep_flip_rate;
+  t.task_mutation_rate = options.variation.task_mutation_rate;
+  t.graph_recluster_rate = options.variation.graph_recluster_rate;
+  t.reliability_repair_attempts = options.decoder.reliability_repair_attempts;
+  t.decoder_allow_dropping = options.decoder.allow_dropping ? 1 : 0;
+  t.technique_restriction =
+      static_cast<std::uint32_t>(options.decoder.restriction);
+  t.analysis_mode = static_cast<std::uint32_t>(options.evaluator.mode);
+  t.priority_policy = static_cast<std::uint32_t>(options.evaluator.policy);
+  t.infeasibility_penalty = options.evaluator.infeasibility_penalty;
+  t.evaluator_allow_dropping = options.evaluator.allow_dropping ? 1 : 0;
+  return t;
+}
+
+std::string TrajectoryOptions::mismatch(const TrajectoryOptions& other) const {
+  const auto differs = [](auto a, auto b) { return !(a == b); };
+  // Doubles compare by bit pattern so that NaN penalties and negative zero
+  // rates cannot silently pass the gate.
+  const auto f64_differs = [](double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) != std::bit_cast<std::uint64_t>(b);
+  };
+  if (differs(population, other.population)) return "population";
+  if (differs(offspring, other.offspring)) return "offspring";
+  if (differs(generations, other.generations)) return "generations";
+  if (differs(seed, other.seed)) return "seed";
+  if (differs(optimize_service, other.optimize_service))
+    return "optimize_service";
+  if (f64_differs(crossover_rate, other.crossover_rate))
+    return "variation.crossover_rate";
+  if (f64_differs(allocation_flip_rate, other.allocation_flip_rate))
+    return "variation.allocation_flip_rate";
+  if (f64_differs(keep_flip_rate, other.keep_flip_rate))
+    return "variation.keep_flip_rate";
+  if (f64_differs(task_mutation_rate, other.task_mutation_rate))
+    return "variation.task_mutation_rate";
+  if (f64_differs(graph_recluster_rate, other.graph_recluster_rate))
+    return "variation.graph_recluster_rate";
+  if (differs(reliability_repair_attempts, other.reliability_repair_attempts))
+    return "decoder.reliability_repair_attempts";
+  if (differs(decoder_allow_dropping, other.decoder_allow_dropping))
+    return "decoder.allow_dropping";
+  if (differs(technique_restriction, other.technique_restriction))
+    return "decoder.restriction";
+  if (differs(analysis_mode, other.analysis_mode)) return "evaluator.mode";
+  if (differs(priority_policy, other.priority_policy))
+    return "evaluator.policy";
+  if (f64_differs(infeasibility_penalty, other.infeasibility_penalty))
+    return "evaluator.infeasibility_penalty";
+  if (differs(evaluator_allow_dropping, other.evaluator_allow_dropping))
+    return "evaluator.allow_dropping";
+  return {};
+}
+
+std::uint64_t TrajectoryOptions::digest() const {
+  Writer out;
+  put(out, *this);
+  const std::vector<std::uint8_t> bytes = out.take();
+  return payload_digest(bytes);
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& checkpoint) {
+  Writer body;
+  put(body, checkpoint.options);
+  body.u64(checkpoint.generation);
+  body.u8(checkpoint.finished);
+  body.u64(checkpoint.evaluations);
+  body.f64(checkpoint.best_feasible_power);
+  body.u64(checkpoint.cache_fingerprint);
+  for (std::uint64_t word : checkpoint.master.words) body.u64(word);
+  body.u8(checkpoint.master.has_cached_normal ? 1 : 0);
+  body.f64(checkpoint.master.cached_normal);
+  body.size(checkpoint.archive.size());
+  for (const Individual& individual : checkpoint.archive)
+    put(body, individual);
+  body.size(checkpoint.population.size());
+  for (const Individual& individual : checkpoint.population)
+    put(body, individual);
+  body.size(checkpoint.history.size());
+  for (const GenerationStats& stats : checkpoint.history) put(body, stats);
+  const std::vector<std::uint8_t> payload = body.take();
+
+  Writer header;
+  for (char c : kCheckpointMagic)
+    header.u8(static_cast<std::uint8_t>(c));
+  header.u32(kCheckpointVersion);
+  header.u32(0);  // reserved
+  header.u64(payload.size());
+  header.u64(payload_digest(payload));
+  std::vector<std::uint8_t> bytes = header.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+  if (bytes.size() < kHeaderSize)
+    throw CheckpointError("checkpoint is truncated: " +
+                          std::to_string(bytes.size()) +
+                          " bytes is shorter than the 32-byte header");
+  if (std::memcmp(bytes.data(), kCheckpointMagic, sizeof kCheckpointMagic) !=
+      0)
+    throw CheckpointError(
+        "not an ftmc checkpoint: magic bytes are not \"FTMCCKPT\"");
+  Reader header(bytes.subspan(8, kHeaderSize - 8));
+  const std::uint32_t version = header.u32();
+  if (version != kCheckpointVersion)
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(version) + " (this build reads v" +
+                          std::to_string(kCheckpointVersion) + ")");
+  header.u32();  // reserved
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t expected_digest = header.u64();
+  if (payload_size > bytes.size() - kHeaderSize)
+    throw CheckpointError(
+        "checkpoint is truncated: header declares a " +
+        std::to_string(payload_size) + "-byte payload but only " +
+        std::to_string(bytes.size() - kHeaderSize) + " bytes follow");
+  // Trailing bytes beyond the declared payload are ignored (reserved for
+  // extensions appended by future writers).
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(kHeaderSize, static_cast<std::size_t>(payload_size));
+  if (payload_digest(payload) != expected_digest)
+    throw CheckpointError(
+        "checkpoint payload checksum mismatch: the file is corrupted");
+
+  Reader in(payload);
+  Checkpoint checkpoint;
+  checkpoint.options = get_options(in);
+  checkpoint.generation = in.u64();
+  checkpoint.finished = in.u8();
+  checkpoint.evaluations = in.u64();
+  checkpoint.best_feasible_power = in.f64();
+  checkpoint.cache_fingerprint = in.u64();
+  for (std::uint64_t& word : checkpoint.master.words) word = in.u64();
+  checkpoint.master.has_cached_normal = in.u8() != 0;
+  checkpoint.master.cached_normal = in.f64();
+  const std::size_t archive = in.length(1);
+  checkpoint.archive.reserve(archive);
+  for (std::size_t i = 0; i < archive; ++i)
+    checkpoint.archive.push_back(get_individual(in));
+  const std::size_t population = in.length(1);
+  checkpoint.population.reserve(population);
+  for (std::size_t i = 0; i < population; ++i)
+    checkpoint.population.push_back(get_individual(in));
+  const std::size_t history = in.length(13 * 8);
+  checkpoint.history.reserve(history);
+  for (std::size_t i = 0; i < history; ++i)
+    checkpoint.history.push_back(get_stats(in));
+  return checkpoint;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint,
+                     std::size_t keep) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  util::rotate_files(path, keep);
+  util::write_file_atomic(path, bytes);
+  counters().writes.add(1);
+  counters().bytes.add(bytes.size());
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = util::read_file(path);
+  } catch (const std::exception& error) {
+    counters().rejected.add(1);
+    throw CheckpointError(error.what());
+  }
+  try {
+    Checkpoint checkpoint = decode_checkpoint(bytes);
+    counters().loads.add(1);
+    return checkpoint;
+  } catch (const CheckpointError&) {
+    counters().rejected.add(1);
+    throw;
+  }
+}
+
+void verify_resume_options(const TrajectoryOptions& current,
+                           const TrajectoryOptions& snapshot) {
+  const std::string field = current.mismatch(snapshot);
+  if (field.empty()) return;
+  counters().rejected.add(1);
+  throw CheckpointError(
+      "cannot resume: option '" + field +
+      "' differs from the checkpointed run (the snapshot pins the "
+      "trajectory; rerun with matching options or start a fresh run)");
+}
+
+}  // namespace ftmc::dse

@@ -9,12 +9,42 @@
 #include <optional>
 #include <unordered_map>
 
+#include "ftmc/dse/checkpoint.hpp"
 #include "ftmc/obs/metrics.hpp"
 #include "ftmc/obs/trace.hpp"
 #include "ftmc/util/stats.hpp"
 #include "ftmc/util/thread_pool.hpp"
 
 namespace ftmc::dse {
+
+void GaOptions::validate() const {
+  if (population == 0)
+    throw std::invalid_argument("GaOptions: population must be >= 1");
+  if (offspring == 0)
+    throw std::invalid_argument("GaOptions: offspring must be >= 1");
+  if (!cache_evaluations && evaluator.cache != nullptr)
+    throw std::invalid_argument(
+        "GaOptions: cache_evaluations=false contradicts the caller-provided "
+        "evaluator.cache — clear one of them (a provided cache is always "
+        "used)");
+  if (cache_evaluations && cache_capacity == 0)
+    throw std::invalid_argument(
+        "GaOptions: cache_capacity must be >= 1 while cache_evaluations is "
+        "set (use cache_evaluations=false to disable memoization)");
+  if (!parallel_scenarios && evaluator.scenario_pool != nullptr)
+    throw std::invalid_argument(
+        "GaOptions: parallel_scenarios=false contradicts the caller-provided "
+        "evaluator.scenario_pool — clear one of them (a provided pool is "
+        "always used)");
+  if (!checkpoint_path.empty() && checkpoint_every == 0)
+    throw std::invalid_argument(
+        "GaOptions: checkpoint_every must be >= 1 when checkpoint_path is "
+        "set");
+  if (!checkpoint_path.empty() && checkpoint_keep == 0)
+    throw std::invalid_argument(
+        "GaOptions: checkpoint_keep must be >= 1 when checkpoint_path is "
+        "set");
+}
 
 GeneticOptimizer::GeneticOptimizer(const model::Architecture& arch,
                                    const model::ApplicationSet& apps,
@@ -27,6 +57,7 @@ struct GaCounters {
   obs::Counter generations{"dse.generations"};
   obs::Counter evaluations{"dse.evaluations"};
   obs::Counter decode_memo_hits{"dse.decode_memo_hits"};
+  obs::Counter resume_generations{"dse.resume.generations_restored"};
   obs::Histogram eval_us{"dse.eval_us"};
 };
 
@@ -51,8 +82,7 @@ std::size_t tournament(const std::vector<double>& fitness, util::Rng& rng) {
 }  // namespace
 
 GaResult GeneticOptimizer::run(const GaOptions& options) const {
-  if (options.population == 0 || options.offspring == 0)
-    throw std::invalid_argument("GeneticOptimizer: empty population");
+  options.validate();
 
   const Decoder decoder(*arch_, *apps_, options.decoder);
   const ChromosomeShape shape = decoder.shape();
@@ -194,16 +224,115 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     return individuals;
   };
 
-  // --- Initial population -------------------------------------------------
-  std::vector<Chromosome> seeds;
-  seeds.reserve(options.population);
-  for (std::size_t i = 0; i < options.population; ++i)
-    seeds.push_back(random_chromosome(shape, master));
-  std::vector<Individual> population = evaluate_batch(seeds);
+  std::vector<Individual> population;
   std::vector<Individual> archive;
 
-  for (std::size_t generation = 0; generation <= options.generations;
-       ++generation) {
+  // Binary tournament mating + variation over the current archive; all
+  // randomness comes from the master stream, so the checkpoint boundary
+  // (right before this runs) pins the offspring exactly.
+  auto breed = [&]() {
+    std::vector<ObjectiveVector> archive_points;
+    archive_points.reserve(archive.size());
+    for (const Individual& individual : archive)
+      archive_points.push_back(individual.objectives);
+    const std::vector<double> fitness = spea2_fitness(archive_points);
+
+    std::vector<Chromosome> offspring;
+    offspring.reserve(options.offspring);
+    for (std::size_t i = 0; i < options.offspring; ++i) {
+      const Chromosome& parent_a =
+          archive[tournament(fitness, master)].chromosome;
+      const Chromosome& parent_b =
+          archive[tournament(fitness, master)].chromosome;
+      Chromosome child = master.chance(options.variation.crossover_rate)
+                             ? crossover(parent_a, parent_b, shape, master)
+                             : parent_a;
+      mutate(child, shape, options.variation, master);
+      offspring.push_back(std::move(child));
+    }
+    return offspring;
+  };
+
+  auto write_snapshot = [&](std::size_t generation, bool finished) {
+    if (options.checkpoint_path.empty()) return;
+    Checkpoint snapshot;
+    snapshot.options = TrajectoryOptions::of(options);
+    snapshot.generation = generation;
+    snapshot.finished = finished ? 1 : 0;
+    snapshot.evaluations = result.evaluations;
+    snapshot.best_feasible_power = result.best_feasible_power;
+    snapshot.cache_fingerprint = snapshot.options.digest();
+    snapshot.master = master.state();
+    snapshot.archive = archive;
+    snapshot.history = result.history;
+    save_checkpoint(options.checkpoint_path, snapshot,
+                    options.checkpoint_keep);
+  };
+
+  // Extracts the feasible Pareto front (one representative per objective
+  // vector) and moves the archive into the result.
+  auto finalize = [&]() {
+    std::vector<std::size_t> feasible;
+    std::vector<ObjectiveVector> feasible_points;
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+      if (!archive[i].evaluation.feasible()) continue;
+      feasible.push_back(i);
+      feasible_points.push_back(archive[i].objectives);
+    }
+    std::vector<ObjectiveVector> seen;
+    for (std::size_t index : pareto_front(feasible_points)) {
+      const Individual& individual = archive[feasible[index]];
+      if (std::find(seen.begin(), seen.end(), individual.objectives) !=
+          seen.end())
+        continue;
+      seen.push_back(individual.objectives);
+      result.pareto.push_back(individual);
+    }
+    result.archive = std::move(archive);
+    if (evaluator.options().cache != nullptr)
+      result.cache = evaluator.options().cache->stats();
+  };
+
+  std::size_t start_generation = 0;
+  if (options.resume != nullptr) {
+    // The snapshot pins the trajectory; any divergent option fails loudly
+    // before a single chromosome is touched.
+    verify_resume_options(TrajectoryOptions::of(options),
+                          options.resume->options);
+    master.restore(options.resume->master);
+    archive = options.resume->archive;
+    population = options.resume->population;
+    result.history = options.resume->history;
+    result.evaluations = options.resume->evaluations;
+    result.best_feasible_power = options.resume->best_feasible_power;
+    result.last_generation = options.resume->generation;
+    ga_counters().resume_generations.add(result.history.size());
+    // Replay the restored telemetry so downstream streams (CLI JSONL) see
+    // the whole run, not just the post-resume suffix.
+    if (options.on_generation)
+      for (const GenerationStats& stats : result.history)
+        options.on_generation(stats);
+    if (options.resume->finished != 0 ||
+        options.resume->generation >= options.generations) {
+      finalize();
+      return result;
+    }
+    // The snapshot was taken after the boundary's selection and before its
+    // mating step: run the tail of that generation, then continue.
+    std::vector<Chromosome> offspring = breed();
+    population = evaluate_batch(offspring);
+    start_generation = options.resume->generation + 1;
+  } else {
+    // --- Initial population -----------------------------------------------
+    std::vector<Chromosome> seeds;
+    seeds.reserve(options.population);
+    for (std::size_t i = 0; i < options.population; ++i)
+      seeds.push_back(random_chromosome(shape, master));
+    population = evaluate_batch(seeds);
+  }
+
+  for (std::size_t generation = start_generation;
+       generation <= options.generations; ++generation) {
     obs::Span generation_span("ga.generation");
     ga_counters().generations.add(1);
     // --- Environmental selection over archive + population ----------------
@@ -257,53 +386,28 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
       stats.eval_max_us = last_batch.eval_us.back();
     }
     result.history.push_back(stats);
+    result.last_generation = generation;
     if (options.on_generation) options.on_generation(stats);
 
-    if (generation == options.generations) break;
+    // --- Checkpoint + graceful stop, both at the generation boundary -------
+    const bool finished = generation == options.generations;
+    const bool stop =
+        !finished && options.stop_requested && options.stop_requested();
+    const bool cadence = !options.checkpoint_path.empty() &&
+                         generation % options.checkpoint_every == 0;
+    if (finished || stop || cadence) write_snapshot(generation, finished);
+    if (stop) {
+      result.interrupted = true;
+      break;
+    }
+    if (finished) break;
 
     // --- Mating selection + variation --------------------------------------
-    std::vector<ObjectiveVector> archive_points;
-    archive_points.reserve(archive.size());
-    for (const Individual& individual : archive)
-      archive_points.push_back(individual.objectives);
-    const std::vector<double> fitness = spea2_fitness(archive_points);
-
-    std::vector<Chromosome> offspring;
-    offspring.reserve(options.offspring);
-    for (std::size_t i = 0; i < options.offspring; ++i) {
-      const Chromosome& parent_a =
-          archive[tournament(fitness, master)].chromosome;
-      const Chromosome& parent_b =
-          archive[tournament(fitness, master)].chromosome;
-      Chromosome child = master.chance(options.variation.crossover_rate)
-                             ? crossover(parent_a, parent_b, shape, master)
-                             : parent_a;
-      mutate(child, shape, options.variation, master);
-      offspring.push_back(std::move(child));
-    }
+    std::vector<Chromosome> offspring = breed();
     population = evaluate_batch(offspring);
   }
 
-  // --- Feasible Pareto front (one representative per objective vector) ----
-  std::vector<std::size_t> feasible;
-  std::vector<ObjectiveVector> feasible_points;
-  for (std::size_t i = 0; i < archive.size(); ++i) {
-    if (!archive[i].evaluation.feasible()) continue;
-    feasible.push_back(i);
-    feasible_points.push_back(archive[i].objectives);
-  }
-  std::vector<ObjectiveVector> seen;
-  for (std::size_t index : pareto_front(feasible_points)) {
-    const Individual& individual = archive[feasible[index]];
-    if (std::find(seen.begin(), seen.end(), individual.objectives) !=
-        seen.end())
-      continue;
-    seen.push_back(individual.objectives);
-    result.pareto.push_back(individual);
-  }
-  result.archive = std::move(archive);
-  if (evaluator.options().cache != nullptr)
-    result.cache = evaluator.options().cache->stats();
+  finalize();
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/core/evaluator.hpp"
@@ -20,6 +21,8 @@
 #include "ftmc/dse/variation.hpp"
 
 namespace ftmc::dse {
+
+struct Checkpoint;  // checkpoint.hpp
 
 /// One evaluated design point.
 struct Individual {
@@ -66,24 +69,59 @@ struct GaOptions {
   std::size_t threads = 0;  ///< 0 = hardware concurrency
   /// Bi-objective power/service exploration (Figure 5) vs. power only.
   bool optimize_service = true;
-  /// Memoize evaluations in a run-local EvaluationCache shared by all GA
-  /// workers.  The cached value is exactly what evaluation would have
-  /// produced, so the search trajectory is identical either way (guarded by
-  /// the cache differential tests).  Ignored when `evaluator.cache` is
-  /// already set by the caller.
+  /// Memoize evaluations in an EvaluationCache shared by all GA workers.
+  /// The cached value is exactly what evaluation would have produced, so
+  /// the search trajectory is identical either way (guarded by the cache
+  /// differential tests).
+  ///
+  /// Precedence (enforced by validate()): a caller-provided
+  /// `evaluator.cache` is used as-is and `cache_capacity` then only bounds
+  /// the genotype memo; with no caller cache, the GA builds a run-local one
+  /// of `cache_capacity` entries.  Setting cache_evaluations=false while
+  /// also providing `evaluator.cache` is a contradiction and validate()
+  /// rejects it — there are no silent "ignored when set" rules.
   bool cache_evaluations = true;
-  /// Total entry bound of the run-local cache.
+  /// Total entry bound of the run-local cache and the genotype memo.
   std::size_t cache_capacity = 1 << 16;
   /// Fan Algorithm 1's transition scenarios out over the same worker pool
   /// that evaluates candidates (nesting-safe; drains generation tails when
-  /// there are fewer pending candidates than threads).  Ignored when
-  /// `evaluator.scenario_pool` is already set by the caller.
+  /// there are fewer pending candidates than threads).
+  ///
+  /// Precedence (enforced by validate()): a caller-provided
+  /// `evaluator.scenario_pool` is used as-is; with none, the GA fans out
+  /// over its own pool.  parallel_scenarios=false plus a caller pool is a
+  /// contradiction and validate() rejects it.
   bool parallel_scenarios = true;
   VariationOptions variation;
   Decoder::Options decoder;
   core::Evaluator::Options evaluator;
   /// Called after each generation's selection (from the driving thread).
+  /// On resume it is also replayed for every restored generation, so a
+  /// telemetry stream (e.g. the CLI's JSONL) covers the whole run.
   std::function<void(const GenerationStats&)> on_generation;
+
+  // --- Checkpointing (see checkpoint.hpp for format and guarantees) -------
+  /// When non-empty, write an `ftmc.ckpt.v1` snapshot here at every
+  /// checkpoint_every-th generation boundary, on graceful stop, and at the
+  /// end of the run.
+  std::string checkpoint_path;
+  /// Snapshot cadence in generations (>= 1).
+  std::size_t checkpoint_every = 1;
+  /// Keep-last-K rotation of the snapshot file (1 = overwrite in place).
+  std::size_t checkpoint_keep = 3;
+  /// Resume from this snapshot instead of a fresh start.  The snapshot's
+  /// recorded options must match this struct's trajectory options field by
+  /// field (CheckpointError names the first mismatch).  Must outlive run().
+  const Checkpoint* resume = nullptr;
+  /// Polled at each generation boundary (driving thread).  Returning true
+  /// finishes the in-flight generation, writes a final checkpoint when
+  /// checkpoint_path is set, and returns with GaResult::interrupted.
+  std::function<bool()> stop_requested;
+
+  /// Validates field ranges and resolves the overlapping cache/pool knobs
+  /// with the precedence documented above.  Throws std::invalid_argument
+  /// naming the offending field(s).  run() calls this first.
+  void validate() const;
 };
 
 struct GaResult {
@@ -94,6 +132,12 @@ struct GaResult {
   std::size_t evaluations = 0;
   /// Best feasible power (NaN if no feasible candidate was ever seen).
   double best_feasible_power = 0.0;
+  /// True when the run stopped early via GaOptions::stop_requested; the
+  /// archive/pareto reflect the last completed generation and, when
+  /// checkpointing was on, a resumable snapshot is on disk.
+  bool interrupted = false;
+  /// Index of the last completed generation boundary.
+  std::size_t last_generation = 0;
   std::vector<GenerationStats> history;
   /// Final counters of the run-local EvaluationCache (all zero when
   /// caching was disabled).

@@ -28,6 +28,13 @@ namespace {
 /// Fallback PreparedAnalysis: no shared state, every solve() rebuilds the
 /// whole problem through the plain analyze() entry.  Thread safety follows
 /// from analyze() being const and stateless.
+///
+/// Differential-test-only reference (like sim::reference::run): no in-tree
+/// production caller goes through this path — they all use prepare() on a
+/// backend with a real prepared problem.  It stays as the adapter that lets
+/// any third-party SchedulingAnalysis participate unchanged, and as the
+/// baseline tests/test_prepared_problem.cpp compares the prepared kernel
+/// against.
 class RebuildPerSolve final : public PreparedAnalysis {
  public:
   RebuildPerSolve(const SchedulingAnalysis& backend,

@@ -1,8 +1,10 @@
 // Reference implementation of the trace simulator — the original monolithic
 // Simulator::run() preserved verbatim (modulo the `events` output counter).
 //
-// The production path is the prepared kernel (ftmc/sim/prepared_sim.hpp);
-// this copy exists so the differential tests (tests/test_sim_kernel.cpp) and
+// Differential-test-only reference — not a production entry point (the
+// same role sched's RebuildPerSolve plays for the analysis stack).  The
+// production path is the prepared kernel (ftmc/sim/prepared_sim.hpp); this
+// copy exists so the differential tests (tests/test_sim_kernel.cpp) and
 // the bench_sim_kernel seed arm always compare the kernel against the code
 // it replaced rather than against itself.  It rebuilds every static table
 // per call, allocates freely, and always materializes the full trace

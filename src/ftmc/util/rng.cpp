@@ -96,4 +96,18 @@ double Rng::normal(double mean, double stddev) noexcept {
 
 Rng Rng::split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
 
+RngState Rng::state() const noexcept {
+  return RngState{{state_[0], state_[1], state_[2], state_[3]},
+                  has_cached_normal_, cached_normal_};
+}
+
+void Rng::restore(const RngState& state) {
+  if ((state.words[0] | state.words[1] | state.words[2] | state.words[3]) ==
+      0)
+    throw std::invalid_argument("Rng::restore: all-zero state");
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace ftmc::util

@@ -6,6 +6,7 @@
 // xoshiro256**, seeded through SplitMix64 as its authors recommend.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -13,6 +14,18 @@
 #include <vector>
 
 namespace ftmc::util {
+
+/// Complete serializable generator state: the four xoshiro256** words plus
+/// the Box–Muller half-pair cache of normal().  restore() resumes the exact
+/// output sequence, so a checkpointed consumer (the DSE engine) replays the
+/// same draws it would have made uninterrupted.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
 
 /// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with 2^256-1 period.
 /// Satisfies std::uniform_random_bit_generator.
@@ -73,6 +86,14 @@ class Rng {
   /// streams) without perturbing this generator's primary sequence more than
   /// one draw.
   Rng split();
+
+  /// Snapshot of the full generator state (checkpointing).
+  RngState state() const noexcept;
+
+  /// Resumes from a snapshot; subsequent draws continue the captured
+  /// sequence bit-for-bit.  An all-zero primary state is rejected (it is
+  /// absorbing and no genuine snapshot can contain it).
+  void restore(const RngState& state);
 
  private:
   std::uint64_t state_[4];

@@ -29,17 +29,19 @@ TEST(ReleaseCutoff, LaterInstancesStopInterfering) {
   model::Mapping mapping(apps);
   const auto priorities = sched::assign_priorities(apps);
   const HolisticAnalysis analysis;
+  // Same candidate, two bounds vectors: the prepared interface is the
+  // production path for exactly this shape (analysis.hpp).
+  const auto prepared = analysis.prepare(arch, apps, mapping, priorities);
 
   // Unbounded: fast instances at 0, 250, 500 all preempt slow.
   std::vector<ExecBounds> bounds{{0, 50}, {300, 300}};
-  const auto unbounded =
-      analysis.analyze(arch, apps, mapping, bounds, priorities);
+  const auto unbounded = prepared->solve(bounds);
   // slow: 300 own + 2-3 fast jobs.
   EXPECT_GE(unbounded.windows[1].max_finish, 400);
 
   // Cutoff right after the first fast instance: instances 1+ never release.
   bounds[0].release_cutoff = 100;
-  const auto cut = analysis.analyze(arch, apps, mapping, bounds, priorities);
+  const auto cut = prepared->solve(bounds);
   EXPECT_EQ(cut.windows[1].max_finish, 350);  // 300 + one 50 job
   EXPECT_LT(cut.windows[1].max_finish, unbounded.windows[1].max_finish);
 }
@@ -57,7 +59,7 @@ TEST(ReleaseCutoff, CutoffBeforeFirstInstanceRemovesAll) {
   std::vector<ExecBounds> bounds{{0, 50}, {300, 300}};
   bounds[0].release_cutoff = -1;  // nothing may release
   const auto result =
-      analysis.analyze(arch, apps, mapping, bounds, priorities);
+      analysis.prepare(arch, apps, mapping, priorities)->solve(bounds);
   EXPECT_EQ(result.windows[1].max_finish, 300);
 }
 

@@ -15,6 +15,23 @@ Three kinds of input, all optional, each repeatable:
                         exactly one `JSON: {...}` summary line (see
                         bench/README.md) whose payload parses and carries a
                         string `bench` key.
+  --checkpoint FILE     an `ftmc.ckpt.v1` snapshot written by the DSE
+                        checkpointer; must carry the FTMCCKPT magic, a known
+                        format version, a complete payload, and an FNV-1a-64
+                        payload digest that matches (see
+                        src/ftmc/dse/checkpoint.hpp for the layout).
+
+Cross-cutting checks:
+
+  --expect-counter NAME>=N
+                        require counter NAME in every --metrics document to
+                        be present and >= N (e.g. `dse.resume.loads>=1`).
+                        Repeatable.
+  --compare-jsonl A B   require two optimizer JSONL telemetry streams to be
+                        identical on their trajectory fields; the
+                        nondeterministic timing/cache keys (evaluation
+                        seconds, throughput, latency percentiles, cache
+                        hits) are excluded, matching the resume guarantee.
 
 Exits 0 when every artifact checks out; prints one line per violation and
 exits 1 otherwise.  CI runs this over the bench-smoke artifacts.
@@ -24,9 +41,32 @@ from __future__ import annotations
 
 import argparse
 import json
+import struct
 import sys
 
 SCHEMA = "ftmc.metrics.v1"
+
+CHECKPOINT_MAGIC = b"FTMCCKPT"
+CHECKPOINT_VERSIONS = (1,)
+CHECKPOINT_HEADER = struct.Struct("<8sIIQQ")  # magic, version, reserved,
+# payload size, FNV-1a-64 payload digest
+
+# Telemetry keys that legitimately differ between an uninterrupted run and
+# a resumed one (cold caches, different machine load).  Everything else in
+# a JSONL line pins the trajectory and must match bitwise.
+NONDETERMINISTIC_JSONL_KEYS = frozenset(
+    {
+        "evaluation_seconds",
+        "scenarios_per_second",
+        "eval_p50_us",
+        "eval_p95_us",
+        "eval_max_us",
+        "cache_hits",
+        "cache_misses",
+        "cache_hit_rate",
+        "scenarios_analyzed",
+    }
+)
 
 errors: list[str] = []
 
@@ -162,23 +202,184 @@ def check_bench_output(path: str) -> None:
         fail(path, "summary must be an object with a string 'bench' key")
 
 
+def fnv1a64(data: bytes) -> int:
+    """util::Fnv1aHasher: FNV-1a over the bytes + splitmix64 finalizer."""
+    mask = 0xFFFFFFFFFFFFFFFF
+    state = 0xCBF29CE484222325
+    for byte in data:
+        state = ((state ^ byte) * 0x100000001B3) & mask
+    z = (state + 0x9E3779B97F4A7C15) & mask
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+    return z ^ (z >> 31)
+
+
+def check_checkpoint(path: str) -> None:
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+        return
+    if len(blob) < CHECKPOINT_HEADER.size:
+        fail(path, f"truncated header: {len(blob)} bytes")
+        return
+    magic, version, reserved, payload_size, digest = CHECKPOINT_HEADER.unpack(
+        blob[: CHECKPOINT_HEADER.size]
+    )
+    if magic != CHECKPOINT_MAGIC:
+        fail(path, f"bad magic {magic!r} (expected {CHECKPOINT_MAGIC!r})")
+        return
+    if version not in CHECKPOINT_VERSIONS:
+        fail(path, f"unsupported checkpoint version {version}")
+        return
+    if reserved != 0:
+        fail(path, f"reserved header field is {reserved}, expected 0")
+    payload = blob[
+        CHECKPOINT_HEADER.size: CHECKPOINT_HEADER.size + payload_size
+    ]
+    if len(payload) != payload_size:
+        fail(
+            path,
+            f"truncated payload: header promises {payload_size} bytes,"
+            f" file carries {len(payload)}",
+        )
+        return
+    actual = fnv1a64(payload)
+    if actual != digest:
+        fail(
+            path,
+            f"payload digest mismatch: header {digest:#018x},"
+            f" computed {actual:#018x}",
+        )
+
+
+def parse_counter_expectation(spec: str) -> tuple[str, int] | None:
+    name, sep, bound = spec.partition(">=")
+    if not sep or not name or not bound.isdigit():
+        fail(spec, "expectation must look like 'counter.name>=N'")
+        return None
+    return name, int(bound)
+
+
+def check_expected_counters(path: str, expectations: list[tuple[str, int]]):
+    doc = load_json(path)
+    if doc is None or not isinstance(doc, dict):
+        return
+    counters = doc.get("counters", {})
+    if not isinstance(counters, dict):
+        return  # shape violations already reported by check_metrics
+    for name, bound in expectations:
+        value = counters.get(name)
+        if not is_count(value):
+            fail(path, f"counter {name!r} missing (expected >= {bound})")
+        elif value < bound:
+            fail(path, f"counter {name} = {value}, expected >= {bound}")
+
+
+def load_jsonl(path: str) -> list[dict] | None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = [line for line in handle if line.strip()]
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+        return None
+    lines: list[dict] = []
+    for index, line in enumerate(raw):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(path, f"line {index + 1} is not valid JSON: {exc}")
+            return None
+        if not isinstance(doc, dict):
+            fail(path, f"line {index + 1} is not an object")
+            return None
+        lines.append(doc)
+    return lines
+
+
+def compare_jsonl(path_a: str, path_b: str) -> None:
+    a, b = load_jsonl(path_a), load_jsonl(path_b)
+    if a is None or b is None:
+        return
+    label = f"{path_a} vs {path_b}"
+    if len(a) != len(b):
+        fail(label, f"line counts differ: {len(a)} vs {len(b)}")
+        return
+    for index, (line_a, line_b) in enumerate(zip(a, b)):
+        trimmed_a = {
+            k: v
+            for k, v in line_a.items()
+            if k not in NONDETERMINISTIC_JSONL_KEYS
+        }
+        trimmed_b = {
+            k: v
+            for k, v in line_b.items()
+            if k not in NONDETERMINISTIC_JSONL_KEYS
+        }
+        if trimmed_a != trimmed_b:
+            diff = sorted(
+                k
+                for k in set(trimmed_a) | set(trimmed_b)
+                if trimmed_a.get(k) != trimmed_b.get(k)
+            )
+            fail(
+                label,
+                f"line {index + 1}: trajectory fields differ: {diff}",
+            )
+            return
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", action="append", default=[])
     parser.add_argument("--trace", action="append", default=[])
     parser.add_argument("--bench-output", action="append", default=[])
+    parser.add_argument("--checkpoint", action="append", default=[])
+    parser.add_argument("--expect-counter", action="append", default=[])
+    parser.add_argument(
+        "--compare-jsonl", nargs=2, action="append", default=[]
+    )
     args = parser.parse_args()
-    if not (args.metrics or args.trace or args.bench_output):
-        parser.error("nothing to check; pass --metrics/--trace/--bench-output")
+    if not (
+        args.metrics
+        or args.trace
+        or args.bench_output
+        or args.checkpoint
+        or args.compare_jsonl
+    ):
+        parser.error(
+            "nothing to check; pass --metrics/--trace/--bench-output/"
+            "--checkpoint/--compare-jsonl"
+        )
+    if args.expect_counter and not args.metrics:
+        parser.error("--expect-counter requires at least one --metrics")
+    expectations = [
+        parsed
+        for spec in args.expect_counter
+        if (parsed := parse_counter_expectation(spec)) is not None
+    ]
     for path in args.metrics:
         check_metrics(path)
+        if expectations:
+            check_expected_counters(path, expectations)
     for path in args.trace:
         check_trace(path)
     for path in args.bench_output:
         check_bench_output(path)
+    for path in args.checkpoint:
+        check_checkpoint(path)
+    for pair in args.compare_jsonl:
+        compare_jsonl(pair[0], pair[1])
     for error in errors:
         print(error, file=sys.stderr)
-    checked = len(args.metrics) + len(args.trace) + len(args.bench_output)
+    checked = (
+        len(args.metrics)
+        + len(args.trace)
+        + len(args.bench_output)
+        + len(args.checkpoint)
+        + len(args.compare_jsonl)
+    )
     if not errors:
         print(f"check_metrics: {checked} artifact(s) OK")
     return 1 if errors else 0

@@ -7,30 +7,36 @@
 //       --threads=N (hardware) --trace-level=responses|jobs|full (responses)
 //   ftmc optimize <system.ftmc> [options]    GA design-space exploration
 //       --generations=N (60) --population=N (40) --seed=S (42)
-//       --threads=N (hardware) --no-cache --sequential-scenarios
-//       --no-dropping --power-only --out=<file>   (write best candidate)
+//       --seeds=A,B,... (multi-seed campaign) --threads=N (hardware)
+//       --checkpoint=FILE --checkpoint-every=N --resume=FILE
+//       --max-seconds=S --max-evaluations=N --retries=N
+//       --no-cache --sequential-scenarios --no-dropping --power-only
+//       --out=<file> --front-json=<file>
+//
+// All option parsing goes through cli::OptionParser (tools/cli_options.hpp):
+// each subcommand registers exactly the options it reads and everything
+// else is rejected with the same unknown-option error.
 //
 // The system file format is documented in ftmc/io/text_format.hpp; `ftmc
 // optimize --out=` writes a full system + candidate file that `analyze` and
 // `simulate` accept.
-#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
-#include <initializer_list>
 #include <iostream>
 #include <optional>
 #include <string>
-#include <string_view>
 
+#include "cli_options.hpp"
 #include "ftmc/core/evaluator.hpp"
+#include "ftmc/dse/campaign.hpp"
+#include "ftmc/dse/checkpoint.hpp"
 #include "ftmc/dse/ga.hpp"
 #include "ftmc/io/dot_export.hpp"
 #include "ftmc/io/text_format.hpp"
-#include "ftmc/obs/export.hpp"
 #include "ftmc/obs/json.hpp"
-#include "ftmc/obs/trace.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
 #include "ftmc/util/log.hpp"
@@ -54,83 +60,24 @@ int usage() {
       "            [--threads=N] [--trace-level=responses|jobs|full]\n"
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
+      "            [--seeds=A,B,...]  (multi-seed campaign, merged front)\n"
       "            [--threads=N] [--no-cache] [--sequential-scenarios]\n"
       "            [--no-dropping] [--power-only] [--out=FILE]\n"
       "            [--telemetry-jsonl=FILE]  (per-generation stats stream)\n"
+      "            [--front-json=FILE]       (final front as JSON)\n"
+      "            [--max-seconds=S] [--max-evaluations=N] [--retries=N]\n"
+      "checkpointing (optimize; SIGINT/SIGTERM drain the in-flight\n"
+      "generation, write a final snapshot, and exit 0):\n"
+      "  --checkpoint=FILE     write ftmc.ckpt.v1 snapshots here\n"
+      "  --checkpoint-every=N  snapshot cadence in generations (default 1)\n"
+      "  --resume=FILE         continue a checkpointed run (options must\n"
+      "                        match the snapshot; mismatches name the field)\n"
       "telemetry (analyze/simulate/optimize):\n"
       "  --metrics-json=FILE   write the final counter/histogram snapshot\n"
       "  --chrome-trace=FILE   record spans, write Chrome trace-event JSON\n"
       "  --quiet               suppress progress output (results only)\n";
   return 2;
 }
-
-/// --key=value option lookup.
-std::string option(int argc, char** argv, const std::string& key,
-                   const std::string& fallback) {
-  const std::string prefix = "--" + key + "=";
-  for (int i = 3; i < argc; ++i)
-    if (std::string(argv[i]).rfind(prefix, 0) == 0)
-      return std::string(argv[i]).substr(prefix.size());
-  return fallback;
-}
-
-bool flag(int argc, char** argv, const std::string& name) {
-  const std::string wanted = "--" + name;
-  for (int i = 3; i < argc; ++i)
-    if (wanted == argv[i]) return true;
-  return false;
-}
-
-/// Strict option validation: every argument after the system file must be a
-/// known `--key=value` option or boolean `--flag` of the command.  A typo'd
-/// option fails loudly here instead of being silently ignored.
-void validate_options(const std::string& command, int argc, char** argv,
-                      std::initializer_list<std::string_view> keys,
-                      std::initializer_list<std::string_view> flags) {
-  for (int i = 3; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) != 0)
-      throw std::runtime_error(command + ": unexpected argument '" +
-                               std::string(arg) + "'");
-    const std::string_view body = arg.substr(2);
-    const std::size_t eq = body.find('=');
-    if (eq != std::string_view::npos) {
-      const std::string_view key = body.substr(0, eq);
-      if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
-      throw std::runtime_error(command + ": unknown option '--" +
-                               std::string(key) +
-                               "' (run `ftmc` for usage)");
-    }
-    if (std::find(flags.begin(), flags.end(), body) != flags.end()) continue;
-    if (std::find(keys.begin(), keys.end(), body) != keys.end())
-      throw std::runtime_error(command + ": option '" + std::string(arg) +
-                               "' expects a value (" + std::string(arg) +
-                               "=...)");
-    throw std::runtime_error(command + ": unknown flag '" + std::string(arg) +
-                             "' (run `ftmc` for usage)");
-  }
-}
-
-/// --metrics-json= / --chrome-trace= handling, shared by the three heavy
-/// commands.  Tracing must start before the command runs, so construct this
-/// first; export after the command's result is printed.
-struct Telemetry {
-  std::string metrics_path;
-  std::string trace_path;
-
-  static Telemetry setup(int argc, char** argv) {
-    Telemetry telemetry;
-    telemetry.metrics_path = option(argc, argv, "metrics-json", "");
-    telemetry.trace_path = option(argc, argv, "chrome-trace", "");
-    if (!telemetry.trace_path.empty()) obs::enable_tracing();
-    return telemetry;
-  }
-
-  void finish() const {
-    obs::export_metrics_file(metrics_path);
-    obs::export_chrome_trace_file(trace_path);
-  }
-};
 
 core::Candidate require_candidate(const io::SystemSpec& spec) {
   if (!spec.candidate.has_value())
@@ -140,7 +87,10 @@ core::Candidate require_candidate(const io::SystemSpec& spec) {
   return *spec.candidate;
 }
 
-int cmd_dot(const io::SystemSpec& spec) {
+int cmd_dot(const io::SystemSpec& spec, int argc, char** argv) {
+  cli::OptionParser parser("dot", argc, argv);
+  parser.flag("quiet");
+  parser.finish();
   if (spec.candidate.has_value()) {
     const auto system = hardening::apply_hardening(
         spec.apps, spec.candidate->plan, spec.candidate->base_mapping,
@@ -152,7 +102,10 @@ int cmd_dot(const io::SystemSpec& spec) {
   return 0;
 }
 
-int cmd_info(const io::SystemSpec& spec) {
+int cmd_info(const io::SystemSpec& spec, int argc, char** argv) {
+  cli::OptionParser parser("info", argc, argv);
+  parser.flag("quiet");
+  parser.finish();
   std::cout << "platform: " << spec.arch.processor_count()
             << " processors, bandwidth " << spec.arch.bandwidth()
             << " bytes/us\n";
@@ -180,18 +133,16 @@ int cmd_info(const io::SystemSpec& spec) {
 }
 
 int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
-  validate_options("analyze", argc, argv,
-                   {"threads", "metrics-json", "chrome-trace"}, {"quiet"});
-  const Telemetry telemetry = Telemetry::setup(argc, argv);
+  cli::OptionParser parser("analyze", argc, argv);
+  const cli::CommonOptions common = cli::CommonOptions::parse(parser);
+  parser.finish();
   const core::Candidate candidate = require_candidate(spec);
   const sched::HolisticAnalysis backend;
   // Transition scenarios are independent; fan them out unless --threads=1.
-  const std::size_t threads =
-      std::stoul(option(argc, argv, "threads", "0"));
   std::optional<util::ThreadPool> pool;
   core::Evaluator::Options evaluator_options;
-  if (threads != 1) {
-    pool.emplace(threads);
+  if (common.threads != 1) {
+    pool.emplace(common.threads);
     evaluator_options.scenario_pool = &*pool;
   }
   const core::Evaluator evaluator(spec.arch, spec.apps, backend,
@@ -230,7 +181,7 @@ int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
                    candidate.drop[g] ? "normal state only (dropped)" : ""});
   }
   table.print(std::cout);
-  telemetry.finish();
+  common.finish_telemetry();
   return evaluation.feasible() ? 0 : 1;
 }
 
@@ -243,25 +194,21 @@ sim::TraceLevel parse_trace_level(const std::string& name) {
 }
 
 int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
-  validate_options("simulate", argc, argv,
-                   {"profiles", "fault-prob", "seed", "threads", "trace-level",
-                    "metrics-json", "chrome-trace"},
-                   {"quiet"});
-  const Telemetry telemetry = Telemetry::setup(argc, argv);
+  cli::OptionParser parser("simulate", argc, argv);
+  const cli::CommonOptions common = cli::CommonOptions::parse(parser);
+  sim::MonteCarloOptions options;
+  options.profiles = parser.size("profiles", 1000);
+  const std::string fault_prob = parser.str("fault-prob", "0.3");
+  options.fault_probability = parser.f64("fault-prob", 0.3);
+  options.seed = parser.u64("seed", 1);
+  options.threads = common.threads;
+  options.trace = parse_trace_level(parser.str("trace-level", "responses"));
+  parser.finish();
   const core::Candidate candidate = require_candidate(spec);
   const auto system = hardening::apply_hardening(
       spec.apps, candidate.plan, candidate.base_mapping,
       spec.arch.processor_count());
   const auto priorities = sched::assign_priorities(system.apps);
-  sim::MonteCarloOptions options;
-  options.profiles =
-      std::stoul(option(argc, argv, "profiles", "1000"));
-  options.fault_probability =
-      std::stod(option(argc, argv, "fault-prob", "0.3"));
-  options.seed = std::stoull(option(argc, argv, "seed", "1"));
-  options.threads = std::stoul(option(argc, argv, "threads", "0"));
-  options.trace =
-      parse_trace_level(option(argc, argv, "trace-level", "responses"));
   const auto start = std::chrono::steady_clock::now();
   const auto result = sim::monte_carlo_wcrt(spec.arch, system,
                                             candidate.drop, priorities,
@@ -271,7 +218,7 @@ int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
           .count();
   util::Table table("Monte-Carlo response distribution (" +
                     std::to_string(options.profiles) + " profiles, p_fault " +
-                    option(argc, argv, "fault-prob", "0.3") + ")");
+                    fault_prob + ")");
   table.set_header({"application", "mean", "p95", "p99", "max", "deadline",
                     "misses", "dropped"});
   for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
@@ -305,38 +252,51 @@ int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
                          : 0.0),
                  " events/s, ", util::Table::cell(seconds, 3),
                  " s, trace level ", to_string(options.trace), ")");
-  telemetry.finish();
+  common.finish_telemetry();
   return 0;
 }
 
+// SIGINT/SIGTERM request a graceful drain: the GA finishes the in-flight
+// generation, writes a final checkpoint, and optimize exits 0.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_interrupt(int) { g_interrupted = 1; }
+
 int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
-  validate_options("optimize", argc, argv,
-                   {"generations", "population", "seed", "threads", "out",
-                    "telemetry-jsonl", "metrics-json", "chrome-trace"},
-                   {"no-cache", "sequential-scenarios", "no-dropping",
-                    "power-only", "quiet"});
-  const Telemetry telemetry = Telemetry::setup(argc, argv);
-  const sched::HolisticAnalysis backend;
-  dse::GeneticOptimizer optimizer(spec.arch, spec.apps, backend);
-  dse::GaOptions options;
-  options.generations =
-      std::stoul(option(argc, argv, "generations", "60"));
-  options.population =
-      std::stoul(option(argc, argv, "population", "40"));
+  cli::OptionParser parser("optimize", argc, argv);
+  const cli::CommonOptions common =
+      cli::CommonOptions::parse(parser, /*with_checkpointing=*/true);
+
+  dse::CampaignOptions campaign_options;
+  dse::GaOptions& options = campaign_options.ga;
+  options.generations = parser.size("generations", 60);
+  options.population = parser.size("population", 40);
   options.offspring = options.population;
-  options.seed = std::stoull(option(argc, argv, "seed", "42"));
-  options.threads = std::stoul(option(argc, argv, "threads", "0"));
-  options.cache_evaluations = !flag(argc, argv, "no-cache");
-  options.parallel_scenarios = !flag(argc, argv, "sequential-scenarios");
-  options.optimize_service = !flag(argc, argv, "power-only");
-  if (flag(argc, argv, "no-dropping")) {
+  options.seed = parser.u64("seed", 42);
+  options.threads = common.threads;
+  options.cache_evaluations = !parser.flag("no-cache");
+  options.parallel_scenarios = !parser.flag("sequential-scenarios");
+  options.optimize_service = !parser.flag("power-only");
+  if (parser.flag("no-dropping")) {
     options.decoder.allow_dropping = false;
     options.evaluator.allow_dropping = false;
   }
+  campaign_options.seeds = parser.u64_list("seeds");
+  campaign_options.max_seconds = parser.f64("max-seconds", 0.0);
+  campaign_options.max_evaluations = parser.size("max-evaluations", 0);
+  campaign_options.max_retries = parser.size("retries", 2);
+  campaign_options.checkpoint_path = common.checkpoint_path();
+  campaign_options.checkpoint_every = common.checkpoint_every;
+  campaign_options.resume = !common.resume.empty();
+  const std::string jsonl_path = parser.str("telemetry-jsonl", "");
+  const std::string out_path = parser.str("out", "");
+  const std::string front_path = parser.str("front-json", "");
+  parser.finish();
+
   // Per-generation telemetry stream: one JSON object per line, written as
   // each generation completes so a run can be watched (or post-processed)
-  // while it is still going.
-  const std::string jsonl_path = option(argc, argv, "telemetry-jsonl", "");
+  // while it is still going.  On resume the restored generations are
+  // replayed first, so the stream always covers the whole run.
   std::ofstream jsonl;
   if (!jsonl_path.empty()) {
     jsonl.open(jsonl_path);
@@ -344,10 +304,13 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
       throw std::runtime_error("cannot write '" + jsonl_path + "': " +
                                std::strerror(errno));
   }
-  options.on_generation = [&](const dse::GenerationStats& stats) {
+  const bool multi_seed = campaign_options.seeds.size() > 1;
+  campaign_options.on_generation = [&](std::size_t shard,
+                                       const dse::GenerationStats& stats) {
     if (jsonl.is_open()) {
       obs::Json line = obs::Json::object();
-      line.set("generation", stats.generation)
+      line.set("shard", shard)
+          .set("generation", stats.generation)
           .set("front_size", stats.feasible_in_archive)
           .set("best_feasible_power", stats.best_feasible_power)
           .set("evaluations", stats.evaluations)
@@ -363,7 +326,8 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
       jsonl << line << '\n' << std::flush;
     }
     if (stats.generation % 10 == 0)
-      util::log_info("generation ", stats.generation, ", best power ",
+      util::log_info(multi_seed ? "shard " + std::to_string(shard) + ", " : "",
+                     "generation ", stats.generation, ", best power ",
                      stats.best_feasible_power, " mW, cache hit rate ",
                      static_cast<int>(stats.cache_hit_rate * 100.0 + 0.5),
                      "%, ",
@@ -371,21 +335,72 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
                      " scenarios/s");
   };
 
-  const auto result = optimizer.run(options);
-  util::log_info("evaluation cache: ", result.cache.hits, " hits / ",
-                 result.cache.lookups(), " lookups (",
-                 static_cast<int>(result.cache.hit_rate() * 100.0 + 0.5),
-                 "%), ", result.cache.evictions, " evictions");
-  if (result.pareto.empty()) {
+  g_interrupted = 0;
+  campaign_options.stop_requested = [] { return g_interrupted != 0; };
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+
+  const sched::HolisticAnalysis backend;
+  const dse::Campaign campaign(spec.arch, spec.apps, backend);
+  const dse::CampaignResult result = campaign.run(campaign_options);
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  for (std::size_t shard = 0; shard < result.shards.size(); ++shard) {
+    const auto& cache = result.shards[shard].result.cache;
+    util::log_info(multi_seed ? "shard " + std::to_string(shard) + " " : "",
+                   "evaluation cache: ", cache.hits, " hits / ",
+                   cache.lookups(), " lookups (",
+                   static_cast<int>(cache.hit_rate() * 100.0 + 0.5), "%), ",
+                   cache.evictions, " evictions");
+  }
+
+  if (!front_path.empty()) {
+    // Deterministic final-front artifact (the kill-and-resume CI job diffs
+    // this against an uninterrupted run; no timestamps, no throughput).
+    obs::Json front = obs::Json::array();
+    for (const auto& individual : result.front)
+      front.push(obs::Json::object()
+                     .set("power", individual.evaluation.power)
+                     .set("service", individual.evaluation.service));
+    obs::Json doc = obs::Json::object();
+    doc.set("evaluations", result.evaluations)
+        .set("front", std::move(front));
+    std::ofstream out(front_path);
+    if (!out)
+      throw std::runtime_error("cannot write '" + front_path + "': " +
+                               std::strerror(errno));
+    out << doc << '\n';
+  }
+
+  if (result.interrupted || result.budget_exhausted) {
+    const std::string reason =
+        result.interrupted ? "interrupted" : "budget exhausted";
+    if (!campaign_options.checkpoint_path.empty())
+      std::cout << reason << " after " << result.evaluations
+                << " evaluations; resumable checkpoint(s) at "
+                << campaign_options.checkpoint_path
+                << " (rerun with --resume=" << campaign_options.checkpoint_path
+                << ")\n";
+    else
+      std::cout << reason << " after " << result.evaluations
+                << " evaluations (no --checkpoint given, progress "
+                   "discarded)\n";
+    common.finish_telemetry();
+    return 0;
+  }
+
+  if (result.front.empty()) {
     std::cout << "no feasible design found (" << result.evaluations
               << " evaluations) — raise --generations/--population\n";
-    telemetry.finish();
+    common.finish_telemetry();
     return 1;
   }
   util::Table table("Pareto-optimal designs");
   table.set_header({"power [mW]", "service"});
-  const dse::Individual* best = &result.pareto.front();
-  for (const auto& individual : result.pareto) {
+  const dse::Individual* best = &result.front.front();
+  for (const auto& individual : result.front) {
     table.add_row({util::Table::cell(individual.evaluation.power, 2),
                    util::Table::cell(individual.evaluation.service, 1)});
     if (individual.evaluation.power < best->evaluation.power)
@@ -394,15 +409,21 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   table.print(std::cout);
   std::cout << result.evaluations << " evaluations\n";
 
-  const std::string out_path = option(argc, argv, "out", "");
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) throw std::runtime_error("cannot write '" + out_path + "'");
     io::write_system(out, spec.arch, spec.apps, &best->candidate);
     std::cout << "lowest-power design written to " << out_path << '\n';
   }
-  telemetry.finish();
+  common.finish_telemetry();
   return 0;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  const std::string wanted = std::string("--") + name;
+  for (int i = 3; i < argc; ++i)
+    if (wanted == argv[i]) return true;
+  return false;
 }
 
 }  // namespace
@@ -425,7 +446,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   // Progress goes through the leveled logger; results go to stdout.
-  util::Logger::instance().set_level(flag(argc, argv, "quiet")
+  util::Logger::instance().set_level(has_flag(argc, argv, "quiet")
                                          ? util::LogLevel::kWarn
                                          : util::LogLevel::kInfo);
   try {
@@ -439,8 +460,8 @@ int main(int argc, char** argv) {
                                  "': " + std::strerror(errno));
     }
     const io::SystemSpec spec = io::parse_system_file(argv[2]);
-    if (command == "info") return cmd_info(spec);
-    if (command == "dot") return cmd_dot(spec);
+    if (command == "info") return cmd_info(spec, argc, argv);
+    if (command == "dot") return cmd_dot(spec, argc, argv);
     if (command == "analyze") return cmd_analyze(spec, argc, argv);
     if (command == "simulate") return cmd_simulate(spec, argc, argv);
     return cmd_optimize(spec, argc, argv);
