@@ -139,6 +139,7 @@ Evaluation Evaluator::evaluate_uncached(const Candidate& candidate) const {
   evaluation.normal_schedulable = verdict.normal_schedulable;
   evaluation.critical_schedulable = verdict.critical_schedulable;
   evaluation.scenario_count = verdict.scenario_count;
+  evaluation.scenario_solves = verdict.scenario_solves;
   evaluation.graph_wcrt.reserve(system.apps.graph_count());
   for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
     // Dropped applications carry no critical-state guarantee; report their

@@ -53,6 +53,9 @@ struct Evaluation {
   double service = 0.0;
   /// Transition scenarios analyzed by Algorithm 1.
   std::size_t scenario_count = 0;
+  /// Backend fixed-point solves run by Algorithm 1 (normal + Naive pass +
+  /// unique scenarios after dedup); deterministic for a given candidate.
+  std::size_t scenario_solves = 0;
   /// WCRT bound of every graph (flat over graphs of T'), for reporting.
   std::vector<model::Time> graph_wcrt;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -103,6 +104,7 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   // --- Normal state (lines 2-9): passive standbys at [0,0], no faults. ---
   const std::vector<sched::ExecBounds> nominal = nominal_bounds_of(system);
   result.normal = prepared->solve(nominal);
+  result.scenario_solves = 1;
   // Divergent tasks carry kUnschedulable finishes, so the deadline check
   // subsumes the global schedulability flag per graph.
   result.normal_schedulable = result.normal.meets_deadlines(apps);
@@ -123,6 +125,7 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
     merge_wcrt(result.wcrt, run);
     result.critical_schedulable = non_dropped_meet_deadlines(apps, run, drop);
     result.scenario_count = 1;
+    result.scenario_solves = 2;
     return result;
   }
 
@@ -146,10 +149,12 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   //     byte-identical backend invocations.  The backend is a deterministic
   //     pure function, so each distinct bounds vector is analyzed once and
   //     its result stands in for all its triggers.
-  //  2. Parallelism: unit 0 is the Naive pass, unit u analyzes the u-th
-  //     *unique* scenario.  Each unit writes into its own result slot and
-  //     the merge below is a pointwise max over integers, so running the
-  //     units on a thread pool is bitwise identical to the sequential loop.
+  //  2. Parallelism + batching: the Naive pass runs first (it doubles as
+  //     the warm-start base, see below), then the unique scenarios are
+  //     chunked into solve_many() batches fanned out over the pool.  Each
+  //     chunk writes into its own result slots and the merge below is a
+  //     pointwise max over integers applied in a fixed order, so chunk
+  //     width and thread count are bitwise irrelevant.
   std::vector<std::size_t> triggers;
   for (std::size_t v = 0; v < n; ++v)
     if (system.info[v].triggers_critical_state) triggers.push_back(v);
@@ -228,50 +233,86 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
       unique_scenarios.push_back(std::move(bounds));
     }
   }
+  // Similarity sort: the merge below is a pointwise max over all scenario
+  // results, so the order of unique_scenarios is observationally free.
+  // Sorting the bounds vectors lexicographically clusters scenarios that
+  // differ in few entries (same drop pattern, nearby cutoffs) into adjacent
+  // lanes of the same solve_many() chunk — exactly where the batched
+  // kernel's cross-lane outcome sharing finds its hits.
+  std::sort(unique_scenarios.begin(), unique_scenarios.end(),
+            [](const std::vector<sched::ExecBounds>& a,
+               const std::vector<sched::ExecBounds>& b) {
+              for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i].wcet != b[i].wcet) return a[i].wcet < b[i].wcet;
+                if (a[i].release_cutoff != b[i].release_cutoff)
+                  return a[i].release_cutoff < b[i].release_cutoff;
+                if (a[i].bcet != b[i].bcet) return a[i].bcet < b[i].bcet;
+              }
+              return false;
+            });
   analysis_counters().scenarios.add(triggers.size());
   analysis_counters().dedup_hits.add(triggers.size() -
                                      unique_scenarios.size());
+  const std::size_t unique = unique_scenarios.size();
+  result.scenario_solves = 2 + unique;
 
+  // The Naive pass runs first and doubles as the warm-start base: every
+  // scenario is the all-critical bounds vector plus a small delta (drop-set
+  // zeroing, release cutoffs, tasks finishing before the trigger), so a
+  // backend with warm-start support replays most of the Naive trajectory
+  // instead of re-solving it.  solve_capture falls back to a plain solve
+  // (null base) on backends without support — observationally identical.
   std::vector<model::Time> naive_part(n);
-  std::vector<std::vector<model::Time>> scenario_finish(
-      unique_scenarios.size());
-
-  // Each unit solves against the shared immutable prepared problem; the
-  // per-worker scratch lives inside the backend's solve() (thread-local
-  // arena), so the fan-out allocates nothing per scenario in the kernel.
-  auto run_unit = [&](std::size_t unit) {
+  std::unique_ptr<sched::PreparedAnalysis::WarmBase> warm_base;
+  {
     obs::Span span("analysis.solve");
     analysis_counters().solves.add(1);
-    if (unit == 0) {
-      std::vector<sched::ExecBounds> bounds(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        bounds[i] = critical_bounds(task_of(i), system.info[i]);
-        if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
-      }
-      const auto run = prepared->solve(bounds);
-      for (std::size_t i = 0; i < n; ++i)
-        naive_part[i] = run.windows[i].max_finish;
-      return;
+    std::vector<sched::ExecBounds> bounds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bounds[i] = critical_bounds(task_of(i), system.info[i]);
+      if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
     }
-    const auto run = prepared->solve(unique_scenarios[unit - 1]);
-    auto& finish = scenario_finish[unit - 1];
-    finish.resize(n);
+    const auto run = prepared->solve_capture(bounds, warm_base);
     for (std::size_t i = 0; i < n; ++i)
-      finish[i] = run.windows[i].max_finish;
-  };
-
-  const std::size_t units = 1 + unique_scenarios.size();
-  if (pool != nullptr && units > 1) {
-    pool->parallel_for(units, run_unit);
-  } else {
-    for (std::size_t unit = 0; unit < units; ++unit) run_unit(unit);
+      naive_part[i] = run.windows[i].max_finish;
   }
 
-  if (!triggers.empty()) {
+  // Chunked scenario fan-out: the backend's preferred lane width, narrowed
+  // so a thread pool still gets one chunk per worker.  Each chunk solves
+  // against the shared immutable prepared problem on this worker's
+  // thread-local arenas, so the fan-out allocates nothing per scenario in
+  // the kernel.
+  std::size_t width = std::max<std::size_t>(1, prepared->preferred_batch());
+  const std::size_t workers =
+      pool != nullptr ? std::max<std::size_t>(1, pool->thread_count()) : 1;
+  if (workers > 1)
+    width = std::min(width, (unique + workers - 1) / workers);
+  const std::size_t chunks = (unique + width - 1) / width;
+  std::vector<sched::AnalysisResult> scenario_results(unique);
+  auto run_chunk = [&](std::size_t chunk) {
+    obs::Span span("analysis.solve");
+    const std::size_t begin = chunk * width;
+    const std::size_t count = std::min(width, unique - begin);
+    analysis_counters().solves.add(count);
+    prepared->solve_many(
+        std::span<const std::vector<sched::ExecBounds>>(unique_scenarios)
+            .subspan(begin, count),
+        warm_base.get(),
+        std::span<sched::AnalysisResult>(scenario_results)
+            .subspan(begin, count));
+  };
+  if (pool != nullptr && chunks > 1) {
+    pool->parallel_for(chunks, run_chunk);
+  } else {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
+  }
+
+  {
     std::vector<model::Time> scenario_part(n, 0);
-    for (const auto& finish : scenario_finish)
+    for (const sched::AnalysisResult& run : scenario_results)
       for (std::size_t i = 0; i < n; ++i)
-        scenario_part[i] = std::max(scenario_part[i], finish[i]);
+        scenario_part[i] =
+            std::max(scenario_part[i], run.windows[i].max_finish);
     for (std::size_t i = 0; i < n; ++i)
       result.wcrt[i] = std::max(
           result.wcrt[i], std::min(scenario_part[i], naive_part[i]));

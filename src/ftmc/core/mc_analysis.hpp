@@ -61,6 +61,11 @@ struct McAnalysisResult {
   bool critical_schedulable = true;
   /// Number of transition scenarios analyzed (trigger tasks).
   std::size_t scenario_count = 0;
+  /// Backend fixed-point solves actually run: the normal state, the Naive
+  /// intersection pass, and one per *unique* scenario after dedup.  A pure
+  /// function of the inputs (unlike wall-clock throughput), so it is safe
+  /// to surface through the deterministic DSE telemetry.
+  std::size_t scenario_solves = 0;
 
   bool schedulable() const noexcept {
     return normal_schedulable && critical_schedulable;

@@ -247,6 +247,7 @@ void put(Writer& out, const core::Evaluation& evaluation) {
   out.f64(evaluation.power);
   out.f64(evaluation.service);
   out.size(evaluation.scenario_count);
+  out.size(evaluation.scenario_solves);
   out.size(evaluation.graph_wcrt.size());
   for (model::Time wcrt : evaluation.graph_wcrt) out.i64(wcrt);
 }
@@ -260,6 +261,7 @@ core::Evaluation get_evaluation(Reader& in) {
   evaluation.power = in.f64();
   evaluation.service = in.f64();
   evaluation.scenario_count = static_cast<std::size_t>(in.u64());
+  evaluation.scenario_solves = static_cast<std::size_t>(in.u64());
   const std::size_t wcrt = in.length(8);
   evaluation.graph_wcrt.resize(wcrt);
   for (model::Time& value : evaluation.graph_wcrt) value = in.i64();
@@ -294,6 +296,7 @@ void put(Writer& out, const GenerationStats& stats) {
   out.size(stats.cache_misses);
   out.f64(stats.cache_hit_rate);
   out.size(stats.scenarios_analyzed);
+  out.size(stats.scenario_solves);
   out.f64(stats.scenarios_per_second);
   out.f64(stats.evaluation_seconds);
   out.f64(stats.eval_p50_us);
@@ -311,6 +314,7 @@ GenerationStats get_stats(Reader& in) {
   stats.cache_misses = static_cast<std::size_t>(in.u64());
   stats.cache_hit_rate = in.f64();
   stats.scenarios_analyzed = static_cast<std::size_t>(in.u64());
+  stats.scenario_solves = static_cast<std::size_t>(in.u64());
   stats.scenarios_per_second = in.f64();
   stats.evaluation_seconds = in.f64();
   stats.eval_p50_us = in.f64();

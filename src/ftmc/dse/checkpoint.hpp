@@ -45,7 +45,7 @@ namespace ftmc::dse {
 
 inline constexpr char kCheckpointMagic[8] = {'F', 'T', 'M', 'C',
                                              'C', 'K', 'P', 'T'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Any checkpoint defect a caller must not retry around: bad magic,
 /// unsupported version, truncation, checksum mismatch, or a trajectory

@@ -132,6 +132,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     std::size_t evaluations = 0;
     std::size_t cache_hits = 0;
     std::size_t scenarios_analyzed = 0;
+    std::size_t scenario_solves = 0;
     double seconds = 0.0;
     /// Per-candidate wall-clock latencies, ascending (for percentiles).
     std::vector<double> eval_us;
@@ -145,6 +146,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     std::vector<double> latencies(batch.size());
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> scenarios{0};
+    std::atomic<std::size_t> solves{0};
     const auto start = std::chrono::steady_clock::now();
     pool.parallel_for(batch.size(), [&](std::size_t index) {
       obs::Span candidate_span("ga.candidate");
@@ -195,6 +197,8 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
       } else {
         scenarios.fetch_add(individual.evaluation.scenario_count,
                             std::memory_order_relaxed);
+        solves.fetch_add(individual.evaluation.scenario_solves,
+                         std::memory_order_relaxed);
       }
       individual.objectives =
           objectives_of(individual.evaluation, options.optimize_service);
@@ -216,6 +220,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     last_batch.evaluations = batch.size();
     last_batch.cache_hits = hits.load();
     last_batch.scenarios_analyzed = scenarios.load();
+    last_batch.scenario_solves = solves.load();
     last_batch.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -374,6 +379,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
             : static_cast<double>(last_batch.cache_hits) /
                   static_cast<double>(last_batch.evaluations);
     stats.scenarios_analyzed = last_batch.scenarios_analyzed;
+    stats.scenario_solves = last_batch.scenario_solves;
     stats.evaluation_seconds = last_batch.seconds;
     stats.scenarios_per_second =
         last_batch.seconds > 0.0

@@ -49,6 +49,9 @@ struct GenerationStats {
   /// Algorithm-1 transition scenarios actually analyzed for this
   /// generation (cache hits skip their scenarios entirely).
   std::size_t scenarios_analyzed = 0;
+  /// Backend fixed-point solves run for those scenarios (normal + Naive +
+  /// unique scenarios per evaluated candidate; cache hits contribute none).
+  std::size_t scenario_solves = 0;
   /// Analysis throughput of this generation's evaluation batch.
   double scenarios_per_second = 0.0;
   /// Wall-clock seconds spent evaluating this generation's batch.

@@ -1,8 +1,25 @@
 #include "ftmc/sched/analysis.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ftmc::sched {
+
+AnalysisResult PreparedAnalysis::solve_capture(
+    std::span<const ExecBounds> bounds,
+    std::unique_ptr<WarmBase>& base) const {
+  base.reset();
+  return solve(bounds);
+}
+
+void PreparedAnalysis::solve_many(
+    std::span<const std::vector<ExecBounds>> scenarios,
+    const WarmBase* /*base*/, std::span<AnalysisResult> results) const {
+  if (scenarios.size() != results.size())
+    throw std::invalid_argument("solve_many: scenario/result size mismatch");
+  for (std::size_t k = 0; k < scenarios.size(); ++k)
+    results[k] = solve(scenarios[k]);
+}
 
 model::Time AnalysisResult::graph_wcrt(const model::ApplicationSet& apps,
                                        model::GraphId graph) const {

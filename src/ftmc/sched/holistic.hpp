@@ -57,6 +57,20 @@ class HolisticAnalysis final : public SchedulingAnalysis {
     /// so the least fixed point is iteration-order independent); exposed
     /// for the differential tests and the worklist-vs-sweep bench.
     bool worklist_fixed_point = true;
+    /// Warm-start scenario solves: solve_capture() records the base solve's
+    /// Gauss-Seidel trajectory and solve_many() replays it for every node
+    /// outside the delta's dependency closure, evaluating only the nodes a
+    /// changed bound can actually reach.  Bit-identical to cold solving by
+    /// construction (trajectory replay, not fixed-point reuse — see
+    /// prepared_problem.hpp).  Requires worklist_fixed_point; exposed for
+    /// the differential tests and the warm-start bench arm.
+    bool warm_start = true;
+    /// Lane count for batched scenario solving: solve_many() solves up to
+    /// this many scenarios simultaneously in a structure-of-arrays layout,
+    /// streaming the shared problem structure (interferer lists, relation
+    /// rows, periods) once per node across all lanes.  1 disables batching.
+    /// Lanes are fully independent, so any width is bit-identical.
+    std::size_t scenario_batch = 8;
   };
 
   HolisticAnalysis() : options_() {}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 namespace ftmc::util {
 
@@ -60,6 +61,12 @@ void ThreadPool::parallel_for(std::size_t n,
   // Help drain the queue instead of blocking outright: this keeps nested
   // parallel_for calls from the pool's own workers deadlock-free (a worker
   // waiting here executes queued tasks, including the ones it submitted).
+  // Every future must complete before this frame unwinds — the submitted
+  // lambdas capture `fn` by reference, so rethrowing while later tasks are
+  // still queued would leave them with a dangling reference to the caller's
+  // (possibly temporary) function object. Collect the first exception and
+  // rethrow only once all tasks have finished.
+  std::exception_ptr first_error;
   for (auto& future : futures) {
     while (future.wait_for(std::chrono::seconds(0)) !=
            std::future_status::ready) {
@@ -68,8 +75,13 @@ void ThreadPool::parallel_for(std::size_t n,
         break;
       }
     }
-    future.get();
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
   }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace ftmc::util

@@ -1,13 +1,25 @@
-// Shared fixtures for the test suite: small platforms and application sets.
+// Shared fixtures for the test suite: small platforms, application sets,
+// decoded random candidates, and bitwise result comparators for the
+// differential kernel tests.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "ftmc/benchmarks/synth.hpp"
 #include "ftmc/core/evaluator.hpp"
+#include "ftmc/core/exec_model.hpp"
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/dse/decoder.hpp"
 #include "ftmc/hardening/hardening.hpp"
 #include "ftmc/model/application_set.hpp"
 #include "ftmc/model/architecture.hpp"
 #include "ftmc/model/task_graph.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/util/rng.hpp"
 
 namespace ftmc::fixtures {
 
@@ -71,6 +83,84 @@ inline core::Candidate plain_candidate(const model::Architecture& arch,
     candidate.base_mapping[i] = model::ProcessorId{
         static_cast<std::uint32_t>(i % arch.processor_count())};
   return candidate;
+}
+
+/// A candidate decoded from a random chromosome plus its hardened system
+/// (the unit the differential kernel tests iterate over).
+struct CandidateFixture {
+  core::Candidate candidate;
+  hardening::HardenedSystem system;
+  std::vector<std::uint32_t> priorities;
+};
+
+inline CandidateFixture make_candidate(const benchmarks::Benchmark& benchmark,
+                                       util::Rng& rng) {
+  const dse::Decoder decoder(benchmark.arch, benchmark.apps);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  core::Candidate candidate = decoder.decode(chromosome, rng);
+  auto system = hardening::apply_hardening(benchmark.apps, candidate.plan,
+                                           candidate.base_mapping,
+                                           benchmark.arch.processor_count());
+  auto priorities = sched::assign_priorities(system.apps);
+  return {std::move(candidate), std::move(system), std::move(priorities)};
+}
+
+/// Scenario-shaped bounds vectors: the nominal vector plus seeded mutations
+/// exercising every classification Algorithm 1 produces — certainly-dropped
+/// [0,0], maybe-dropped [0, wcet] with a release cutoff, inflated critical
+/// bounds, and untouched nominal tasks.
+inline std::vector<std::vector<sched::ExecBounds>> scenario_like_bounds(
+    const hardening::HardenedSystem& system, std::size_t count,
+    util::Rng& rng) {
+  const std::vector<sched::ExecBounds> nominal =
+      core::nominal_bounds_of(system);
+  std::vector<std::vector<sched::ExecBounds>> sets;
+  sets.push_back(nominal);
+  const model::Time hyperperiod = system.apps.hyperperiod();
+  while (sets.size() < count) {
+    std::vector<sched::ExecBounds> bounds = nominal;
+    for (sched::ExecBounds& b : bounds) {
+      switch (rng.index(5)) {
+        case 0:
+          b = {0, 0};
+          break;
+        case 1:
+          b = {0, b.wcet, rng.uniform_int(0, hyperperiod)};
+          break;
+        case 2:
+          b = {b.bcet, b.wcet * 2 + 5};
+          break;
+        default:
+          break;  // keep nominal
+      }
+    }
+    sets.push_back(std::move(bounds));
+  }
+  return sets;
+}
+
+/// Bitwise equality of two backend results (windows, verdicts).
+inline void expect_same_result(const sched::AnalysisResult& a,
+                               const sched::AnalysisResult& b) {
+  EXPECT_EQ(a.schedulable, b.schedulable);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].min_start, b.windows[i].min_start);
+    EXPECT_EQ(a.windows[i].min_finish, b.windows[i].min_finish);
+    EXPECT_EQ(a.windows[i].max_start, b.windows[i].max_start);
+    EXPECT_EQ(a.windows[i].max_finish, b.windows[i].max_finish);
+    EXPECT_EQ(a.windows[i].schedulable, b.windows[i].schedulable);
+  }
+}
+
+/// Bitwise equality of two Algorithm-1 results.
+inline void expect_same_mc_result(const core::McAnalysisResult& a,
+                                  const core::McAnalysisResult& b) {
+  EXPECT_EQ(a.wcrt, b.wcrt);
+  EXPECT_EQ(a.normal_schedulable, b.normal_schedulable);
+  EXPECT_EQ(a.critical_schedulable, b.critical_schedulable);
+  EXPECT_EQ(a.scenario_count, b.scenario_count);
+  expect_same_result(a.normal, b.normal);
 }
 
 }  // namespace ftmc::fixtures

@@ -1,0 +1,219 @@
+// Randomized differential fuzz harness for the WCRT analysis kernel
+// (ISSUE 6): the four backend configurations
+//
+//   sweep        full-sweep global fixed point (worklist off; warm-start and
+//                batching are gated off with it),
+//   worklist     change-driven worklist, cold scalar solves (the ISSUE 2
+//                kernel: warm_start = false, scenario_batch = 1),
+//   warm         worklist + warm-started scenario solves (trajectory replay
+//                seeded from the captured base, scenario_batch = 1),
+//   warm+batch   worklist + warm-start + batched SoA scenario solving,
+//
+// must produce bitwise-identical bounds, schedulability verdicts, and
+// divergence flags on every input.  Each iteration draws a random system
+// (graph shapes, criticality mixes, utilization including overload,
+// bus/no-bus, offset-aware vs jitter-fallback) and a random decoded
+// candidate, then cross-checks the backends at two levels:
+//
+//   - McAnalysis::analyze end-to-end (real transition scenarios, real
+//     release cutoffs, real dedup), and
+//   - PreparedProblem::solve_capture / solve_many against per-scenario
+//     cold solve() on scenario-shaped bounds vectors.
+//
+// Every failure is SCOPED_TRACE-tagged with the iteration seed; rerun a
+// single failing input with FTMC_FUZZ_SEED=<seed> FTMC_FUZZ_ITERS=1.
+//
+// Environment knobs: FTMC_FUZZ_ITERS (default 40 — the short deterministic
+// tier-1 subset; CI's sanitizer job raises it to 300+), FTMC_FUZZ_SEED
+// (default 2024, the base of the per-iteration seed sequence).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/mc_analysis.hpp"
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/prepared_problem.hpp"
+#include "ftmc/util/rng.hpp"
+#include "ftmc/util/thread_pool.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using fixtures::CandidateFixture;
+using fixtures::expect_same_mc_result;
+using fixtures::expect_same_result;
+using fixtures::make_candidate;
+using fixtures::scenario_like_bounds;
+using sched::PreparedProblem;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  return static_cast<std::uint64_t>(std::atoll(raw));
+}
+
+/// A random mixed-critical system: random DAG shapes, criticality mix,
+/// utilization (occasionally overloaded so the fixed point diverges),
+/// channel sizes, and platform size.
+benchmarks::Benchmark random_benchmark(util::Rng& rng) {
+  benchmarks::SynthParams params;
+  params.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  params.graph_count = 2 + rng.index(4);
+  params.min_tasks = 2 + rng.index(3);
+  params.max_tasks = params.min_tasks + 1 + rng.index(5);
+  params.graph_utilization =
+      rng.chance(0.15) ? rng.uniform_real(0.9, 1.6)  // overload -> divergence
+                       : rng.uniform_real(0.08, 0.45);
+  params.bcet_fraction = rng.uniform_real(0.2, 0.95);
+  params.extra_edge_probability = rng.uniform_real(0.0, 0.4);
+  params.droppable_fraction = rng.uniform_real(0.0, 1.0);
+  // (bus-free systems come from Options::bus_contention = false below; the
+  // generator requires a non-zero channel-size menu.)
+  params.max_channel_bytes = 1 + rng.index(4096);
+  return benchmarks::Benchmark{
+      "fuzz",
+      fixtures::test_arch(1 + rng.index(4), rng.chance(0.5) ? 1.0 : 0.25),
+      benchmarks::synthetic_applications(params)};
+}
+
+/// The four kernel configurations under test, sharing `base`'s regime
+/// toggles (bus contention, offset-aware vs jitter-fallback).
+struct BackendArms {
+  sched::HolisticAnalysis sweep;
+  sched::HolisticAnalysis worklist;
+  sched::HolisticAnalysis warm;
+  sched::HolisticAnalysis warm_batch;
+
+  explicit BackendArms(sched::HolisticAnalysis::Options base,
+                       std::size_t batch)
+      : sweep(with(base, /*worklist=*/false, false, 1)),
+        worklist(with(base, true, false, 1)),
+        warm(with(base, true, true, 1)),
+        warm_batch(with(base, true, true, batch)) {}
+
+  static sched::HolisticAnalysis::Options with(
+      sched::HolisticAnalysis::Options options, bool worklist, bool warm,
+      std::size_t batch) {
+    options.worklist_fixed_point = worklist;
+    options.warm_start = warm;
+    options.scenario_batch = batch;
+    return options;
+  }
+};
+
+void run_mc_level(const benchmarks::Benchmark& benchmark,
+                  const CandidateFixture& fx, const BackendArms& arms,
+                  util::ThreadPool* pool) {
+  const core::McAnalysis sweep(arms.sweep);
+  const core::McAnalysis worklist(arms.worklist);
+  const core::McAnalysis warm(arms.warm);
+  const core::McAnalysis warm_batch(arms.warm_batch);
+
+  const auto reference = sweep.analyze(benchmark.arch, fx.system,
+                                       fx.candidate.drop);
+  {
+    SCOPED_TRACE("worklist vs sweep");
+    expect_same_mc_result(reference,
+                          worklist.analyze(benchmark.arch, fx.system,
+                                           fx.candidate.drop));
+  }
+  const auto warm_result =
+      warm.analyze(benchmark.arch, fx.system, fx.candidate.drop);
+  {
+    SCOPED_TRACE("warm vs sweep");
+    expect_same_mc_result(reference, warm_result);
+  }
+  const auto batch_result = warm_batch.analyze(
+      benchmark.arch, fx.system, fx.candidate.drop,
+      core::McAnalysis::Mode::kProposed, pool);
+  {
+    SCOPED_TRACE("warm+batch (pooled) vs sweep");
+    expect_same_mc_result(reference, batch_result);
+  }
+  // The solve count is a pure function of the inputs, not of the kernel
+  // configuration (warm/batched solves still count one per scenario).
+  EXPECT_EQ(warm_result.scenario_solves, batch_result.scenario_solves);
+  EXPECT_EQ(reference.scenario_solves, batch_result.scenario_solves);
+}
+
+void run_prepared_level(const benchmarks::Benchmark& benchmark,
+                        const CandidateFixture& fx, util::Rng& rng) {
+  const PreparedProblem cold(benchmark.arch, fx.system.apps,
+                             fx.system.mapping, fx.priorities,
+                             BackendArms::with({}, true, false, 1));
+  const PreparedProblem hot(benchmark.arch, fx.system.apps, fx.system.mapping,
+                            fx.priorities,
+                            BackendArms::with({}, true, true,
+                                              2 + rng.index(7)));
+
+  const auto bounds_sets =
+      scenario_like_bounds(fx.system, 3 + rng.index(8), rng);
+
+  // Capture a warm base on the first (nominal) vector, then solve the rest
+  // as one batch against it; reference is a cold scalar solve per vector.
+  std::unique_ptr<sched::PreparedAnalysis::WarmBase> base;
+  {
+    SCOPED_TRACE("solve_capture(nominal)");
+    expect_same_result(cold.solve(bounds_sets.front()),
+                       hot.solve_capture(bounds_sets.front(), base));
+  }
+  const std::vector<std::vector<sched::ExecBounds>> scenarios(
+      bounds_sets.begin() + 1, bounds_sets.end());
+  std::vector<sched::AnalysisResult> batched(scenarios.size());
+  hot.solve_many(scenarios, base.get(), batched);
+  for (std::size_t k = 0; k < scenarios.size(); ++k) {
+    SCOPED_TRACE("scenario " + std::to_string(k));
+    expect_same_result(cold.solve(scenarios[k]), batched[k]);
+  }
+}
+
+TEST(KernelFuzz, FourBackendsBitwiseIdentical) {
+  const std::size_t iters = env_size("FTMC_FUZZ_ITERS", 40);
+  const std::uint64_t base_seed = env_u64("FTMC_FUZZ_SEED", 2024);
+  util::ThreadPool pool(4);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = base_seed + iter;
+    SCOPED_TRACE("iteration " + std::to_string(iter) + ", seed " +
+                 std::to_string(seed) + " (rerun just this input with " +
+                 "FTMC_FUZZ_SEED=" + std::to_string(seed) +
+                 " FTMC_FUZZ_ITERS=1)");
+    util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    const benchmarks::Benchmark benchmark = random_benchmark(rng);
+    const CandidateFixture fx = make_candidate(benchmark, rng);
+
+    sched::HolisticAnalysis::Options regime;
+    regime.bus_contention = rng.chance(0.5);
+    regime.precedence_aware = rng.chance(0.8);
+    const BackendArms arms(regime, 2 + rng.index(7));
+
+    run_mc_level(benchmark, fx, arms, rng.chance(0.5) ? &pool : nullptr);
+    run_prepared_level(benchmark, fx, rng);
+    if (::testing::Test::HasFailure()) break;  // one seed is enough to debug
+  }
+
+#if !defined(FTMC_OBS_DISABLED)
+  // Coverage guard: the random inputs must actually have driven the paths
+  // under test, or the bitwise assertions above prove nothing.
+  const obs::MetricsSnapshot snapshot = obs::snapshot();
+  EXPECT_GT(snapshot.value_of("sched.warmstart.bases"), 0u);
+  EXPECT_GT(snapshot.value_of("sched.warmstart.solves"), 0u);
+  EXPECT_GT(snapshot.value_of("sched.batch.solves"), 0u);
+  EXPECT_GT(snapshot.value_of("sched.batch.lanes"),
+            snapshot.value_of("sched.batch.solves"));
+#endif
+}
+
+}  // namespace

@@ -56,6 +56,22 @@ TEST(ThreadPool, ParallelForRethrows) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForCompletesAllTasksBeforeRethrow) {
+  // The submitted lambdas hold the body by reference; parallel_for must not
+  // propagate an exception while tasks are still queued or running, or they
+  // would outlive the caller's (possibly temporary) function object.
+  ThreadPool pool(2);
+  std::atomic<int> entered{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   entered.fetch_add(1);
+                                   if (i == 0)
+                                     throw std::logic_error("first task");
+                                 }),
+               std::logic_error);
+  EXPECT_EQ(entered.load(), 64);
+}
+
 TEST(ThreadPool, ManySmallTasks) {
   ThreadPool pool(4);
   std::atomic<long> sum{0};

@@ -47,7 +47,7 @@ import sys
 SCHEMA = "ftmc.metrics.v1"
 
 CHECKPOINT_MAGIC = b"FTMCCKPT"
-CHECKPOINT_VERSIONS = (1,)
+CHECKPOINT_VERSIONS = (2,)
 CHECKPOINT_HEADER = struct.Struct("<8sIIQQ")  # magic, version, reserved,
 # payload size, FNV-1a-64 payload digest
 
@@ -65,7 +65,24 @@ NONDETERMINISTIC_JSONL_KEYS = frozenset(
         "cache_misses",
         "cache_hit_rate",
         "scenarios_analyzed",
+        "scenario_solves",
     }
+)
+
+# Required keys of every per-benchmark entry in a `sched_kernel` bench
+# summary (bench/bench_sched_kernel.cpp): the five timing arms plus the
+# derived speedups/throughput.  CI fails when an arm silently disappears.
+SCHED_KERNEL_ARM_KEYS = (
+    "seed_s",
+    "rebuild_worklist_s",
+    "prepared_s",
+    "warm_s",
+    "warm_batch_s",
+    "worklist_speedup",
+    "warm_speedup",
+    "batch_speedup",
+    "total_speedup",
+    "scenarios_per_s",
 )
 
 errors: list[str] = []
@@ -200,6 +217,29 @@ def check_bench_output(path: str) -> None:
         summary.get("bench"), str
     ):
         fail(path, "summary must be an object with a string 'bench' key")
+        return
+    if summary["bench"] == "sched_kernel":
+        check_sched_kernel_summary(path, summary)
+
+
+def check_sched_kernel_summary(path: str, summary: dict) -> None:
+    benchmarks = summary.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(path, "sched_kernel summary needs a non-empty 'benchmarks' list")
+        return
+    if summary.get("identical") is not True:
+        fail(path, "sched_kernel arms are not bitwise identical")
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            fail(path, f"benchmarks[{index}] is not an object")
+            continue
+        label = entry.get("name", f"benchmarks[{index}]")
+        for key in SCHED_KERNEL_ARM_KEYS:
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(path, f"{label}: arm key {key!r} missing or not numeric")
+        if entry.get("identical") is not True:
+            fail(path, f"{label}: WCRT checksums differ across kernel arms")
 
 
 def fnv1a64(data: bytes) -> int:

@@ -55,6 +55,7 @@ int usage() {
       "  dot       emit Graphviz (hardened view when a candidate exists)\n"
       "  analyze   run Algorithm 1 on the file's candidate block\n"
       "            [--threads=N]  (parallel transition scenarios)\n"
+      "            [--no-warm-start] [--scenario-batch=N]\n"
       "  simulate  Monte-Carlo fault injection on the candidate\n"
       "            [--profiles=N] [--fault-prob=P] [--seed=S]\n"
       "            [--threads=N] [--trace-level=responses|jobs|full]\n"
@@ -63,6 +64,8 @@ int usage() {
       "            [--seeds=A,B,...]  (multi-seed campaign, merged front)\n"
       "            [--threads=N] [--no-cache] [--sequential-scenarios]\n"
       "            [--no-dropping] [--power-only] [--out=FILE]\n"
+      "            [--no-warm-start] [--scenario-batch=N]  (WCRT kernel;\n"
+      "            throughput-only, results are bitwise identical)\n"
       "            [--telemetry-jsonl=FILE]  (per-generation stats stream)\n"
       "            [--front-json=FILE]       (final front as JSON)\n"
       "            [--max-seconds=S] [--max-evaluations=N] [--retries=N]\n"
@@ -77,6 +80,20 @@ int usage() {
       "  --chrome-trace=FILE   record spans, write Chrome trace-event JSON\n"
       "  --quiet               suppress progress output (results only)\n";
   return 2;
+}
+
+// Shared WCRT-kernel toggles for the commands that run Algorithm 1
+// (analyze/optimize).  Must run before parser.finish() so the options are
+// registered.  Both toggles are throughput-only: warm-started and batched
+// solves are bitwise-identical to the cold scalar path (guarded by the
+// kernel fuzz harness), so they are safe to flip mid-campaign on --resume.
+sched::HolisticAnalysis::Options parse_kernel_options(
+    cli::OptionParser& parser) {
+  sched::HolisticAnalysis::Options options;
+  options.warm_start = !parser.flag("no-warm-start");
+  options.scenario_batch =
+      parser.size("scenario-batch", options.scenario_batch);
+  return options;
 }
 
 core::Candidate require_candidate(const io::SystemSpec& spec) {
@@ -135,9 +152,9 @@ int cmd_info(const io::SystemSpec& spec, int argc, char** argv) {
 int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
   cli::OptionParser parser("analyze", argc, argv);
   const cli::CommonOptions common = cli::CommonOptions::parse(parser);
+  const sched::HolisticAnalysis backend(parse_kernel_options(parser));
   parser.finish();
   const core::Candidate candidate = require_candidate(spec);
-  const sched::HolisticAnalysis backend;
   // Transition scenarios are independent; fan them out unless --threads=1.
   std::optional<util::ThreadPool> pool;
   core::Evaluator::Options evaluator_options;
@@ -291,6 +308,8 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   const std::string jsonl_path = parser.str("telemetry-jsonl", "");
   const std::string out_path = parser.str("out", "");
   const std::string front_path = parser.str("front-json", "");
+  const sched::HolisticAnalysis::Options kernel_options =
+      parse_kernel_options(parser);
   parser.finish();
 
   // Per-generation telemetry stream: one JSON object per line, written as
@@ -318,6 +337,7 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
           .set("cache_misses", stats.cache_misses)
           .set("cache_hit_rate", stats.cache_hit_rate)
           .set("scenarios_analyzed", stats.scenarios_analyzed)
+          .set("scenario_solves", stats.scenario_solves)
           .set("scenarios_per_second", stats.scenarios_per_second)
           .set("evaluation_seconds", stats.evaluation_seconds)
           .set("eval_p50_us", stats.eval_p50_us)
@@ -340,7 +360,7 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   std::signal(SIGINT, handle_interrupt);
   std::signal(SIGTERM, handle_interrupt);
 
-  const sched::HolisticAnalysis backend;
+  const sched::HolisticAnalysis backend(kernel_options);
   const dse::Campaign campaign(spec.arch, spec.apps, backend);
   const dse::CampaignResult result = campaign.run(campaign_options);
 
