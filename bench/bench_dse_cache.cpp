@@ -12,7 +12,14 @@
 //                   populated cache — the re-exploration regime the layer
 //                   targets (hyperparameter iteration, objective toggles,
 //                   repeated runs on an unchanged model), where nearly every
-//                   evaluation is a hit.
+//                   evaluation is a hit;
+//   cold store      persistent EvalStore (`--cache-dir`) starting empty:
+//                   every evaluation computes and appends to disk — the
+//                   first campaign on a new model pays this;
+//   warm store      the store reopened fully populated, as a fresh process
+//                   (or a later campaign shard) finds it: evaluations
+//                   replay from the mmap'd log (ISSUE 7 targets >= 5x over
+//                   cold store here).
 //
 // All runs use identical GA settings and seeds; the search trajectories are
 // identical by construction (tests/test_evaluation_cache.cpp and
@@ -28,12 +35,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/core/eval_store.hpp"
 #include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/dse/ga.hpp"
 #include "ftmc/sched/holistic.hpp"
@@ -87,16 +96,20 @@ RunOutcome run_once(const benchmarks::Benchmark& benchmark,
 }
 
 /// Median-of-N wall clock; the other fields are taken from the median run.
-RunOutcome run_median(const benchmarks::Benchmark& benchmark,
-                      const dse::GaOptions& options, std::size_t reps) {
-  std::vector<RunOutcome> outcomes;
-  for (std::size_t r = 0; r < reps; ++r)
-    outcomes.push_back(run_once(benchmark, options));
+RunOutcome median_of(std::vector<RunOutcome> outcomes) {
   std::sort(outcomes.begin(), outcomes.end(),
             [](const RunOutcome& a, const RunOutcome& b) {
               return a.seconds < b.seconds;
             });
   return outcomes[outcomes.size() / 2];
+}
+
+RunOutcome run_median(const benchmarks::Benchmark& benchmark,
+                      const dse::GaOptions& options, std::size_t reps) {
+  std::vector<RunOutcome> outcomes;
+  for (std::size_t r = 0; r < reps; ++r)
+    outcomes.push_back(run_once(benchmark, options));
+  return median_of(std::move(outcomes));
 }
 
 bool same_power(double a, double b) {
@@ -124,6 +137,7 @@ int main(int argc, char** argv) {
                     "scenario parallelism");
   table.set_header({"benchmark", "seed [s]", "cold [s]", "cold speedup",
                     "cold hits", "warm [s]", "warm speedup", "scenarios/s",
+                    "store cold [s]", "store warm [s]", "store speedup",
                     "best power equal"});
 
   obs::Json json_benchmarks = obs::Json::array();
@@ -155,8 +169,36 @@ int main(int argc, char** argv) {
     run_once(benchmark, warm_path);
     const RunOutcome warm = run_median(benchmark, warm_path, reps);
 
+    // Persistent-store regime (ISSUE 7): the same campaign against the
+    // disk-backed L2 alone.  Cold-store reps wipe the store first (every
+    // evaluation computes and appends); warm-store reps reopen the store a
+    // fresh process would find fully populated, so evaluations replay from
+    // the mmap'd log instead of rerunning Algorithm 1.  The run-local L1
+    // dies with each run, so warm-store hits all flow through the store.
+    const std::string store_dir =
+        "/tmp/ftmc_bench_dse_store_" + std::to_string(index);
+    const auto run_with_store = [&](bool wipe) {
+      if (wipe) {
+        std::remove((store_dir + "/evals.log").c_str());
+        std::remove((store_dir + "/evals.idx").c_str());
+      }
+      core::EvalStore store(store_dir);
+      dse::GaOptions store_path = options;
+      store_path.evaluator.store = &store;
+      return run_once(benchmark, store_path);
+    };
+    std::vector<RunOutcome> cold_store_runs, warm_store_runs;
+    for (std::size_t r = 0; r < reps; ++r)
+      cold_store_runs.push_back(run_with_store(/*wipe=*/true));
+    for (std::size_t r = 0; r < reps; ++r)
+      warm_store_runs.push_back(run_with_store(/*wipe=*/false));
+    const RunOutcome cold_store = median_of(std::move(cold_store_runs));
+    const RunOutcome warm_store = median_of(std::move(warm_store_runs));
+
     const bool equal = same_power(before.best_power, cold.best_power) &&
-                       same_power(before.best_power, warm.best_power);
+                       same_power(before.best_power, warm.best_power) &&
+                       same_power(before.best_power, cold_store.best_power) &&
+                       same_power(before.best_power, warm_store.best_power);
     table.add_row(
         {benchmark.name, util::Table::cell(before.seconds, 2),
          util::Table::cell(cold.seconds, 2),
@@ -165,6 +207,9 @@ int main(int argc, char** argv) {
          util::Table::cell(warm.seconds, 2),
          util::Table::cell(before.seconds / warm.seconds, 2) + "x",
          util::Table::cell(cold.scenarios_per_second, 0),
+         util::Table::cell(cold_store.seconds, 2),
+         util::Table::cell(warm_store.seconds, 2),
+         util::Table::cell(cold_store.seconds / warm_store.seconds, 2) + "x",
          equal ? "yes" : "NO"});
 
     all_equal = all_equal && equal;
@@ -181,6 +226,13 @@ int main(int argc, char** argv) {
                  obs::Json::number(before.seconds / warm.seconds, 2))
             .set("scenarios_per_s",
                  obs::Json::number(cold.scenarios_per_second, 0))
+            .set("cold_store_s", obs::Json::number(cold_store.seconds, 4))
+            .set("warm_store_s", obs::Json::number(warm_store.seconds, 4))
+            .set("store_speedup",
+                 obs::Json::number(
+                     cold_store.seconds / warm_store.seconds, 2))
+            .set("warm_store_hit_rate",
+                 obs::Json::number(warm_store.hit_rate, 3))
             .set("equal", equal));
   }
   table.print(std::cout);

@@ -1,0 +1,174 @@
+// Throughput of `ftmc serve` request handling (ISSUE 7 acceptance bench):
+//
+//   cold    a fresh Server per request — pays the system parse, evaluator
+//           construction, and simulation prepare that every one-shot CLI
+//           invocation pays before any useful work;
+//   hot     one resident Server answering the whole request stream — the
+//           regime `ftmc serve` exists for: parse once, keep the
+//           PreparedProblem/PreparedSim and evaluation caches resident.
+//
+// The request mix is analyze + evaluate + simulate (round-robin), the same
+// methods the daemon serves in production.  Responses are cross-checked:
+// the hot server's rendered reports must equal the cold reference bytes
+// (tests/test_serve.cpp pins the same property against the CLI renderer),
+// so the speedup is pure state reuse, never a different answer.
+//
+// Environment knobs: FTMC_REQUESTS (hot requests, default 300),
+// FTMC_COLD_REQUESTS (default 15), FTMC_PROFILES (simulate profiles,
+// default 200), FTMC_THREADS (hardware).
+//
+// The last line is a one-line JSON summary for CI and scripted regression
+// tracking; the exit code is non-zero if any hot/cold response diverges.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ftmc/benchmarks/synth.hpp"
+#include "ftmc/dse/decoder.hpp"
+#include "ftmc/io/text_format.hpp"
+#include "ftmc/serve/json_parse.hpp"
+#include "ftmc/serve/server.hpp"
+#include "ftmc/util/table.hpp"
+
+using namespace ftmc;
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// A synth benchmark with a decoded candidate, written as a system file —
+/// what a serve deployment loads at startup.
+std::string write_bench_system() {
+  const benchmarks::Benchmark benchmark = benchmarks::synth_benchmark(1);
+  const dse::Decoder decoder(benchmark.arch, benchmark.apps);
+  util::Rng rng(2014);
+  dse::Chromosome chromosome = dse::random_chromosome(decoder.shape(), rng);
+  const core::Candidate candidate = decoder.decode(chromosome, rng);
+  const std::string path = "/tmp/ftmc_bench_serve.ftmc";
+  std::ofstream out(path);
+  io::write_system(out, benchmark.arch, benchmark.apps, &candidate);
+  return path;
+}
+
+serve::ServeOptions server_options(const std::string& path,
+                                   std::size_t threads) {
+  serve::ServeOptions options;
+  options.system_paths = {path};
+  options.threads = threads;
+  return options;
+}
+
+/// The round-robin request mix (the simulate seed varies so the hot arm
+/// cannot be served by a memoized simulation result).
+std::string request_at(std::size_t i, std::size_t profiles) {
+  switch (i % 3) {
+    case 0:
+      return R"({"id": )" + std::to_string(i) + R"(, "method": "analyze"})";
+    case 1:
+      return R"({"id": )" + std::to_string(i) + R"(, "method": "evaluate"})";
+    default:
+      return R"({"id": )" + std::to_string(i) +
+             R"(, "method": "simulate", "params": {"profiles": )" +
+             std::to_string(profiles) + R"(, "fault_prob": "0.3", "seed": )" +
+             std::to_string(1 + i) + "}}";
+  }
+}
+
+/// Rendered report (or full result for evaluate) — the identity surface.
+/// `cache_hit` legitimately differs between a fresh and a resident server,
+/// so compare the payload that reaches the user's terminal instead.
+std::string identity_of(const std::string& response) {
+  const serve::JsonValue root = serve::parse_json(response);
+  if (!root.bool_or("ok", false)) return "ERROR: " + response;
+  const serve::JsonValue* result = root.get("result");
+  const std::string output = result->str_or("output", "");
+  if (!output.empty()) return output;
+  return "power=" + std::to_string(result->num_or("power", -1.0)) +
+         " service=" + std::to_string(result->num_or("service", -1.0)) +
+         " feasible=" + std::to_string(result->bool_or("feasible", false));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Reporter reporter(argc, argv);
+  const std::size_t hot_requests = env_or("FTMC_REQUESTS", 300);
+  const std::size_t cold_requests = env_or("FTMC_COLD_REQUESTS", 15);
+  const std::size_t profiles = env_or("FTMC_PROFILES", 200);
+  const std::size_t threads = env_or("FTMC_THREADS", 0);
+  const std::string path = write_bench_system();
+
+  std::cout << "serve throughput: " << hot_requests << " hot / "
+            << cold_requests
+            << " cold requests, analyze+evaluate+simulate mix, "
+            << profiles
+            << " simulate profiles (FTMC_REQUESTS / FTMC_COLD_REQUESTS / "
+               "FTMC_PROFILES / FTMC_THREADS)\n";
+
+  // Cold: every request pays full startup, like a one-shot CLI run.
+  const auto cold_start = std::chrono::steady_clock::now();
+  std::vector<std::string> cold_identities(3);
+  for (std::size_t i = 0; i < cold_requests; ++i) {
+    serve::Server server(server_options(path, threads));
+    const std::string identity =
+        identity_of(server.handle(request_at(i % 3, profiles)));
+    if (cold_identities[i % 3].empty()) cold_identities[i % 3] = identity;
+  }
+  const double cold_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cold_start)
+          .count();
+
+  // Hot: one resident server answers the whole stream.
+  serve::Server server(server_options(path, threads));
+  (void)server.handle(request_at(0, profiles));  // warm the residents
+  bool identical = true;
+  const auto hot_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < hot_requests; ++i) {
+    const std::string response = server.handle(request_at(i % 3, profiles));
+    if (i < 3) identical = identical &&
+                           identity_of(response) == cold_identities[i % 3];
+  }
+  const double hot_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    hot_start)
+          .count();
+
+  const double cold_rps = static_cast<double>(cold_requests) / cold_seconds;
+  const double hot_rps = static_cast<double>(hot_requests) / hot_seconds;
+  util::Table table("ftmc serve: resident state vs per-request startup");
+  table.set_header(
+      {"arm", "requests", "wall [s]", "requests/s", "speedup"});
+  table.add_row({"cold (fresh server per request)",
+                 std::to_string(cold_requests),
+                 util::Table::cell(cold_seconds, 2),
+                 util::Table::cell(cold_rps, 1), "1.00x"});
+  table.add_row({"hot (resident server)", std::to_string(hot_requests),
+                 util::Table::cell(hot_seconds, 2),
+                 util::Table::cell(hot_rps, 1),
+                 util::Table::cell(hot_rps / cold_rps, 2) + "x"});
+  table.print(std::cout);
+  std::cout << "(responses cross-checked " << (identical ? "equal" : "UNEQUAL")
+            << "; the speedup is state reuse, not a different answer)\n";
+
+  obs::Json summary = obs::Json::object();
+  summary.set("bench", "serve")
+      .set("hot_requests", hot_requests)
+      .set("cold_requests", cold_requests)
+      .set("profiles", profiles)
+      .set("cold_rps", obs::Json::number(cold_rps, 1))
+      .set("hot_rps", obs::Json::number(hot_rps, 1))
+      .set("speedup", obs::Json::number(hot_rps / cold_rps, 2))
+      .set("identical", identical);
+  reporter.finish(summary);
+  return identical ? 0 : 1;
+}

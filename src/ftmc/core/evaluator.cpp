@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ftmc/core/eval_store.hpp"
 #include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/util/hash.hpp"
 
@@ -83,19 +84,36 @@ Evaluation Evaluator::evaluate(const Candidate& candidate) const {
 Evaluation Evaluator::evaluate(const Candidate& candidate,
                                bool* cache_hit) const {
   if (cache_hit != nullptr) *cache_hit = false;
-  if (options_.cache == nullptr) return evaluate_uncached(candidate);
+  if (options_.cache == nullptr && options_.store == nullptr)
+    return evaluate_uncached(candidate);
 
   const std::uint64_t key = candidate_key(candidate);
-  if (std::optional<Evaluation> cached =
-          options_.cache->find(key, candidate)) {
-    if (cache_hit != nullptr) *cache_hit = true;
-    return *std::move(cached);
+  if (options_.cache != nullptr) {
+    if (std::optional<Evaluation> cached =
+            options_.cache->find(key, candidate)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *std::move(cached);
+    }
+  }
+  if (options_.store != nullptr) {
+    // L2: the persistent store.  A hit warms the in-process L1 so repeated
+    // lookups stop paying the decode.
+    if (std::optional<Evaluation> stored =
+            options_.store->find(key, candidate)) {
+      if (options_.cache != nullptr)
+        options_.cache->insert(key, candidate, *stored);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *std::move(stored);
+    }
   }
   // Concurrent workers evaluating the same fresh candidate may both miss
   // and compute; the duplicate insert is a benign overwrite with an
   // identical value (evaluation is deterministic).
   Evaluation evaluation = evaluate_uncached(candidate);
-  options_.cache->insert(key, candidate, evaluation);
+  if (options_.cache != nullptr)
+    options_.cache->insert(key, candidate, evaluation);
+  if (options_.store != nullptr)
+    options_.store->put(key, candidate, evaluation);
   return evaluation;
 }
 

@@ -15,6 +15,7 @@
 namespace ftmc::core {
 
 class EvaluationCache;
+class EvalStore;
 
 /// A decoded design point (the GA's phenotype, Figure 4): which PEs are
 /// powered, which droppable applications are sacrificed in the critical
@@ -77,6 +78,12 @@ class Evaluator {
     /// modes/policies can safely share one cache.  Must outlive the
     /// evaluator; null disables memoization.
     EvaluationCache* cache = nullptr;
+    /// Persistent L2 behind `cache`: consulted on an L1 miss (a hit warms
+    /// the L1) and appended to after every fresh evaluation, so memoized
+    /// results survive restarts and are shared across campaign shards and
+    /// serve clients.  Keys mix in the options fingerprint, exactly like
+    /// the L1.  Must outlive the evaluator; null disables persistence.
+    EvalStore* store = nullptr;
     /// Runs Algorithm 1's independent transition scenarios concurrently on
     /// this pool (see McAnalysis::analyze); results stay bitwise identical
     /// to the sequential path.  Must outlive the evaluator; null keeps the

@@ -215,13 +215,13 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   index_by_hash.reserve(triggers.size());
   for (const std::size_t v : triggers) {
     std::vector<sched::ExecBounds> bounds = scenario_bounds(v);
-    util::Fnv1aHasher hasher;
-    for (const sched::ExecBounds& b : bounds) {
-      hasher.feed(b.bcet);
-      hasher.feed(b.wcet);
-      hasher.feed(b.release_cutoff);
-    }
-    std::vector<std::size_t>& slots = index_by_hash[hasher.digest()];
+    const std::uint64_t digest = util::fnv1a_stream(
+        bounds.size(), [&](util::Fnv1aHasher& hasher, std::size_t i) {
+          hasher.feed(bounds[i].bcet);
+          hasher.feed(bounds[i].wcet);
+          hasher.feed(bounds[i].release_cutoff);
+        });
+    std::vector<std::size_t>& slots = index_by_hash[digest];
     bool seen = false;
     for (const std::size_t slot : slots)
       if (unique_scenarios[slot] == bounds) {

@@ -3,7 +3,9 @@
 #include <bit>
 #include <cstring>
 
+#include "ftmc/core/serialize.hpp"
 #include "ftmc/obs/metrics.hpp"
+#include "ftmc/util/byte_stream.hpp"
 #include "ftmc/util/file_io.hpp"
 #include "ftmc/util/hash.hpp"
 
@@ -22,109 +24,18 @@ CheckpointCounters& counters() {
   return instance;
 }
 
-// --- Little-endian field stream ---------------------------------------------
-//
-// Every multi-byte integer is written least-significant byte first and every
-// double as the little-endian bytes of its IEEE-754 bit pattern, so the
-// payload (and its digest) is identical across platforms and verifiable
-// from tools/check_metrics.py.
+// The little-endian field stream itself lives in util/byte_stream.hpp and is
+// shared with the persistent evaluation store; a ByteStreamError thrown while
+// decoding is converted to CheckpointError at the decode_checkpoint boundary
+// (with the error message preserved, including the "checkpoint payload"
+// context prefix).
 
-class Writer {
- public:
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+using Writer = util::ByteWriter;
+using Reader = util::ByteReader;
 
-  void u8(std::uint8_t value) { bytes_.push_back(value); }
-  void u32(std::uint32_t value) {
-    for (int i = 0; i < 4; ++i)
-      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-  void u64(std::uint64_t value) {
-    for (int i = 0; i < 8; ++i)
-      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
-  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
-  void size(std::size_t value) { u64(static_cast<std::uint64_t>(value)); }
-
-  void bytes8(std::span<const std::uint8_t> values) {
-    size(values.size());
-    bytes_.insert(bytes_.end(), values.begin(), values.end());
-  }
-  void bits(const std::vector<bool>& values) {
-    size(values.size());
-    for (bool bit : values) u8(bit ? 1 : 0);
-  }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  std::size_t remaining() const { return bytes_.size() - offset_; }
-
-  std::uint8_t u8() {
-    need(1);
-    return bytes_[offset_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i)
-      value |= static_cast<std::uint32_t>(bytes_[offset_++]) << (8 * i);
-    return value;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i)
-      value |= static_cast<std::uint64_t>(bytes_[offset_++]) << (8 * i);
-    return value;
-  }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  /// Length prefix for a sequence whose elements take >= `element_bytes`
-  /// each; rejects lengths the remaining payload cannot possibly hold, so a
-  /// corrupted count fails loudly instead of allocating gigabytes.
-  std::size_t length(std::size_t element_bytes) {
-    const std::uint64_t count = u64();
-    if (element_bytes != 0 && count > remaining() / element_bytes)
-      throw CheckpointError(
-          "checkpoint payload is truncated: sequence length " +
-          std::to_string(count) + " exceeds the remaining " +
-          std::to_string(remaining()) + " bytes");
-    return static_cast<std::size_t>(count);
-  }
-
-  std::vector<std::uint8_t> bytes8() {
-    const std::size_t count = length(1);
-    need(count);
-    std::vector<std::uint8_t> values(bytes_.begin() + offset_,
-                                     bytes_.begin() + offset_ + count);
-    offset_ += count;
-    return values;
-  }
-  std::vector<bool> bits() {
-    const std::size_t count = length(1);
-    std::vector<bool> values(count);
-    for (std::size_t i = 0; i < count; ++i) values[i] = u8() != 0;
-    return values;
-  }
-
- private:
-  void need(std::size_t count) const {
-    if (count > remaining())
-      throw CheckpointError(
-          "checkpoint payload is truncated: need " + std::to_string(count) +
-          " more bytes at offset " + std::to_string(offset_));
-  }
-
-  std::span<const std::uint8_t> bytes_;
-  std::size_t offset_ = 0;
-};
+Reader payload_reader(std::span<const std::uint8_t> payload) {
+  return Reader(payload, "checkpoint payload");
+}
 
 // --- Per-type encode / decode -----------------------------------------------
 
@@ -202,76 +113,13 @@ Chromosome get_chromosome(Reader& in) {
   return chromosome;
 }
 
-void put(Writer& out, const core::Candidate& candidate) {
-  out.bits(candidate.allocation);
-  out.bits(candidate.drop);
-  out.size(candidate.plan.size());
-  for (const hardening::TaskHardening& task : candidate.plan) {
-    out.u8(static_cast<std::uint8_t>(task.technique));
-    out.i64(task.reexecutions);
-    out.size(task.replica_pes.size());
-    for (model::ProcessorId pe : task.replica_pes) out.u32(pe.value);
-    out.u32(task.voter_pe.value);
-  }
-  out.size(candidate.base_mapping.size());
-  for (model::ProcessorId pe : candidate.base_mapping) out.u32(pe.value);
-}
-
-core::Candidate get_candidate(Reader& in) {
-  core::Candidate candidate;
-  candidate.allocation = in.bits();
-  candidate.drop = in.bits();
-  const std::size_t plan = in.length(1 + 8 + 8 + 4);
-  candidate.plan.resize(plan);
-  for (hardening::TaskHardening& task : candidate.plan) {
-    task.technique = static_cast<hardening::Technique>(in.u8());
-    task.reexecutions = static_cast<int>(in.i64());
-    const std::size_t replicas = in.length(4);
-    task.replica_pes.resize(replicas);
-    for (model::ProcessorId& pe : task.replica_pes)
-      pe = model::ProcessorId{in.u32()};
-    task.voter_pe = model::ProcessorId{in.u32()};
-  }
-  const std::size_t mapping = in.length(4);
-  candidate.base_mapping.resize(mapping);
-  for (model::ProcessorId& pe : candidate.base_mapping)
-    pe = model::ProcessorId{in.u32()};
-  return candidate;
-}
-
-void put(Writer& out, const core::Evaluation& evaluation) {
-  out.u8(evaluation.mapping_valid ? 1 : 0);
-  out.u8(evaluation.reliability_ok ? 1 : 0);
-  out.u8(evaluation.normal_schedulable ? 1 : 0);
-  out.u8(evaluation.critical_schedulable ? 1 : 0);
-  out.f64(evaluation.power);
-  out.f64(evaluation.service);
-  out.size(evaluation.scenario_count);
-  out.size(evaluation.scenario_solves);
-  out.size(evaluation.graph_wcrt.size());
-  for (model::Time wcrt : evaluation.graph_wcrt) out.i64(wcrt);
-}
-
-core::Evaluation get_evaluation(Reader& in) {
-  core::Evaluation evaluation;
-  evaluation.mapping_valid = in.u8() != 0;
-  evaluation.reliability_ok = in.u8() != 0;
-  evaluation.normal_schedulable = in.u8() != 0;
-  evaluation.critical_schedulable = in.u8() != 0;
-  evaluation.power = in.f64();
-  evaluation.service = in.f64();
-  evaluation.scenario_count = static_cast<std::size_t>(in.u64());
-  evaluation.scenario_solves = static_cast<std::size_t>(in.u64());
-  const std::size_t wcrt = in.length(8);
-  evaluation.graph_wcrt.resize(wcrt);
-  for (model::Time& value : evaluation.graph_wcrt) value = in.i64();
-  return evaluation;
-}
+// Candidate and Evaluation codecs are shared with the persistent evaluation
+// store (ftmc/core/serialize.{hpp,cpp}); the byte layout is unchanged.
 
 void put(Writer& out, const Individual& individual) {
   put(out, individual.chromosome);
-  put(out, individual.candidate);
-  put(out, individual.evaluation);
+  core::write_candidate(out, individual.candidate);
+  core::write_evaluation(out, individual.evaluation);
   out.size(individual.objectives.size());
   for (double value : individual.objectives) out.f64(value);
 }
@@ -279,8 +127,8 @@ void put(Writer& out, const Individual& individual) {
 Individual get_individual(Reader& in) {
   Individual individual;
   individual.chromosome = get_chromosome(in);
-  individual.candidate = get_candidate(in);
-  individual.evaluation = get_evaluation(in);
+  individual.candidate = core::read_candidate(in);
+  individual.evaluation = core::read_evaluation(in);
   const std::size_t objectives = in.length(8);
   individual.objectives.resize(objectives);
   for (double& value : individual.objectives) value = in.f64();
@@ -324,9 +172,7 @@ GenerationStats get_stats(Reader& in) {
 }
 
 std::uint64_t payload_digest(std::span<const std::uint8_t> payload) {
-  util::Fnv1aHasher hasher;
-  for (std::uint8_t byte : payload) hasher.feed_byte(byte);
-  return hasher.digest();
+  return util::fnv1a_bytes(payload);
 }
 
 }  // namespace
@@ -465,30 +311,34 @@ Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
     throw CheckpointError(
         "checkpoint payload checksum mismatch: the file is corrupted");
 
-  Reader in(payload);
-  Checkpoint checkpoint;
-  checkpoint.options = get_options(in);
-  checkpoint.generation = in.u64();
-  checkpoint.finished = in.u8();
-  checkpoint.evaluations = in.u64();
-  checkpoint.best_feasible_power = in.f64();
-  checkpoint.cache_fingerprint = in.u64();
-  for (std::uint64_t& word : checkpoint.master.words) word = in.u64();
-  checkpoint.master.has_cached_normal = in.u8() != 0;
-  checkpoint.master.cached_normal = in.f64();
-  const std::size_t archive = in.length(1);
-  checkpoint.archive.reserve(archive);
-  for (std::size_t i = 0; i < archive; ++i)
-    checkpoint.archive.push_back(get_individual(in));
-  const std::size_t population = in.length(1);
-  checkpoint.population.reserve(population);
-  for (std::size_t i = 0; i < population; ++i)
-    checkpoint.population.push_back(get_individual(in));
-  const std::size_t history = in.length(13 * 8);
-  checkpoint.history.reserve(history);
-  for (std::size_t i = 0; i < history; ++i)
-    checkpoint.history.push_back(get_stats(in));
-  return checkpoint;
+  try {
+    Reader in = payload_reader(payload);
+    Checkpoint checkpoint;
+    checkpoint.options = get_options(in);
+    checkpoint.generation = in.u64();
+    checkpoint.finished = in.u8();
+    checkpoint.evaluations = in.u64();
+    checkpoint.best_feasible_power = in.f64();
+    checkpoint.cache_fingerprint = in.u64();
+    for (std::uint64_t& word : checkpoint.master.words) word = in.u64();
+    checkpoint.master.has_cached_normal = in.u8() != 0;
+    checkpoint.master.cached_normal = in.f64();
+    const std::size_t archive = in.length(1);
+    checkpoint.archive.reserve(archive);
+    for (std::size_t i = 0; i < archive; ++i)
+      checkpoint.archive.push_back(get_individual(in));
+    const std::size_t population = in.length(1);
+    checkpoint.population.reserve(population);
+    for (std::size_t i = 0; i < population; ++i)
+      checkpoint.population.push_back(get_individual(in));
+    const std::size_t history = in.length(13 * 8);
+    checkpoint.history.reserve(history);
+    for (std::size_t i = 0; i < history; ++i)
+      checkpoint.history.push_back(get_stats(in));
+    return checkpoint;
+  } catch (const util::ByteStreamError& error) {
+    throw CheckpointError(error.what());
+  }
 }
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint,

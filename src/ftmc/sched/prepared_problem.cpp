@@ -7,6 +7,7 @@
 
 #include "ftmc/hardening/reliability.hpp"  // scaled_time
 #include "ftmc/obs/metrics.hpp"
+#include "ftmc/util/hash.hpp"
 
 namespace ftmc::sched {
 
@@ -872,16 +873,12 @@ void PreparedProblem::solve_batch(
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       if (!b.lane_active[lane]) continue;
       const std::size_t off = lane * total_;
-      std::uint64_t sig = 0xcbf29ce484222325ULL;
-      for (std::size_t i = 0; i < total_; ++i) {
-        sig = (sig ^ static_cast<std::uint64_t>(b.c_min[off + i])) *
-              0x100000001b3ULL;
-        sig = (sig ^ static_cast<std::uint64_t>(b.c_max[off + i])) *
-              0x100000001b3ULL;
-        sig = (sig ^ static_cast<std::uint64_t>(b.release_cutoff[off + i])) *
-              0x100000001b3ULL;
-      }
-      b.lane_sig[lane] = sig;
+      b.lane_sig[lane] = util::fnv1a_stream(
+          total_, [&](util::Fnv1aHasher& hasher, std::size_t i) {
+            hasher.feed(b.c_min[off + i]);
+            hasher.feed(b.c_max[off + i]);
+            hasher.feed(b.release_cutoff[off + i]);
+          });
     }
     for (std::size_t lane = 1; lane < lanes; ++lane) {
       if (!b.lane_active[lane]) continue;

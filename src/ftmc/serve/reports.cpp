@@ -1,0 +1,73 @@
+#include "ftmc/serve/reports.hpp"
+
+#include "ftmc/sched/analysis.hpp"
+#include "ftmc/util/table.hpp"
+
+namespace ftmc::serve {
+
+void write_analyze_report(std::ostream& out, const io::SystemSpec& spec,
+                          const core::Candidate& candidate,
+                          const core::Evaluation& evaluation) {
+  out << "feasible:             "
+      << (evaluation.feasible() ? "yes" : "no") << '\n'
+      << "  mapping valid:      "
+      << (evaluation.mapping_valid ? "yes" : "no") << '\n'
+      << "  reliability (f_t):  "
+      << (evaluation.reliability_ok ? "met" : "VIOLATED") << '\n'
+      << "  normal state:       "
+      << (evaluation.normal_schedulable ? "schedulable" : "NOT schedulable")
+      << '\n'
+      << "  critical state:     "
+      << (evaluation.critical_schedulable ? "schedulable"
+                                          : "NOT schedulable")
+      << '\n'
+      << "expected power:       " << evaluation.power << " mW\n"
+      << "service after drops:  " << evaluation.service << '\n'
+      << "transition scenarios: " << evaluation.scenario_count << '\n';
+  util::Table table("\nWCRT bounds (Algorithm 1)");
+  table.set_header({"application", "WCRT", "deadline", "note"});
+  for (std::uint32_t g = 0; g < spec.apps.graph_count(); ++g) {
+    const auto& graph = spec.apps.graph(model::GraphId{g});
+    const auto wcrt = evaluation.graph_wcrt[g];
+    table.add_row({graph.name(),
+                   wcrt >= sched::kUnschedulable ? "unbounded"
+                                                 : io::format_time(wcrt),
+                   io::format_time(graph.deadline()),
+                   candidate.drop[g] ? "normal state only (dropped)" : ""});
+  }
+  table.print(out);
+}
+
+void write_simulate_report(std::ostream& out,
+                           const hardening::HardenedSystem& system,
+                           const sim::MonteCarloResult& result,
+                           std::size_t profiles,
+                           const std::string& fault_prob_text) {
+  util::Table table("Monte-Carlo response distribution (" +
+                    std::to_string(profiles) + " profiles, p_fault " +
+                    fault_prob_text + ")");
+  table.set_header({"application", "mean", "p95", "p99", "max", "deadline",
+                    "misses", "dropped"});
+  for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
+    const auto& graph = system.apps.graph(model::GraphId{g});
+    const auto& dist = result.distribution[g];
+    if (dist.observations == 0) {
+      table.add_row({graph.name(), "always dropped", "", "", "",
+                     io::format_time(graph.deadline()), "",
+                     util::Table::cell(dist.dropped)});
+      continue;
+    }
+    table.add_row({graph.name(),
+                   io::format_time(static_cast<model::Time>(dist.mean)),
+                   io::format_time(dist.p95), io::format_time(dist.p99),
+                   io::format_time(dist.max),
+                   io::format_time(graph.deadline()),
+                   util::Table::cell(dist.deadline_misses),
+                   util::Table::cell(dist.dropped)});
+  }
+  table.print(out);
+  out << "profiles with a deadline miss: " << result.deadline_miss_profiles
+      << " / " << profiles << '\n';
+}
+
+}  // namespace ftmc::serve

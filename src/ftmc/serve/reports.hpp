@@ -1,0 +1,41 @@
+// The analyze/simulate result renderers shared by the one-shot CLI and
+// `ftmc serve`.  Both front ends MUST produce byte-identical output for
+// equal inputs — the serve differential tests and the CI smoke job diff the
+// daemon's "output" field against `ftmc analyze`/`ftmc simulate` stdout —
+// so the rendering lives here once and each front end points a stream at
+// it (std::cout for the CLI, an ostringstream for serve responses).
+//
+// Everything written here is a pure function of the inputs: throughput and
+// progress lines go through util::log_info (stderr) in the callers, never
+// through these reports.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/hardening/hardening.hpp"
+#include "ftmc/io/text_format.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+
+namespace ftmc::serve {
+
+/// The `ftmc analyze` result block: feasibility verdict lines + the
+/// per-application WCRT bounds table.
+void write_analyze_report(std::ostream& out, const io::SystemSpec& spec,
+                          const core::Candidate& candidate,
+                          const core::Evaluation& evaluation);
+
+/// The `ftmc simulate` result block: the response-distribution table + the
+/// deadline-miss summary line.  `fault_prob_text` is the user's verbatim
+/// --fault-prob spelling (the table title embeds the string, not a
+/// re-formatted double, so "0.30" and "0.3" render differently on purpose —
+/// serve clients pass the same string through the protocol).
+void write_simulate_report(std::ostream& out,
+                           const hardening::HardenedSystem& system,
+                           const sim::MonteCarloResult& result,
+                           std::size_t profiles,
+                           const std::string& fault_prob_text);
+
+}  // namespace ftmc::serve

@@ -1,0 +1,486 @@
+#include "ftmc/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ftmc/core/eval_store.hpp"
+#include "ftmc/core/evaluation_cache.hpp"
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/hardening/hardening.hpp"
+#include "ftmc/io/text_format.hpp"
+#include "ftmc/obs/json.hpp"
+#include "ftmc/obs/metrics.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/serve/json_parse.hpp"
+#include "ftmc/serve/protocol.hpp"
+#include "ftmc/serve/reports.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/sim/prepared_sim.hpp"
+#include "ftmc/util/file_io.hpp"
+#include "ftmc/util/hash.hpp"
+#include "ftmc/util/log.hpp"
+
+namespace ftmc::serve {
+namespace {
+
+struct ServeCounters {
+  obs::Counter requests{"serve.requests"};
+  obs::Counter errors{"serve.errors"};
+  obs::Counter bytes_in{"serve.bytes_in"};
+  obs::Counter bytes_out{"serve.bytes_out"};
+  obs::Counter connections{"serve.connections"};
+};
+
+ServeCounters& counters() {
+  static ServeCounters instance;
+  return instance;
+}
+
+/// Echoes the request's "id" (string or number) into the response; absent
+/// or other-kind ids echo as null, so a reply always carries the field.
+void echo_id(obs::Json& response, const JsonValue* id) {
+  if (id != nullptr && id->kind == JsonValue::Kind::kString) {
+    response.set("id", id->string);
+  } else if (id != nullptr && id->kind == JsonValue::Kind::kNumber) {
+    const auto integral = static_cast<std::int64_t>(id->number);
+    if (static_cast<double>(integral) == id->number)
+      response.set("id", obs::Json::integer(integral));
+    else
+      response.set("id", obs::Json::number(id->number));
+  } else {
+    response.set("id", obs::Json());
+  }
+}
+
+}  // namespace
+
+/// Everything expensive about one system, built once at startup.
+struct Server::ResidentSystem {
+  ResidentSystem(std::string path_in, io::SystemSpec spec_in)
+      : path(std::move(path_in)), spec(std::move(spec_in)) {}
+
+  std::string path;
+  io::SystemSpec spec;
+  std::optional<core::Candidate> candidate;
+  /// Hardened view + priorities for simulate (absent without a candidate).
+  std::optional<hardening::HardenedSystem> hardened;
+  std::vector<std::uint32_t> priorities;
+  std::unique_ptr<core::EvaluationCache> cache;  ///< L1 (optional)
+  std::unique_ptr<core::EvalStore> store;        ///< L2 (optional)
+  std::unique_ptr<core::Evaluator> evaluator;
+  /// One prepared simulation problem per requested hyperperiod count.
+  std::map<std::size_t, std::unique_ptr<sim::PreparedSim>> prepared;
+};
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      backend_(options_.kernel),
+      pool_(options_.threads) {
+  if (options_.system_paths.empty())
+    throw std::runtime_error("serve: no system files given");
+  for (const std::string& path : options_.system_paths) {
+    for (const auto& loaded : systems_)
+      if (loaded->path == path)
+        throw std::runtime_error("serve: system '" + path +
+                                 "' given more than once");
+    const std::vector<std::uint8_t> raw = util::read_file(path);
+    auto sys =
+        std::make_unique<ResidentSystem>(path, io::parse_system_file(path));
+    if (!options_.cache_dir.empty()) {
+      // Per-system store: keys hash the candidate only, so unrelated
+      // systems must never share one store (see core::store_directory).
+      const std::uint64_t digest = util::fnv1a_bytes(raw);
+      sys->store = std::make_unique<core::EvalStore>(
+          core::store_directory(options_.cache_dir, digest));
+    }
+    if (options_.enable_cache)
+      sys->cache = std::make_unique<core::EvaluationCache>();
+    core::Evaluator::Options evaluator_options;
+    evaluator_options.cache = sys->cache.get();
+    evaluator_options.store = sys->store.get();
+    // Same rule as the one-shot CLI: scenarios stay sequential only when
+    // the user pinned --threads=1 (results are bitwise identical anyway).
+    if (options_.threads != 1) evaluator_options.scenario_pool = &pool_;
+    sys->evaluator = std::make_unique<core::Evaluator>(
+        sys->spec.arch, sys->spec.apps, backend_, evaluator_options);
+    if (sys->spec.candidate.has_value()) {
+      sys->candidate = *sys->spec.candidate;
+      sys->hardened = hardening::apply_hardening(
+          sys->spec.apps, sys->candidate->plan, sys->candidate->base_mapping,
+          sys->spec.arch.processor_count());
+      sys->priorities = sched::assign_priorities(sys->hardened->apps);
+    }
+    util::log_info("serve: loaded ", path, " (",
+                   sys->spec.apps.graph_count(), " applications, candidate ",
+                   sys->candidate.has_value() ? "present" : "absent",
+                   sys->store != nullptr
+                       ? ", store " + sys->store->directory() + ")"
+                       : std::string(")"));
+    systems_.push_back(std::move(sys));
+  }
+}
+
+Server::~Server() {
+  try {
+    flush();
+  } catch (const std::exception& error) {
+    util::log_warn("serve: flush on shutdown failed: ", error.what());
+  }
+}
+
+bool Server::stopping() const {
+  return stop_.load(std::memory_order_relaxed) ||
+         (options_.stop_requested && options_.stop_requested()) ||
+         (options_.max_requests != 0 &&
+          stats_.requests >= options_.max_requests);
+}
+
+void Server::flush() {
+  for (const auto& sys : systems_)
+    if (sys->store != nullptr) sys->store->flush();
+}
+
+Server::ResidentSystem& Server::resident(const JsonValue& root) {
+  const std::string name = root.str_or("system", "");
+  if (name.empty()) {
+    if (systems_.size() == 1) return *systems_.front();
+    throw std::runtime_error(
+        "request must name a \"system\" (several are loaded)");
+  }
+  for (const auto& sys : systems_)
+    if (sys->path == name) return *sys;
+  throw std::runtime_error("unknown system '" + name +
+                           "' (not among the paths given at startup)");
+}
+
+obs::Json Server::handle_analyze(ResidentSystem& sys) {
+  if (!sys.candidate.has_value())
+    throw std::runtime_error(
+        "the system file has no candidate block; add one or run "
+        "`ftmc optimize` first");
+  if (const auto error = sys.evaluator->structural_error(*sys.candidate);
+      !error.empty())
+    throw std::runtime_error("candidate invalid: " + error);
+  bool cache_hit = false;
+  const core::Evaluation evaluation =
+      sys.evaluator->evaluate(*sys.candidate, &cache_hit);
+  std::ostringstream out;
+  write_analyze_report(out, sys.spec, *sys.candidate, evaluation);
+  obs::Json result = obs::Json::object();
+  result.set("feasible", evaluation.feasible())
+      .set("power", evaluation.power)
+      .set("service", evaluation.service)
+      .set("scenario_count", evaluation.scenario_count)
+      .set("cache_hit", cache_hit)
+      .set("exit_code", evaluation.feasible() ? 0 : 1)
+      .set("output", out.str());
+  return result;
+}
+
+obs::Json Server::handle_evaluate(ResidentSystem& sys) {
+  if (!sys.candidate.has_value())
+    throw std::runtime_error(
+        "the system file has no candidate block; add one or run "
+        "`ftmc optimize` first");
+  if (const auto error = sys.evaluator->structural_error(*sys.candidate);
+      !error.empty())
+    throw std::runtime_error("candidate invalid: " + error);
+  bool cache_hit = false;
+  const core::Evaluation evaluation =
+      sys.evaluator->evaluate(*sys.candidate, &cache_hit);
+  obs::Json wcrt = obs::Json::array();
+  for (const model::Time bound : evaluation.graph_wcrt)
+    wcrt.push(obs::Json::integer(bound));
+  obs::Json result = obs::Json::object();
+  result.set("mapping_valid", evaluation.mapping_valid)
+      .set("reliability_ok", evaluation.reliability_ok)
+      .set("normal_schedulable", evaluation.normal_schedulable)
+      .set("critical_schedulable", evaluation.critical_schedulable)
+      .set("feasible", evaluation.feasible())
+      .set("power", evaluation.power)
+      .set("service", evaluation.service)
+      .set("scenario_count", evaluation.scenario_count)
+      .set("scenario_solves", evaluation.scenario_solves)
+      .set("graph_wcrt", std::move(wcrt))
+      .set("cache_hit", cache_hit);
+  return result;
+}
+
+obs::Json Server::handle_simulate(ResidentSystem& sys,
+                                  const JsonValue& params) {
+  if (!sys.hardened.has_value())
+    throw std::runtime_error(
+        "the system file has no candidate block; add one or run "
+        "`ftmc optimize` first");
+  sim::MonteCarloOptions mc;
+  mc.profiles = params.u64_or("profiles", 1000);
+  mc.seed = params.u64_or("seed", 1);
+  mc.hyperperiods = params.u64_or("hyperperiods", 1);
+  mc.threads = options_.threads;
+  // fault_prob travels as the user's verbatim string: the report title
+  // embeds the spelling (the CLI prints the --fault-prob argument, not a
+  // re-formatted double), so a numeric JSON value could not stay
+  // byte-identical to the one-shot output.
+  if (const JsonValue* p = params.get("fault_prob");
+      p != nullptr && p->kind != JsonValue::Kind::kString)
+    throw std::runtime_error(
+        "params.fault_prob must be a string (the verbatim --fault-prob "
+        "spelling, e.g. \"0.3\")");
+  const std::string fault_prob = params.str_or("fault_prob", "0.3");
+  char* end = nullptr;
+  mc.fault_probability = std::strtod(fault_prob.c_str(), &end);
+  if (end == fault_prob.c_str() || *end != '\0')
+    throw std::runtime_error("params.fault_prob '" + fault_prob +
+                             "' is not a number");
+
+  auto& prepared = sys.prepared[mc.hyperperiods];
+  if (prepared == nullptr)
+    prepared = std::make_unique<sim::PreparedSim>(
+        sys.spec.arch, *sys.hardened, sys.candidate->drop, sys.priorities,
+        sim::PrepareOptions{mc.hyperperiods, false});
+  const sim::MonteCarloResult result =
+      sim::monte_carlo_wcrt(*prepared, *sys.hardened, mc, &pool_);
+  std::ostringstream out;
+  write_simulate_report(out, *sys.hardened, result, mc.profiles, fault_prob);
+  obs::Json doc = obs::Json::object();
+  doc.set("profiles", mc.profiles)
+      .set("deadline_miss_profiles", result.deadline_miss_profiles)
+      .set("events_processed", result.events_processed)
+      .set("output", out.str());
+  return doc;
+}
+
+obs::Json Server::systems_json() const {
+  obs::Json list = obs::Json::array();
+  for (const auto& sys : systems_)
+    list.push(obs::Json::object()
+                  .set("system", sys->path)
+                  .set("applications", sys->spec.apps.graph_count())
+                  .set("candidate", sys->candidate.has_value()));
+  return obs::Json::object().set("systems", std::move(list));
+}
+
+obs::Json Server::stats_json() const {
+  obs::Json systems = obs::Json::array();
+  for (const auto& sys : systems_) {
+    obs::Json entry = obs::Json::object();
+    entry.set("system", sys->path);
+    if (sys->cache != nullptr) {
+      const core::CacheStats cache = sys->cache->stats();
+      entry.set("cache", obs::Json::object()
+                             .set("hits", cache.hits)
+                             .set("misses", cache.misses)
+                             .set("insertions", cache.insertions)
+                             .set("evictions", cache.evictions)
+                             .set("byte_evictions", cache.byte_evictions)
+                             .set("entries", cache.entries)
+                             .set("bytes", cache.bytes));
+    }
+    if (sys->store != nullptr) {
+      const core::EvalStoreStats store = sys->store->stats();
+      entry.set("store",
+                obs::Json::object()
+                    .set("directory", sys->store->directory())
+                    .set("hits", store.hits)
+                    .set("misses", store.misses)
+                    .set("appends", store.appends)
+                    .set("records", store.records)
+                    .set("bytes_mapped", store.bytes_mapped)
+                    .set("log_bytes", store.log_bytes)
+                    .set("torn_bytes_discarded", store.torn_bytes_discarded)
+                    .set("index_rebuilds", store.index_rebuilds));
+    }
+    systems.push(std::move(entry));
+  }
+  return obs::Json::object()
+      .set("requests", stats_.requests)
+      .set("errors", stats_.errors)
+      .set("bytes_in", stats_.bytes_in)
+      .set("bytes_out", stats_.bytes_out)
+      .set("connections", stats_.connections)
+      .set("systems", std::move(systems));
+}
+
+std::string Server::handle(const std::string& request) {
+  counters().requests.add(1);
+  counters().bytes_in.add(request.size());
+  ++stats_.requests;
+  stats_.bytes_in += request.size();
+
+  obs::Json response = obs::Json::object();
+  try {
+    const JsonValue root = parse_json(request);
+    if (!root.is_object())
+      throw std::runtime_error("request must be a JSON object");
+    echo_id(response, root.get("id"));
+    const std::string method = root.str_or("method", "");
+    if (method.empty())
+      throw std::runtime_error("request has no \"method\" member");
+
+    obs::Json result;
+    if (method == "ping") {
+      result = obs::Json::object().set("pong", true);
+    } else if (method == "shutdown") {
+      stop_.store(true, std::memory_order_relaxed);
+      result = obs::Json::object().set("stopping", true);
+    } else if (method == "stats") {
+      result = stats_json();
+    } else if (method == "systems") {
+      result = systems_json();
+    } else if (method == "analyze" || method == "evaluate" ||
+               method == "simulate") {
+      ResidentSystem& sys = resident(root);
+      static const JsonValue kNoParams{};
+      const JsonValue* params = root.get("params");
+      if (params != nullptr && !params->is_object() && !params->is_null())
+        throw std::runtime_error("\"params\" must be an object");
+      const JsonValue& p = params != nullptr ? *params : kNoParams;
+      if (method == "analyze")
+        result = handle_analyze(sys);
+      else if (method == "evaluate")
+        result = handle_evaluate(sys);
+      else
+        result = handle_simulate(sys, p);
+    } else {
+      throw std::runtime_error("unknown method '" + method + "'");
+    }
+    response.set("ok", true).set("result", std::move(result));
+  } catch (const std::exception& error) {
+    counters().errors.add(1);
+    ++stats_.errors;
+    response.set("ok", false).set("error", error.what());
+  }
+
+  std::string text = response.dump();
+  counters().bytes_out.add(text.size());
+  stats_.bytes_out += text.size();
+  return text;
+}
+
+int Server::serve_fd(int in_fd, int out_fd) {
+  counters().connections.add(1);
+  ++stats_.connections;
+  FrameReader reader(in_fd);
+  std::string payload;
+  for (;;) {
+    if (stopping()) break;
+    bool got = false;
+    try {
+      got = reader.read(payload);
+    } catch (const ProtocolError& error) {
+      // Framing is lost; there is no way to resynchronize the stream.
+      util::log_error("serve: ", error.what());
+      return 1;
+    }
+    if (!got) {
+      if (reader.was_interrupted()) continue;  // re-check stopping()
+      break;                                   // clean EOF
+    }
+    const std::string response = handle(payload);
+    try {
+      write_frame(out_fd, response);
+    } catch (const ProtocolError& error) {
+      util::log_warn("serve: ", error.what());
+      return 1;
+    }
+  }
+  flush();
+  return 0;
+}
+
+int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0)
+    throw std::runtime_error(std::string("serve: socket failed: ") +
+                             std::strerror(errno));
+  const int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 8) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd);
+    throw std::runtime_error("serve: cannot listen on 127.0.0.1:" +
+                             std::to_string(port) + ": " + what);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (!port_file.empty()) {
+    // Atomic write: a client polling the file never reads a partial port.
+    const std::string text = std::to_string(bound_port_) + "\n";
+    util::write_file_atomic(
+        port_file, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size()));
+  }
+  util::log_info("serve: listening on 127.0.0.1:", bound_port_);
+
+  int exit_code = 0;
+  while (!stopping()) {
+    pollfd poll_fd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&poll_fd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: re-check stopping()
+      util::log_error("serve: poll failed: ", std::strerror(errno));
+      exit_code = 1;
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check stopping()
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      util::log_error("serve: accept failed: ", std::strerror(errno));
+      exit_code = 1;
+      break;
+    }
+    counters().connections.add(1);
+    ++stats_.connections;
+    FrameReader reader(conn_fd);
+    std::string payload;
+    for (;;) {
+      if (stopping()) break;
+      bool got = false;
+      try {
+        got = reader.read(payload);
+      } catch (const ProtocolError& error) {
+        util::log_warn("serve: dropping connection: ", error.what());
+        break;
+      }
+      if (!got) {
+        if (reader.was_interrupted()) continue;
+        break;
+      }
+      const std::string response = handle(payload);
+      try {
+        write_frame(conn_fd, response);
+      } catch (const ProtocolError& error) {
+        util::log_warn("serve: dropping connection: ", error.what());
+        break;
+      }
+    }
+    ::close(conn_fd);
+  }
+  ::close(listen_fd);
+  flush();
+  util::log_info("serve: drained after ", stats_.requests, " requests");
+  return exit_code;
+}
+
+}  // namespace ftmc::serve

@@ -1,0 +1,130 @@
+// `ftmc serve` — a long-lived daemon that keeps systems hot.
+//
+// The one-shot CLI pays the full cold path on every invocation: parse the
+// system file, build the analysis backend, prepare the simulation problem,
+// evaluate.  The server pays it once per system at startup and keeps the
+// expensive state resident — parsed SystemSpec, hardened view, Evaluator
+// wired to a shared L1 EvaluationCache and (with --cache-dir) a persistent
+// L2 EvalStore, a PreparedSim per requested hyperperiod count, and one
+// ThreadPool — then answers analyze/simulate/evaluate requests over the
+// length-prefixed JSONL protocol of protocol.hpp, on stdio or a TCP socket.
+//
+// Requests are handled one at a time, in order; the resident thread pool
+// fans each request out internally (transition scenarios, Monte-Carlo
+// profiles), so responses stream back in request order and every "output"
+// field is byte-identical to the corresponding one-shot CLI stdout (pinned
+// by tests/test_serve.cpp and the CI smoke job).
+//
+// Request:   {"id": <string|number>, "method": "<name>",
+//             "system": "<path as loaded>",   // optional with one system
+//             "params": {...}}                // method-specific, optional
+// Response:  {"id": <echoed>, "ok": true, "result": {...}}
+//        or  {"id": <echoed>, "ok": false, "error": "<message>"}
+//
+// Methods: ping, systems, analyze, evaluate, simulate
+//          (params: profiles, fault_prob as a STRING, seed, hyperperiods),
+//          stats, shutdown.  A malformed request fails that one request
+//          (ok:false), never the server; a broken *frame* ends the stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/util/thread_pool.hpp"
+
+namespace ftmc::obs {
+class Json;
+}
+
+namespace ftmc::serve {
+
+struct JsonValue;
+
+struct ServeOptions {
+  /// System files to load at startup (each stays resident for its
+  /// lifetime).  Duplicates are rejected.
+  std::vector<std::string> system_paths;
+  /// Worker threads for intra-request fan-out (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Root of the persistent evaluation store; each system gets its own
+  /// subdirectory (core::store_directory).  Empty disables the L2.
+  std::string cache_dir;
+  /// In-process L1 evaluation cache (--no-cache turns it off).
+  bool enable_cache = true;
+  /// Stop after this many requests (0 = unlimited; CI/test aid).
+  std::size_t max_requests = 0;
+  /// WCRT-kernel toggles, same as the one-shot commands.
+  sched::HolisticAnalysis::Options kernel;
+  /// Polled between requests/accepts; true requests a graceful drain
+  /// (SIGINT/SIGTERM handler in the CLI).
+  std::function<bool()> stop_requested;
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t connections = 0;
+};
+
+class Server {
+ public:
+  /// Loads every system (throws on parse errors, duplicate paths, or store
+  /// damage) and builds the resident state.
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one request document and returns the response document (the
+  /// protocol framing is the caller's job).  Never throws on bad requests —
+  /// those produce ok:false responses.
+  std::string handle(const std::string& request);
+
+  /// Serves frames from `in_fd` to `out_fd` (stdio mode: 0/1) until EOF,
+  /// shutdown, max_requests, or stop_requested.  Returns an exit code.
+  int serve_fd(int in_fd, int out_fd);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), optionally writes the bound
+  /// port to `port_file` (atomically, for CI rendezvous), and serves
+  /// connections one at a time until shutdown/stop_requested.
+  int serve_tcp(std::uint16_t port, const std::string& port_file);
+
+  /// Port bound by serve_tcp (0 before bind).
+  std::uint16_t bound_port() const noexcept { return bound_port_; }
+
+  /// True once a shutdown request or stop_requested() drain began.
+  bool stopping() const;
+
+  /// Flushes every system's persistent store (fsync + index rewrite).
+  void flush();
+
+  const ServeStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ResidentSystem;
+
+  ResidentSystem& resident(const JsonValue& root);
+  obs::Json handle_analyze(ResidentSystem& sys);
+  obs::Json handle_evaluate(ResidentSystem& sys);
+  obs::Json handle_simulate(ResidentSystem& sys, const JsonValue& params);
+  obs::Json stats_json() const;
+  obs::Json systems_json() const;
+
+  ServeOptions options_;
+  sched::HolisticAnalysis backend_;
+  util::ThreadPool pool_;
+  std::vector<std::unique_ptr<ResidentSystem>> systems_;
+  std::atomic<bool> stop_{false};
+  std::uint16_t bound_port_ = 0;
+  ServeStats stats_;
+};
+
+}  // namespace ftmc::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -32,11 +33,18 @@ MonteCarloResult monte_carlo_wcrt(
     const model::Architecture& arch, const hardening::HardenedSystem& system,
     const core::DropSet& drop, const std::vector<std::uint32_t>& priorities,
     const MonteCarloOptions& options) {
-  obs::Span campaign_span("mc.campaign");
-  mc_counters().campaigns.add(1);
   // Build the static problem once; every profile below only re-runs it.
   const PreparedSim prepared(arch, system, drop, priorities,
                              PrepareOptions{options.hyperperiods, false});
+  return monte_carlo_wcrt(prepared, system, options, nullptr);
+}
+
+MonteCarloResult monte_carlo_wcrt(const PreparedSim& prepared,
+                                  const hardening::HardenedSystem& system,
+                                  const MonteCarloOptions& options,
+                                  util::ThreadPool* external_pool) {
+  obs::Span campaign_span("mc.campaign");
+  mc_counters().campaigns.add(1);
   const std::size_t graphs = system.apps.graph_count();
 
   MonteCarloResult result;
@@ -62,7 +70,9 @@ MonteCarloResult monte_carlo_wcrt(
   run_options.max_events = options.max_events;
   run_options.trace = options.trace;
 
-  util::ThreadPool pool(options.threads);
+  std::optional<util::ThreadPool> owned_pool;
+  if (external_pool == nullptr) owned_pool.emplace(options.threads);
+  util::ThreadPool& pool = external_pool ? *external_pool : *owned_pool;
   const std::size_t workers =
       std::min(std::max<std::size_t>(pool.thread_count(), 1),
                std::max<std::size_t>(options.profiles, 1));

@@ -9,8 +9,10 @@
 #include <optional>
 #include <vector>
 
+#include "ftmc/sim/prepared_sim.hpp"
 #include "ftmc/sim/simulator.hpp"
 #include "ftmc/util/rng.hpp"
+#include "ftmc/util/thread_pool.hpp"
 
 namespace ftmc::sim {
 
@@ -63,5 +65,17 @@ MonteCarloResult monte_carlo_wcrt(const model::Architecture& arch,
                                   const core::DropSet& drop,
                                   const std::vector<std::uint32_t>& priorities,
                                   const MonteCarloOptions& options = {});
+
+/// Same campaign over an already-built PreparedSim (`ftmc serve` keeps one
+/// resident per system, so repeated simulate requests skip the prepare).
+/// `system` must be the hardened system `prepared` was built from, and
+/// `prepared`'s hyperperiods must match `options.hyperperiods`.  When `pool`
+/// is non-null the profiles run on it (options.threads is ignored);
+/// otherwise a pool with options.threads workers is created per call.
+/// Results are bit-identical to the owning overload for equal inputs.
+MonteCarloResult monte_carlo_wcrt(const PreparedSim& prepared,
+                                  const hardening::HardenedSystem& system,
+                                  const MonteCarloOptions& options,
+                                  util::ThreadPool* pool = nullptr);
 
 }  // namespace ftmc::sim

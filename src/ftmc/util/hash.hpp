@@ -75,4 +75,24 @@ class Fnv1aHasher {
   std::uint64_t state_ = kOffsetBasis;
 };
 
+/// One-shot digest of a derived element stream: `feed(hasher, i)` is called
+/// for each i in [0, n) and pushes the i-th element's bytes into the hasher.
+/// Every ad-hoc "hash this sequence of fields" site (scenario-bounds dedup in
+/// core/mc_analysis.cpp, lane-signature dedup in sched/prepared_problem.cpp)
+/// funnels through here so there is exactly one FNV-1a construction in the
+/// codebase, pinned by tests/test_hash.cpp.
+template <typename FeedFn>
+std::uint64_t fnv1a_stream(std::size_t n, FeedFn&& feed) {
+  Fnv1aHasher hasher;
+  for (std::size_t i = 0; i < n; ++i) feed(hasher, i);
+  return hasher.digest();
+}
+
+/// Finalized digest of a raw byte span (checkpoint payloads, store records).
+inline std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  Fnv1aHasher hasher;
+  for (std::uint8_t byte : bytes) hasher.feed_byte(byte);
+  return hasher.digest();
+}
+
 }  // namespace ftmc::util

@@ -1,0 +1,101 @@
+// Regression pins for the one FNV-1a construction in the codebase
+// (util/hash.hpp).  These digests key persisted artifacts — checkpoint
+// payload digests, evaluation-store records and index slots, evaluation
+// cache keys — so an accidental change to the hash constants, the feed
+// order, or the finalizer would silently orphan every store and checkpoint
+// on disk.  The literals below were produced by the current construction;
+// a failure here means the on-disk format changed, not that the pin is
+// stale.
+#include "ftmc/util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace {
+
+using ftmc::util::Fnv1aHasher;
+using ftmc::util::fnv1a_bytes;
+using ftmc::util::fnv1a_stream;
+
+TEST(Hash, PinnedConstants) {
+  EXPECT_EQ(Fnv1aHasher::kOffsetBasis, 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1aHasher::kPrime, 0x00000100000001b3ULL);
+}
+
+TEST(Hash, PinnedEmptyDigest) {
+  // Finalizer applied to the bare offset basis.
+  EXPECT_EQ(Fnv1aHasher().digest(), 0xc3817c016ba4ff30ULL);
+}
+
+TEST(Hash, PinnedByteDigest) {
+  const std::uint8_t abc[] = {'a', 'b', 'c'};
+  EXPECT_EQ(fnv1a_bytes(std::span<const std::uint8_t>(abc, 3)),
+            0x29e32c04ec3f9c30ULL);
+  EXPECT_EQ(fnv1a_bytes({}), Fnv1aHasher().digest());
+}
+
+TEST(Hash, PinnedSeededDigest) {
+  EXPECT_EQ(Fnv1aHasher(42).digest(), 0xa4e6579fd9ba8f6dULL);
+}
+
+TEST(Hash, PinnedValueFeed) {
+  Fnv1aHasher hasher;
+  for (std::uint64_t value : {1ULL, 2ULL, 3ULL}) hasher.feed(value);
+  EXPECT_EQ(hasher.digest(), 0x08638879170c2de7ULL);
+}
+
+TEST(Hash, StreamMatchesManualFeed) {
+  // fnv1a_stream is the shared construction behind the scenario-bounds and
+  // lane-signature dedup sites: it must be exactly "one hasher, feed each
+  // element in order, finalize".
+  const std::uint64_t values[] = {1, 2, 3};
+  const std::uint64_t digest =
+      fnv1a_stream(3, [&](Fnv1aHasher& hasher, std::size_t i) {
+        hasher.feed(values[i]);
+      });
+  EXPECT_EQ(digest, 0x08638879170c2de7ULL);
+}
+
+TEST(Hash, PinnedRangeFeed) {
+  // feed_range is length-prefixed, so it must NOT equal the raw feed.
+  const std::uint64_t values[] = {1, 2, 3};
+  Fnv1aHasher hasher;
+  hasher.feed_range(std::span<const std::uint64_t>(values, 3));
+  EXPECT_EQ(hasher.digest(), 0x11067c64fda12a9eULL);
+  EXPECT_NE(hasher.digest(), 0x08638879170c2de7ULL);
+}
+
+TEST(Hash, PinnedBitsFeed) {
+  Fnv1aHasher hasher;
+  hasher.feed_bits(std::vector<bool>{true, false, true});
+  EXPECT_EQ(hasher.digest(), 0xc330267d02927c34ULL);
+}
+
+TEST(Hash, LengthPrefixDisambiguatesSplits) {
+  const std::uint64_t a[] = {1, 2};
+  const std::uint64_t b[] = {3};
+  const std::uint64_t c[] = {1};
+  const std::uint64_t d[] = {2, 3};
+  Fnv1aHasher first;
+  first.feed_range(std::span<const std::uint64_t>(a, 2));
+  first.feed_range(std::span<const std::uint64_t>(b, 1));
+  Fnv1aHasher second;
+  second.feed_range(std::span<const std::uint64_t>(c, 1));
+  second.feed_range(std::span<const std::uint64_t>(d, 2));
+  EXPECT_NE(first.digest(), second.digest());
+}
+
+TEST(Hash, OrderSensitive) {
+  Fnv1aHasher ab;
+  ab.feed_byte(0x01);
+  ab.feed_byte(0x02);
+  Fnv1aHasher ba;
+  ba.feed_byte(0x02);
+  ba.feed_byte(0x01);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+}  // namespace

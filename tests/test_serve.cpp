@@ -1,0 +1,364 @@
+// Tests for the `ftmc serve` stack: length-prefixed framing (protocol.hpp),
+// the strict JSON request parser (json_parse.hpp), and the Server itself —
+// whose analyze/simulate "output" fields must be byte-identical to the
+// one-shot CLI rendering (pinned here by rendering through the same
+// serve::write_*_report functions the CLI uses, over a system file round-
+// tripped through the text format).
+#include "ftmc/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ftmc/core/eval_store.hpp"
+#include "ftmc/core/evaluator.hpp"
+#include "ftmc/hardening/hardening.hpp"
+#include "ftmc/io/text_format.hpp"
+#include "ftmc/sched/holistic.hpp"
+#include "ftmc/sched/priority.hpp"
+#include "ftmc/serve/json_parse.hpp"
+#include "ftmc/serve/protocol.hpp"
+#include "ftmc/serve/reports.hpp"
+#include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/util/file_io.hpp"
+#include "ftmc/util/hash.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace ftmc;
+using serve::FrameReader;
+using serve::JsonParseError;
+using serve::JsonValue;
+using serve::ProtocolError;
+using serve::Server;
+using serve::ServeOptions;
+using serve::parse_json;
+
+// --- Framing ----------------------------------------------------------------
+
+TEST(Protocol, FrameFormat) {
+  EXPECT_EQ(serve::frame("hello"), "5\nhello");
+  EXPECT_EQ(serve::frame(""), "0\n");
+}
+
+TEST(Protocol, RoundTripOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string first = "{\"multi\nline\": \"payload\"}";
+  const std::string second(1000, 'x');
+  serve::write_frame(fds[1], first);
+  serve::write_frame(fds[1], second);
+  ::close(fds[1]);
+
+  FrameReader reader(fds[0]);
+  std::string payload;
+  ASSERT_TRUE(reader.read(payload));
+  EXPECT_EQ(payload, first);
+  ASSERT_TRUE(reader.read(payload));
+  EXPECT_EQ(payload, second);
+  EXPECT_FALSE(reader.read(payload));  // clean EOF
+  EXPECT_FALSE(reader.was_interrupted());
+  ::close(fds[0]);
+}
+
+TEST(Protocol, MalformedPrefixThrows) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "abc\nxyz", 7), 7);
+  ::close(fds[1]);
+  FrameReader reader(fds[0]);
+  std::string payload;
+  EXPECT_THROW((void)reader.read(payload), ProtocolError);
+  ::close(fds[0]);
+}
+
+TEST(Protocol, OversizeLengthThrows) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "999999999\n", 10), 10);
+  ::close(fds[1]);
+  FrameReader reader(fds[0]);
+  std::string payload;
+  EXPECT_THROW((void)reader.read(payload), ProtocolError);
+  ::close(fds[0]);
+}
+
+TEST(Protocol, EofMidPayloadThrows) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "10\nshort", 8), 8);
+  ::close(fds[1]);
+  FrameReader reader(fds[0]);
+  std::string payload;
+  EXPECT_THROW((void)reader.read(payload), ProtocolError);
+  ::close(fds[0]);
+}
+
+// --- JSON parser ------------------------------------------------------------
+
+TEST(JsonParse, ParsesNestedDocument) {
+  const JsonValue root = parse_json(
+      R"({"id": 7, "name": "x", "flag": true, "none": null,)"
+      R"( "list": [1, 2.5, "s"], "sub": {"k": -3e2}})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.u64_or("id", 0), 7u);
+  EXPECT_EQ(root.str_or("name", ""), "x");
+  EXPECT_TRUE(root.bool_or("flag", false));
+  EXPECT_TRUE(root.get("none")->is_null());
+  ASSERT_EQ(root.get("list")->array.size(), 3u);
+  EXPECT_EQ(root.get("list")->array[1].number, 2.5);
+  EXPECT_EQ(root.get("sub")->num_or("k", 0.0), -300.0);
+}
+
+TEST(JsonParse, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue root =
+      parse_json(R"({"s": "a\"b\\c\n\t\u00e9\ud83d\ude00"})");
+  EXPECT_EQ(root.str_or("s", ""), "a\"b\\c\n\t\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{\"a\": 1} trailing"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\": }"), JsonParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\": 1e999}"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\": \"\\ud800\"}"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\": \"raw\ncontrol\"}"),
+               JsonParseError);
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += "[";
+  EXPECT_THROW((void)parse_json(deep), JsonParseError);
+}
+
+TEST(JsonParse, ErrorsNameTheByteOffset) {
+  try {
+    (void)parse_json("{\"a\": 1} x");
+    FAIL();
+  } catch (const JsonParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("at byte"), std::string::npos);
+  }
+}
+
+// --- Server -----------------------------------------------------------------
+
+/// Round-trips the standard fixture system through the text format so the
+/// server and the expectation both see exactly what a user's file contains.
+std::string write_demo_system(const std::string& name) {
+  const model::Architecture arch = fixtures::test_arch(2);
+  const model::ApplicationSet apps = fixtures::small_mixed_apps();
+  const core::Candidate candidate = fixtures::plain_candidate(arch, apps);
+  const std::string path =
+      ::testing::TempDir() + "ftmc_serve_" + name + ".ftmc";
+  std::ofstream out(path);
+  io::write_system(out, arch, apps, &candidate);
+  return path;
+}
+
+ServeOptions demo_options(const std::string& path) {
+  ServeOptions options;
+  options.system_paths = {path};
+  options.threads = 2;
+  return options;
+}
+
+/// Parses a response and asserts the envelope, returning the result.
+JsonValue expect_ok(const std::string& response) {
+  const JsonValue root = parse_json(response);
+  EXPECT_TRUE(root.bool_or("ok", false)) << response;
+  const JsonValue* result = root.get("result");
+  EXPECT_NE(result, nullptr) << response;
+  return *result;
+}
+
+std::string expect_error(const std::string& response) {
+  const JsonValue root = parse_json(response);
+  EXPECT_FALSE(root.bool_or("ok", true)) << response;
+  return root.str_or("error", "");
+}
+
+TEST(Server, PingEchoesId) {
+  const std::string path = write_demo_system("ping");
+  Server server(demo_options(path));
+  const std::string response =
+      server.handle(R"({"id": "req-1", "method": "ping"})");
+  const JsonValue root = parse_json(response);
+  EXPECT_EQ(root.str_or("id", ""), "req-1");
+  EXPECT_TRUE(expect_ok(response).bool_or("pong", false));
+}
+
+TEST(Server, AnalyzeOutputMatchesDirectRendering) {
+  const std::string path = write_demo_system("analyze");
+  Server server(demo_options(path));
+  const JsonValue result =
+      expect_ok(server.handle(R"({"id": 1, "method": "analyze"})"));
+
+  // The reference: evaluate + render exactly as the one-shot CLI does.
+  const io::SystemSpec spec = io::parse_system_file(path);
+  const sched::HolisticAnalysis backend;
+  const core::Evaluator evaluator(spec.arch, spec.apps, backend);
+  const core::Evaluation evaluation = evaluator.evaluate(*spec.candidate);
+  std::ostringstream expected;
+  serve::write_analyze_report(expected, spec, *spec.candidate, evaluation);
+
+  EXPECT_EQ(result.str_or("output", ""), expected.str());
+  EXPECT_EQ(result.bool_or("feasible", !evaluation.feasible()),
+            evaluation.feasible());
+  EXPECT_EQ(result.num_or("power", -1.0), evaluation.power);
+}
+
+TEST(Server, SimulateOutputMatchesDirectRendering) {
+  const std::string path = write_demo_system("simulate");
+  Server server(demo_options(path));
+  const std::string request =
+      R"({"id": 2, "method": "simulate",)"
+      R"( "params": {"profiles": 60, "fault_prob": "0.25", "seed": 9}})";
+  const JsonValue result = expect_ok(server.handle(request));
+
+  const io::SystemSpec spec = io::parse_system_file(path);
+  const auto system = hardening::apply_hardening(
+      spec.apps, spec.candidate->plan, spec.candidate->base_mapping,
+      spec.arch.processor_count());
+  const auto priorities = sched::assign_priorities(system.apps);
+  sim::MonteCarloOptions options;
+  options.profiles = 60;
+  options.fault_probability = 0.25;
+  options.seed = 9;
+  options.threads = 2;
+  const auto reference = sim::monte_carlo_wcrt(
+      spec.arch, system, spec.candidate->drop, priorities, options);
+  std::ostringstream expected;
+  serve::write_simulate_report(expected, system, reference, 60, "0.25");
+
+  EXPECT_EQ(result.str_or("output", ""), expected.str());
+  EXPECT_EQ(result.u64_or("deadline_miss_profiles", ~0ULL),
+            reference.deadline_miss_profiles);
+
+  // The resident PreparedSim must not drift: same request, same bytes.
+  const JsonValue again = expect_ok(server.handle(request));
+  EXPECT_EQ(again.str_or("output", ""), expected.str());
+}
+
+TEST(Server, EvaluateHitsTheResidentCacheOnRepeat) {
+  const std::string path = write_demo_system("evaluate");
+  Server server(demo_options(path));
+  const JsonValue first =
+      expect_ok(server.handle(R"({"id": 1, "method": "evaluate"})"));
+  EXPECT_FALSE(first.bool_or("cache_hit", true));
+  const JsonValue second =
+      expect_ok(server.handle(R"({"id": 2, "method": "evaluate"})"));
+  EXPECT_TRUE(second.bool_or("cache_hit", false));
+  EXPECT_EQ(first.num_or("power", -1.0), second.num_or("power", -2.0));
+  EXPECT_EQ(first.get("graph_wcrt")->array.size(),
+            second.get("graph_wcrt")->array.size());
+}
+
+TEST(Server, PersistentStoreWarmsAFreshServer) {
+  const std::string path = write_demo_system("store");
+  const std::string cache_dir = ::testing::TempDir() + "ftmc_serve_store";
+  // A previous run may have left a populated store here; start cold.
+  const std::string shard = core::store_directory(
+      cache_dir, util::fnv1a_bytes(util::read_file(path)));
+  std::remove((shard + "/evals.log").c_str());
+  std::remove((shard + "/evals.idx").c_str());
+  {
+    ServeOptions options = demo_options(path);
+    options.cache_dir = cache_dir;
+    options.enable_cache = false;  // isolate the L2
+    Server server(std::move(options));
+    const JsonValue first =
+        expect_ok(server.handle(R"({"id": 1, "method": "evaluate"})"));
+    EXPECT_FALSE(first.bool_or("cache_hit", true));
+    server.flush();
+  }
+  ServeOptions options = demo_options(path);
+  options.cache_dir = cache_dir;
+  options.enable_cache = false;
+  Server server(std::move(options));
+  const JsonValue warmed =
+      expect_ok(server.handle(R"({"id": 2, "method": "evaluate"})"));
+  EXPECT_TRUE(warmed.bool_or("cache_hit", false));
+}
+
+TEST(Server, ErrorPathsFailTheRequestNotTheServer) {
+  const std::string path = write_demo_system("errors");
+  Server server(demo_options(path));
+  EXPECT_NE(expect_error(server.handle("not json")).find("JSON parse"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle("[1,2]"))
+                .find("must be a JSON object"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle(R"({"id": 1})")).find("method"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle(R"({"method": "frobnicate"})"))
+                .find("unknown method"),
+            std::string::npos);
+  EXPECT_NE(expect_error(
+                server.handle(R"({"method": "analyze", "system": "nope"})"))
+                .find("unknown system"),
+            std::string::npos);
+  EXPECT_NE(
+      expect_error(server.handle(
+                       R"({"method": "simulate",)"
+                       R"( "params": {"fault_prob": 0.3}})"))
+          .find("fault_prob"),
+      std::string::npos);
+  // The server still answers after five failed requests.
+  EXPECT_TRUE(expect_ok(server.handle(R"({"method": "ping"})"))
+                  .bool_or("pong", false));
+}
+
+TEST(Server, StatsAndShutdown) {
+  const std::string path = write_demo_system("stats");
+  Server server(demo_options(path));
+  (void)server.handle(R"({"method": "ping"})");
+  const JsonValue stats =
+      expect_ok(server.handle(R"({"method": "stats"})"));
+  EXPECT_GE(stats.u64_or("requests", 0), 2u);
+  ASSERT_EQ(stats.get("systems")->array.size(), 1u);
+  EXPECT_EQ(stats.get("systems")->array[0].str_or("system", ""), path);
+
+  EXPECT_FALSE(server.stopping());
+  const JsonValue shutdown =
+      expect_ok(server.handle(R"({"method": "shutdown"})"));
+  EXPECT_TRUE(shutdown.bool_or("stopping", false));
+  EXPECT_TRUE(server.stopping());
+}
+
+TEST(Server, ServeFdDrainsAPrebufferedStream) {
+  const std::string path = write_demo_system("fd");
+  Server server(demo_options(path));
+
+  int in[2], out[2];
+  ASSERT_EQ(::pipe(in), 0);
+  ASSERT_EQ(::pipe(out), 0);
+  serve::write_frame(in[1], R"({"id": 1, "method": "ping"})");
+  serve::write_frame(in[1], R"({"id": 2, "method": "systems"})");
+  ::close(in[1]);  // EOF after two requests
+
+  EXPECT_EQ(server.serve_fd(in[0], out[1]), 0);
+  ::close(in[0]);
+  ::close(out[1]);
+
+  FrameReader reader(out[0]);
+  std::string payload;
+  ASSERT_TRUE(reader.read(payload));
+  EXPECT_TRUE(expect_ok(payload).bool_or("pong", false));
+  ASSERT_TRUE(reader.read(payload));
+  EXPECT_EQ(expect_ok(payload).get("systems")->array.size(), 1u);
+  EXPECT_FALSE(reader.read(payload));
+  ::close(out[0]);
+}
+
+TEST(Server, RejectsDuplicateSystems) {
+  const std::string path = write_demo_system("dup");
+  ServeOptions options;
+  options.system_paths = {path, path};
+  EXPECT_THROW(Server server(std::move(options)), std::runtime_error);
+}
+
+}  // namespace

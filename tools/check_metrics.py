@@ -20,6 +20,15 @@ Three kinds of input, all optional, each repeatable:
                         format version, a complete payload, and an FNV-1a-64
                         payload digest that matches (see
                         src/ftmc/dse/checkpoint.hpp for the layout).
+  --store DIR           a persistent evaluation store directory (either one
+                        store with an evals.log, or a --cache-dir root whose
+                        sys-* children are stores).  The log must carry the
+                        FTMCSTOR magic and a known version, every record's
+                        FNV-1a-64 payload digest must match with no torn
+                        tail, and the evals.idx snapshot (when present) must
+                        have a valid header, a matching slots digest, and
+                        slots that point at real records of the same key
+                        (see src/ftmc/core/eval_store.hpp for the layout).
 
 Cross-cutting checks:
 
@@ -294,6 +303,142 @@ def check_checkpoint(path: str) -> None:
         )
 
 
+STORE_LOG_MAGIC = b"FTMCSTOR"
+STORE_INDEX_MAGIC = b"FTMCSIDX"
+STORE_VERSIONS = (1,)
+STORE_LOG_HEADER = struct.Struct("<8sII")  # magic, version, reserved
+STORE_RECORD_HEADER = struct.Struct("<QIIQ")  # key, cand, eval, digest
+STORE_INDEX_HEADER = struct.Struct("<8sIIQQQQ")  # magic, version, reserved,
+# slot count, record count, covered log bytes, slots digest
+
+
+def check_store_log(path: str) -> dict[int, int] | None:
+    """Walks the record log; returns {offset: key} or None on failure."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+        return None
+    if len(blob) < STORE_LOG_HEADER.size:
+        fail(path, f"truncated header: {len(blob)} bytes")
+        return None
+    magic, version, reserved = STORE_LOG_HEADER.unpack(
+        blob[: STORE_LOG_HEADER.size]
+    )
+    if magic != STORE_LOG_MAGIC:
+        fail(path, f"bad magic {magic!r} (expected {STORE_LOG_MAGIC!r})")
+        return None
+    if version not in STORE_VERSIONS:
+        fail(path, f"unsupported store version {version}")
+        return None
+    if reserved != 0:
+        fail(path, f"reserved header field is {reserved}, expected 0")
+    records: dict[int, int] = {}
+    offset = STORE_LOG_HEADER.size
+    while offset < len(blob):
+        if offset + STORE_RECORD_HEADER.size > len(blob):
+            fail(path, f"torn record header at offset {offset}")
+            return None
+        key, cand_bytes, eval_bytes, digest = STORE_RECORD_HEADER.unpack(
+            blob[offset: offset + STORE_RECORD_HEADER.size]
+        )
+        body_at = offset + STORE_RECORD_HEADER.size
+        body_end = body_at + cand_bytes + eval_bytes
+        if body_end > len(blob):
+            fail(path, f"torn record payload at offset {offset}")
+            return None
+        if fnv1a64(blob[body_at:body_end]) != digest:
+            fail(path, f"record at offset {offset}: payload digest mismatch")
+            return None
+        records[offset] = key
+        offset = body_end
+    return records
+
+
+def check_store_index(path: str, records: dict[int, int],
+                      log_size: int) -> None:
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+        return
+    if len(blob) < STORE_INDEX_HEADER.size:
+        fail(path, f"truncated header: {len(blob)} bytes")
+        return
+    (magic, version, reserved, slot_count, record_count, covered,
+     slots_digest) = STORE_INDEX_HEADER.unpack(
+        blob[: STORE_INDEX_HEADER.size]
+    )
+    if magic != STORE_INDEX_MAGIC:
+        fail(path, f"bad magic {magic!r} (expected {STORE_INDEX_MAGIC!r})")
+        return
+    if version not in STORE_VERSIONS:
+        fail(path, f"unsupported index version {version}")
+        return
+    if reserved != 0:
+        fail(path, f"reserved header field is {reserved}, expected 0")
+    if slot_count == 0 or slot_count & (slot_count - 1):
+        fail(path, f"slot count {slot_count} is not a power of two")
+        return
+    if len(blob) != STORE_INDEX_HEADER.size + slot_count * 16:
+        fail(path, f"size {len(blob)} does not match {slot_count} slots")
+        return
+    if covered > log_size:
+        fail(path, f"covers {covered} log bytes but the log has {log_size}")
+    slots = blob[STORE_INDEX_HEADER.size:]
+    if fnv1a64(slots) != slots_digest:
+        fail(path, "slots digest mismatch")
+        return
+    occupied = 0
+    for i in range(slot_count):
+        key, offset = struct.unpack_from("<QQ", slots, i * 16)
+        if offset == 0:
+            continue
+        occupied += 1
+        if offset not in records:
+            fail(path, f"slot {i} points at offset {offset},"
+                       " not a record boundary")
+        elif records[offset] != key:
+            fail(path, f"slot {i}: key {key:#x} != record key"
+                       f" {records[offset]:#x} at offset {offset}")
+    if occupied != record_count:
+        fail(path, f"header promises {record_count} records,"
+                   f" slots hold {occupied}")
+
+
+def check_store(directory: str) -> None:
+    import os
+
+    if os.path.isfile(os.path.join(directory, "evals.log")):
+        stores = [directory]
+    else:
+        try:
+            children = sorted(os.listdir(directory))
+        except OSError as exc:
+            fail(directory, f"not listable: {exc}")
+            return
+        stores = [
+            os.path.join(directory, child)
+            for child in children
+            if child.startswith("sys-")
+            and os.path.isfile(os.path.join(directory, child, "evals.log"))
+        ]
+        if not stores:
+            fail(directory, "no evals.log here and no sys-* store children")
+            return
+    for store in stores:
+        log_path = os.path.join(store, "evals.log")
+        records = check_store_log(log_path)
+        if records is None:
+            continue
+        index_path = os.path.join(store, "evals.idx")
+        if os.path.isfile(index_path):
+            check_store_index(index_path, records,
+                              os.path.getsize(log_path))
+
+
 def parse_counter_expectation(spec: str) -> tuple[str, int] | None:
     name, sep, bound = spec.partition(">=")
     if not sep or not name or not bound.isdigit():
@@ -376,6 +521,7 @@ def main() -> int:
     parser.add_argument("--trace", action="append", default=[])
     parser.add_argument("--bench-output", action="append", default=[])
     parser.add_argument("--checkpoint", action="append", default=[])
+    parser.add_argument("--store", action="append", default=[])
     parser.add_argument("--expect-counter", action="append", default=[])
     parser.add_argument(
         "--compare-jsonl", nargs=2, action="append", default=[]
@@ -386,11 +532,12 @@ def main() -> int:
         or args.trace
         or args.bench_output
         or args.checkpoint
+        or args.store
         or args.compare_jsonl
     ):
         parser.error(
             "nothing to check; pass --metrics/--trace/--bench-output/"
-            "--checkpoint/--compare-jsonl"
+            "--checkpoint/--store/--compare-jsonl"
         )
     if args.expect_counter and not args.metrics:
         parser.error("--expect-counter requires at least one --metrics")
@@ -409,6 +556,8 @@ def main() -> int:
         check_bench_output(path)
     for path in args.checkpoint:
         check_checkpoint(path)
+    for path in args.store:
+        check_store(path)
     for pair in args.compare_jsonl:
         compare_jsonl(pair[0], pair[1])
     for error in errors:
@@ -418,6 +567,7 @@ def main() -> int:
         + len(args.trace)
         + len(args.bench_output)
         + len(args.checkpoint)
+        + len(args.store)
         + len(args.compare_jsonl)
     )
     if not errors:

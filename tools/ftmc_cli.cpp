@@ -30,6 +30,7 @@
 #include <string>
 
 #include "cli_options.hpp"
+#include "ftmc/core/eval_store.hpp"
 #include "ftmc/core/evaluator.hpp"
 #include "ftmc/dse/campaign.hpp"
 #include "ftmc/dse/checkpoint.hpp"
@@ -38,7 +39,11 @@
 #include "ftmc/io/text_format.hpp"
 #include "ftmc/obs/json.hpp"
 #include "ftmc/sched/holistic.hpp"
+#include "ftmc/serve/reports.hpp"
+#include "ftmc/serve/server.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/util/file_io.hpp"
+#include "ftmc/util/hash.hpp"
 #include "ftmc/util/log.hpp"
 #include "ftmc/util/table.hpp"
 #include "ftmc/util/thread_pool.hpp"
@@ -59,6 +64,14 @@ int usage() {
       "  simulate  Monte-Carlo fault injection on the candidate\n"
       "            [--profiles=N] [--fault-prob=P] [--seed=S]\n"
       "            [--threads=N] [--trace-level=responses|jobs|full]\n"
+      "  serve     long-lived daemon: load once, answer analyze/simulate/\n"
+      "            evaluate requests over length-prefixed JSONL\n"
+      "            (tools/serve_client.py is the reference client)\n"
+      "            [--port=N] (default 0 = ephemeral) [--port-file=FILE]\n"
+      "            [--stdio]  (serve fds 0/1 instead of TCP)\n"
+      "            [--also=FILE,...]  (additional resident systems)\n"
+      "            [--cache-dir=DIR] [--no-cache] [--max-requests=N]\n"
+      "            [--threads=N] [--no-warm-start] [--scenario-batch=N]\n"
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
       "            [--seeds=A,B,...]  (multi-seed campaign, merged front)\n"
@@ -69,6 +82,8 @@ int usage() {
       "            [--telemetry-jsonl=FILE]  (per-generation stats stream)\n"
       "            [--front-json=FILE]       (final front as JSON)\n"
       "            [--max-seconds=S] [--max-evaluations=N] [--retries=N]\n"
+      "            [--cache-dir=DIR]  (persistent evaluation store shared\n"
+      "            across shards, resumes, and `ftmc serve`)\n"
       "checkpointing (optimize; SIGINT/SIGTERM drain the in-flight\n"
       "generation, write a final snapshot, and exit 0):\n"
       "  --checkpoint=FILE     write ftmc.ckpt.v1 snapshots here\n"
@@ -169,35 +184,8 @@ int cmd_analyze(const io::SystemSpec& spec, int argc, char** argv) {
     throw std::runtime_error("candidate invalid: " + error);
   const core::Evaluation evaluation = evaluator.evaluate(candidate);
 
-  std::cout << "feasible:             "
-            << (evaluation.feasible() ? "yes" : "no") << '\n'
-            << "  mapping valid:      "
-            << (evaluation.mapping_valid ? "yes" : "no") << '\n'
-            << "  reliability (f_t):  "
-            << (evaluation.reliability_ok ? "met" : "VIOLATED") << '\n'
-            << "  normal state:       "
-            << (evaluation.normal_schedulable ? "schedulable"
-                                              : "NOT schedulable")
-            << '\n'
-            << "  critical state:     "
-            << (evaluation.critical_schedulable ? "schedulable"
-                                                : "NOT schedulable")
-            << '\n'
-            << "expected power:       " << evaluation.power << " mW\n"
-            << "service after drops:  " << evaluation.service << '\n'
-            << "transition scenarios: " << evaluation.scenario_count << '\n';
-  util::Table table("\nWCRT bounds (Algorithm 1)");
-  table.set_header({"application", "WCRT", "deadline", "note"});
-  for (std::uint32_t g = 0; g < spec.apps.graph_count(); ++g) {
-    const auto& graph = spec.apps.graph(model::GraphId{g});
-    const auto wcrt = evaluation.graph_wcrt[g];
-    table.add_row({graph.name(),
-                   wcrt >= sched::kUnschedulable ? "unbounded"
-                                                 : io::format_time(wcrt),
-                   io::format_time(graph.deadline()),
-                   candidate.drop[g] ? "normal state only (dropped)" : ""});
-  }
-  table.print(std::cout);
+  // Rendering is shared with `ftmc serve` (byte-identical by construction).
+  serve::write_analyze_report(std::cout, spec, candidate, evaluation);
   common.finish_telemetry();
   return evaluation.feasible() ? 0 : 1;
 }
@@ -233,32 +221,9 @@ int cmd_simulate(const io::SystemSpec& spec, int argc, char** argv) {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  util::Table table("Monte-Carlo response distribution (" +
-                    std::to_string(options.profiles) + " profiles, p_fault " +
-                    fault_prob + ")");
-  table.set_header({"application", "mean", "p95", "p99", "max", "deadline",
-                    "misses", "dropped"});
-  for (std::uint32_t g = 0; g < system.apps.graph_count(); ++g) {
-    const auto& graph = system.apps.graph(model::GraphId{g});
-    const auto& dist = result.distribution[g];
-    if (dist.observations == 0) {
-      table.add_row({graph.name(), "always dropped", "", "", "",
-                     io::format_time(graph.deadline()), "",
-                     util::Table::cell(dist.dropped)});
-      continue;
-    }
-    table.add_row({graph.name(),
-                   io::format_time(static_cast<model::Time>(dist.mean)),
-                   io::format_time(dist.p95), io::format_time(dist.p99),
-                   io::format_time(dist.max),
-                   io::format_time(graph.deadline()),
-                   util::Table::cell(dist.deadline_misses),
-                   util::Table::cell(dist.dropped)});
-  }
-  table.print(std::cout);
-  std::cout << "profiles with a deadline miss: "
-            << result.deadline_miss_profiles << " / " << options.profiles
-            << '\n';
+  // Rendering is shared with `ftmc serve` (byte-identical by construction).
+  serve::write_simulate_report(std::cout, system, result, options.profiles,
+                               fault_prob);
   // Throughput is progress/diagnostic output, not a result: it goes through
   // the leveled logger so --quiet silences it.
   util::log_info("events processed: ", result.events_processed, " (",
@@ -308,9 +273,22 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   const std::string jsonl_path = parser.str("telemetry-jsonl", "");
   const std::string out_path = parser.str("out", "");
   const std::string front_path = parser.str("front-json", "");
+  const std::string cache_dir = parser.str("cache-dir", "");
   const sched::HolisticAnalysis::Options kernel_options =
       parse_kernel_options(parser);
   parser.finish();
+
+  // Persistent L2 evaluation store: one store (per system, keyed by the
+  // file's content digest) shared by every campaign shard, every resume,
+  // and any `ftmc serve` daemon pointed at the same --cache-dir.
+  std::optional<core::EvalStore> store;
+  if (!cache_dir.empty()) {
+    store.emplace(core::store_directory(
+        cache_dir, util::fnv1a_bytes(util::read_file(argv[2]))));
+    options.evaluator.store = &*store;
+    util::log_info("evaluation store at ", store->directory(), " (",
+                   store->stats().records, " records)");
+  }
 
   // Per-generation telemetry stream: one JSON object per line, written as
   // each generation completes so a run can be watched (or post-processed)
@@ -374,6 +352,12 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
                    cache.lookups(), " lookups (",
                    static_cast<int>(cache.hit_rate() * 100.0 + 0.5), "%), ",
                    cache.evictions, " evictions");
+  }
+  if (store.has_value()) {
+    const core::EvalStoreStats s = store->stats();
+    util::log_info("evaluation store: ", s.hits, " hits / ",
+                   s.hits + s.misses, " lookups, ", s.appends,
+                   " appends, ", s.records, " records");
   }
 
   if (!front_path.empty()) {
@@ -439,6 +423,52 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   return 0;
 }
 
+// `ftmc serve`: load the system(s) once, keep evaluator/simulator state
+// resident, answer requests over the framed JSONL protocol.  SIGINT/SIGTERM
+// drain gracefully: sigaction without SA_RESTART so the blocking
+// accept/read returns EINTR and the loop re-checks stop_requested.
+int cmd_serve(int argc, char** argv) {
+  cli::OptionParser parser("serve", argc, argv);
+  const cli::CommonOptions common = cli::CommonOptions::parse(parser);
+
+  ftmc::serve::ServeOptions options;
+  options.system_paths.emplace_back(argv[2]);
+  const std::string also = parser.str("also", "");
+  for (std::size_t begin = 0; begin < also.size();) {
+    const std::size_t end = std::min(also.find(',', begin), also.size());
+    if (end > begin)
+      options.system_paths.push_back(also.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  options.threads = common.threads;
+  options.cache_dir = parser.str("cache-dir", "");
+  options.enable_cache = !parser.flag("no-cache");
+  options.max_requests = parser.size("max-requests", 0);
+  options.kernel = parse_kernel_options(parser);
+  const bool stdio = parser.flag("stdio");
+  const auto port = static_cast<std::uint16_t>(parser.u64("port", 0));
+  const std::string port_file = parser.str("port-file", "");
+  parser.finish();
+
+  g_interrupted = 0;
+  options.stop_requested = [] { return g_interrupted != 0; };
+  struct sigaction action {};
+  action.sa_handler = handle_interrupt;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking reads must see EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // A client hanging up mid-response must surface as a write error on that
+  // connection, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ftmc::serve::Server server(std::move(options));
+  const int code =
+      stdio ? server.serve_fd(0, 1) : server.serve_tcp(port, port_file);
+  common.finish_telemetry();
+  return code;
+}
+
 bool has_flag(int argc, char** argv, const char* name) {
   const std::string wanted = std::string("--") + name;
   for (int i = 3; i < argc; ++i)
@@ -453,7 +483,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const bool known = command == "info" || command == "dot" ||
                      command == "analyze" || command == "simulate" ||
-                     command == "optimize";
+                     command == "optimize" || command == "serve";
   if (!known) {
     std::cerr << "error: unknown command '" << command << "'\n";
     return usage();
@@ -479,6 +509,8 @@ int main(int argc, char** argv) {
                                  std::string(argv[2]) +
                                  "': " + std::strerror(errno));
     }
+    // serve parses (and keeps resident) its own systems — possibly several.
+    if (command == "serve") return cmd_serve(argc, argv);
     const io::SystemSpec spec = io::parse_system_file(argv[2]);
     if (command == "info") return cmd_info(spec, argc, argv);
     if (command == "dot") return cmd_dot(spec, argc, argv);

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Reference client for the `ftmc serve` protocol.
+
+One frame = the payload's byte length as ASCII decimal, a single newline,
+then exactly that many payload bytes (a JSON document).  The same framing
+runs over TCP and stdio; this client speaks TCP.
+
+Modes (one required):
+
+  --request JSON        send one request to a running daemon (--port or
+                        --port-file) and print the response JSON.
+  --smoke N             spawn a daemon over --system (needs --ftmc), send N
+                        mixed requests (ping / systems / stats / analyze /
+                        evaluate / simulate round-robin), require ok:true on
+                        every one, then ask it to shut down and require exit
+                        code 0.  With --diff, the analyze and simulate
+                        rendered outputs are additionally byte-compared
+                        against one-shot `ftmc analyze` / `ftmc simulate`
+                        runs of the same binary — the serve responses must
+                        be bitwise identical to the CLI.
+
+CI runs `--smoke 50 --diff` against the shipped demo system (see
+.github/workflows/ci.yml); tests/test_serve.cpp pins the same byte-identity
+in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SIMULATE_PROFILES = 200
+SIMULATE_FAULT_PROB = "0.25"
+SIMULATE_SEED = 9
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(str(len(payload)).encode() + b"\n" + payload)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    length_line = b""
+    while not length_line.endswith(b"\n"):
+        byte = sock.recv(1)
+        if not byte:
+            raise ConnectionError("EOF while reading frame length")
+        length_line += byte
+    length = int(length_line.strip())
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            raise ConnectionError("EOF mid-frame")
+        payload += chunk
+    return payload
+
+
+def call(sock: socket.socket, request: dict) -> dict:
+    send_frame(sock, json.dumps(request).encode())
+    return json.loads(recv_frame(sock))
+
+
+def wait_for_port(port_file: Path, daemon: subprocess.Popen,
+                  timeout: float = 30.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with code {daemon.returncode}"
+            )
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    raise RuntimeError(f"daemon never wrote {port_file}")
+
+
+def smoke_request(i: int, system: str) -> dict:
+    method = ("ping", "systems", "stats", "analyze", "evaluate",
+              "simulate")[i % 6]
+    request: dict = {"id": i, "method": method}
+    if method == "simulate":
+        # Pinned parameters so --diff can replay the identical CLI run.
+        request["params"] = {
+            "profiles": SIMULATE_PROFILES,
+            "fault_prob": SIMULATE_FAULT_PROB,
+            "seed": SIMULATE_SEED,
+        }
+    if method in ("analyze", "evaluate", "simulate"):
+        request["system"] = system
+    return request
+
+
+def cli_reference(ftmc: str, system: str, method: str) -> str:
+    if method == "analyze":
+        argv = [ftmc, "analyze", system]
+    else:
+        argv = [
+            ftmc, "simulate", system,
+            f"--profiles={SIMULATE_PROFILES}",
+            f"--fault-prob={SIMULATE_FAULT_PROB}",
+            f"--seed={SIMULATE_SEED}",
+        ]
+    # analyze exits 1 on an infeasible candidate; that is still a valid
+    # reference rendering, so don't check the exit code here.
+    run = subprocess.run(argv, capture_output=True, text=True)
+    return run.stdout
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    port_file = Path(tempfile.mkdtemp(prefix="ftmc_serve_")) / "port"
+    argv = [args.ftmc, "serve", args.system, "--port=0",
+            f"--port-file={port_file}"]
+    if args.cache_dir:
+        argv.append(f"--cache-dir={args.cache_dir}")
+    if args.metrics_json:
+        argv.append(f"--metrics-json={args.metrics_json}")
+    daemon = subprocess.Popen(argv)
+    try:
+        port = wait_for_port(port_file, daemon)
+        references = {
+            method: cli_reference(args.ftmc, args.system, method)
+            for method in ("analyze", "simulate")
+        } if args.diff else {}
+        failures = 0
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            for i in range(args.smoke):
+                request = smoke_request(i, args.system)
+                response = call(sock, request)
+                if response.get("ok") is not True:
+                    print(f"request {i} ({request['method']}) failed:"
+                          f" {response}", file=sys.stderr)
+                    failures += 1
+                    continue
+                if response.get("id") != i:
+                    print(f"request {i}: id echoed as"
+                          f" {response.get('id')!r}", file=sys.stderr)
+                    failures += 1
+                method = request["method"]
+                if method in references:
+                    served = response["result"].get("output", "")
+                    if served != references[method]:
+                        print(f"request {i}: {method} output differs from"
+                              f" one-shot CLI ({len(served)} vs"
+                              f" {len(references[method])} bytes)",
+                              file=sys.stderr)
+                        failures += 1
+            response = call(sock, {"id": "bye", "method": "shutdown"})
+            if response.get("ok") is not True:
+                print(f"shutdown refused: {response}", file=sys.stderr)
+                failures += 1
+        code = daemon.wait(timeout=30)
+        if code != 0:
+            print(f"daemon exited with code {code}", file=sys.stderr)
+            failures += 1
+        if failures == 0:
+            checked = " (analyze/simulate byte-identical to CLI)" \
+                if args.diff else ""
+            print(f"serve_client: {args.smoke} requests OK{checked}")
+        return 1 if failures else 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+def run_single(args: argparse.Namespace) -> int:
+    port = args.port
+    if port is None:
+        if not args.port_file:
+            print("--request needs --port or --port-file", file=sys.stderr)
+            return 2
+        port = int(Path(args.port_file).read_text().strip())
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        response = call(sock, json.loads(args.request))
+    print(json.dumps(response, indent=2))
+    return 0 if response.get("ok") is True else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--request", help="one JSON request to send")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--port-file")
+    parser.add_argument("--smoke", type=int,
+                        help="spawn a daemon and send N mixed requests")
+    parser.add_argument("--diff", action="store_true",
+                        help="byte-compare analyze/simulate vs the CLI")
+    parser.add_argument("--ftmc", help="path to the ftmc binary (smoke)")
+    parser.add_argument("--system", help="system file to serve (smoke)")
+    parser.add_argument("--cache-dir", help="persistent store root (smoke)")
+    parser.add_argument("--metrics-json",
+                        help="daemon --metrics-json path (smoke)")
+    args = parser.parse_args()
+    if args.smoke is not None:
+        if not args.ftmc or not args.system:
+            parser.error("--smoke requires --ftmc and --system")
+        return run_smoke(args)
+    if args.request:
+        return run_single(args)
+    parser.error("pass --smoke N or --request JSON")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
