@@ -120,6 +120,54 @@ BENCHMARK(BM_McAnalysisProposedParallel)
     ->Args({96, 4})
     ->Args({96, 8});
 
+/// Every task re-executed: every task is a transition trigger, so the
+/// scenario count (and thus the bounds-construction work Algorithm 1 does
+/// per candidate) is maximal for the instance size.
+Instance make_all_hardened_instance(std::size_t tasks) {
+  Instance instance = make_instance(tasks);
+  hardening::HardeningPlan plan(instance.apps.task_count());
+  for (auto& task : plan) {
+    task.technique = hardening::Technique::kReexecution;
+    task.reexecutions = 2;
+  }
+  instance.candidate.plan = plan;
+  instance.system = hardening::apply_hardening(
+      instance.apps, plan, instance.candidate.base_mapping,
+      instance.arch.processor_count());
+  return instance;
+}
+
+/// Scenario construction cost: arena (sparse edits over the all-critical
+/// template, reused lane buffers) vs rebuild (one fresh bounds vector per
+/// scenario).  Identical results (pinned by tests/test_kernel_fuzz.cpp);
+/// the difference is allocation and copy traffic only.
+void BM_McAnalysisScenarioConstruction(benchmark::State& state) {
+  const Instance instance = make_all_hardened_instance(state.range(0));
+  const sched::HolisticAnalysis backend;
+  const bool arena = state.range(1) != 0;
+  const core::McAnalysis analysis(
+      backend, sched::PriorityPolicy::kRateMonotonic,
+      arena ? core::McAnalysis::Construction::kArena
+            : core::McAnalysis::Construction::kRebuild);
+  std::size_t scenarios = 0;
+  for (auto _ : state) {
+    const auto result = analysis.analyze(instance.arch, instance.system,
+                                         instance.candidate.drop);
+    scenarios = result.scenario_count;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(instance.system.apps.task_count()) +
+                 " tasks, " + std::to_string(scenarios) + " scenarios, " +
+                 (arena ? "arena" : "rebuild"));
+}
+BENCHMARK(BM_McAnalysisScenarioConstruction)
+    ->Args({24, 0})
+    ->Args({24, 1})
+    ->Args({48, 0})
+    ->Args({48, 1})
+    ->Args({96, 0})
+    ->Args({96, 1});
+
 void BM_SimulatorHyperperiod(benchmark::State& state) {
   const Instance instance = make_instance(state.range(0));
   const auto priorities = sched::assign_priorities(instance.system.apps);

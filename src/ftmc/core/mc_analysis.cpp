@@ -1,7 +1,9 @@
 #include "ftmc/core/mc_analysis.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
+#include <numeric>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
@@ -22,12 +24,79 @@ struct AnalysisCounters {
   obs::Counter scenarios{"analysis.scenarios"};
   obs::Counter dedup_hits{"analysis.scenario_dedup_hits"};
   obs::Counter solves{"analysis.scenario_solves"};
+  /// Sparse scenario edits recorded by the arena construction path (each is
+  /// one task whose bounds differ from the all-critical template).
+  obs::Counter bounds_edits{"analysis.bounds_edits"};
+  /// Full per-scenario bounds vectors built by the rebuild reference path.
+  obs::Counter bounds_rebuilds{"analysis.bounds_rebuilds"};
 };
 
 AnalysisCounters& analysis_counters() {
   static AnalysisCounters counters;
   return counters;
 }
+
+/// One sparse scenario edit: replace the template bounds at `index`.
+struct ScenarioEdit {
+  std::uint32_t index;
+  sched::ExecBounds bounds;
+  bool operator==(const ScenarioEdit&) const = default;
+};
+
+/// Per-candidate scratch for the arena construction path.  Every container
+/// is cleared (never shrunk) between analyze() calls, so a warmed-up arena
+/// builds, dedupes, sorts, solves, and merges all scenarios of a candidate
+/// without touching the allocator.
+struct ScenarioArena {
+  struct Slice {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::vector<sched::ExecBounds> base;   ///< all-critical template
+  std::vector<ScenarioEdit> edits;       ///< slices of per-scenario edits
+  std::vector<Slice> slices;             ///< one per unique scenario
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_by_hash;
+  std::vector<std::size_t> order;        ///< similarity-sorted slice indices
+  std::vector<sched::ExecBounds> lanes;  ///< materialized unique scenarios
+  std::vector<std::span<const sched::ExecBounds>> lane_views;
+  std::vector<sched::ExecBounds> naive_bounds;
+  std::vector<sched::AnalysisResult> results;
+  std::vector<model::Time> scenario_part;
+  std::vector<model::Time> naive_part;
+};
+
+/// Arena checkout.  A plain thread_local would be unsafe: a pool worker
+/// waiting inside parallel_for drains the shared queue, so a *nested*
+/// analyze() can start on this thread while an outer one still has its
+/// arena live across the chunk fan-out (the serve batch path does exactly
+/// this).  Each concurrent analyze on a thread therefore leases its own
+/// arena from a per-thread freelist; the freelist depth is bounded by the
+/// nesting depth, so the reuse win is kept without the reentrancy hazard.
+std::vector<std::unique_ptr<ScenarioArena>>& arena_freelist() {
+  thread_local std::vector<std::unique_ptr<ScenarioArena>> freelist;
+  return freelist;
+}
+
+class ArenaLease {
+ public:
+  ArenaLease() {
+    auto& freelist = arena_freelist();
+    if (freelist.empty()) {
+      arena_ = std::make_unique<ScenarioArena>();
+    } else {
+      arena_ = std::move(freelist.back());
+      freelist.pop_back();
+    }
+  }
+  ~ArenaLease() { arena_freelist().push_back(std::move(arena_)); }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  ScenarioArena& operator*() noexcept { return *arena_; }
+
+ private:
+  std::unique_ptr<ScenarioArena> arena_;
+};
 
 }  // namespace
 
@@ -165,95 +234,209 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   // discarded unread — skip all of it.
   if (triggers.empty()) return result;
 
-  auto scenario_bounds = [&](std::size_t v) {
-    std::vector<sched::ExecBounds> bounds(n);
-    const model::Time v_min_start = result.normal.windows[v].min_start;
-    const model::Time v_max_finish = result.normal.windows[v].max_finish;
-    for (std::size_t w = 0; w < n; ++w) {
-      if (w == v) {
-        // The trigger certainly re-executes / is activated (Eq. (1)).
-        bounds[w] = trigger_bounds(task_of(w), system.info[w]);
-        continue;
-      }
-      const auto& window = result.normal.windows[w];
-      if (window.max_finish < v_min_start) {
-        // Completed before any fault can occur: normal state (lines 14-17;
-        // nominal_bounds already yields [0,0] for passive standbys).
-        bounds[w] = nominal_bounds(task_of(w), system.info[w]);
-      } else if (drop[apps.task_ref(w).graph]) {
-        if (window.min_start > v_max_finish) {
-          // Starts only after the transition completed: certainly dropped
-          // (lines 20-21).
-          bounds[w] = {0, 0};
-        } else {
-          // Transition window: either runs or is dropped (line 23).  The
-          // paper writes [0, wcet]; we use the critical WCET so the bound
-          // stays safe even for hardened droppable tasks (equal to wcet
-          // for the unhardened ones the paper considers).  Later instances
-          // whose earliest start lies beyond the completed transition never
-          // release (Figure 3, task w2) — the release cutoff carries that
-          // chronology into the backend.
-          bounds[w] = {0, critical_wcet(task_of(w), system.info[w]),
-                       v_max_finish};
-        }
-      } else {
-        // Non-droppable task possibly in the critical state (line 26).
-        bounds[w] = critical_bounds(task_of(w), system.info[w]);
-      }
+  // Classification of task w in the scenario triggered by v (Algorithm 1
+  // lines 12-27), shared verbatim by both construction paths below.
+  auto classify = [&](std::size_t w, std::size_t v, model::Time v_min_start,
+                      model::Time v_max_finish) -> sched::ExecBounds {
+    if (w == v) {
+      // The trigger certainly re-executes / is activated (Eq. (1)).
+      return trigger_bounds(task_of(w), system.info[w]);
     }
-    return bounds;
+    const auto& window = result.normal.windows[w];
+    if (window.max_finish < v_min_start) {
+      // Completed before any fault can occur: normal state (lines 14-17;
+      // nominal_bounds already yields [0,0] for passive standbys).
+      return nominal_bounds(task_of(w), system.info[w]);
+    }
+    if (drop[apps.task_ref(w).graph]) {
+      if (window.min_start > v_max_finish) {
+        // Starts only after the transition completed: certainly dropped
+        // (lines 20-21).
+        return {0, 0};
+      }
+      // Transition window: either runs or is dropped (line 23).  The
+      // paper writes [0, wcet]; we use the critical WCET so the bound
+      // stays safe even for hardened droppable tasks (equal to wcet
+      // for the unhardened ones the paper considers).  Later instances
+      // whose earliest start lies beyond the completed transition never
+      // release (Figure 3, task w2) — the release cutoff carries that
+      // chronology into the backend.
+      return {0, critical_wcet(task_of(w), system.info[w]), v_max_finish};
+    }
+    // Non-droppable task possibly in the critical state (line 26).
+    return critical_bounds(task_of(w), system.info[w]);
   };
 
-  // Hash-keyed dedup (first-occurrence order preserved): O(k) expected
-  // instead of the former O(k^2) pairwise scan.  Exact equality is verified
-  // against every same-hash entry, so a collision costs one extra
-  // comparison — at worst a duplicate analysis, never a dropped distinct
-  // scenario (the same degrade-to-miss contract as EvaluationCache).
-  std::vector<std::vector<sched::ExecBounds>> unique_scenarios;
-  unique_scenarios.reserve(triggers.size());
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_by_hash;
-  index_by_hash.reserve(triggers.size());
-  for (const std::size_t v : triggers) {
-    std::vector<sched::ExecBounds> bounds = scenario_bounds(v);
-    const std::uint64_t digest = util::fnv1a_stream(
-        bounds.size(), [&](util::Fnv1aHasher& hasher, std::size_t i) {
-          hasher.feed(bounds[i].bcet);
-          hasher.feed(bounds[i].wcet);
-          hasher.feed(bounds[i].release_cutoff);
-        });
-    std::vector<std::size_t>& slots = index_by_hash[digest];
-    bool seen = false;
-    for (const std::size_t slot : slots)
-      if (unique_scenarios[slot] == bounds) {
-        seen = true;
-        break;
+  ArenaLease lease;
+  ScenarioArena& arena = *lease;
+  arena.lane_views.clear();
+  // Backing storage of the rebuild reference path (unused by the arena
+  // path); declared here so the views stay valid through the solves.
+  std::vector<std::vector<sched::ExecBounds>> rebuilt;
+
+  if (construction_ == Construction::kArena) {
+    // Arena path: each scenario is the all-critical template plus a sparse
+    // edit list (tasks finished before the trigger, drop-set zeroing,
+    // release cutoffs).  An edit is recorded only when the classified
+    // bounds differ from the template, so two scenarios have equal full
+    // bounds vectors exactly when their edit lists are equal — dedup over
+    // edit lists is equivalent to dedup over full vectors, at a fraction
+    // of the bytes hashed and compared.
+    arena.base.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      arena.base[i] = critical_bounds(task_of(i), system.info[i]);
+    arena.edits.clear();
+    arena.slices.clear();
+    arena.index_by_hash.clear();
+    std::uint64_t edit_count = 0;
+    for (const std::size_t v : triggers) {
+      const model::Time v_min_start = result.normal.windows[v].min_start;
+      const model::Time v_max_finish = result.normal.windows[v].max_finish;
+      const std::size_t begin = arena.edits.size();
+      for (std::size_t w = 0; w < n; ++w) {
+        const sched::ExecBounds bounds =
+            classify(w, v, v_min_start, v_max_finish);
+        if (bounds != arena.base[w])
+          arena.edits.push_back({static_cast<std::uint32_t>(w), bounds});
       }
-    if (!seen) {
-      slots.push_back(unique_scenarios.size());
-      unique_scenarios.push_back(std::move(bounds));
+      const std::size_t count = arena.edits.size() - begin;
+      // Hash-keyed dedup, first-occurrence order preserved; exact equality
+      // is verified against every same-hash entry (degrade-to-miss, same
+      // contract as EvaluationCache).
+      const std::uint64_t digest = util::fnv1a_stream(
+          count, [&](util::Fnv1aHasher& hasher, std::size_t i) {
+            const ScenarioEdit& edit = arena.edits[begin + i];
+            hasher.feed(edit.index);
+            hasher.feed(edit.bounds.bcet);
+            hasher.feed(edit.bounds.wcet);
+            hasher.feed(edit.bounds.release_cutoff);
+          });
+      std::vector<std::size_t>& slots = arena.index_by_hash[digest];
+      bool seen = false;
+      for (const std::size_t slot : slots) {
+        const ScenarioArena::Slice& slice = arena.slices[slot];
+        if (slice.count == count &&
+            std::equal(arena.edits.begin() +
+                           static_cast<std::ptrdiff_t>(slice.begin),
+                       arena.edits.begin() +
+                           static_cast<std::ptrdiff_t>(slice.begin + count),
+                       arena.edits.begin() +
+                           static_cast<std::ptrdiff_t>(begin))) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) {
+        arena.edits.resize(begin);
+        continue;
+      }
+      slots.push_back(arena.slices.size());
+      arena.slices.push_back({begin, count});
+      edit_count += count;
     }
+    analysis_counters().bounds_edits.add(edit_count);
+    const std::size_t unique = arena.slices.size();
+
+    // Similarity sort (order is observationally free; it clusters nearby
+    // scenarios into the same solve_many chunk for the batched kernel's
+    // cross-lane sharing).  The comparator merge-walks the two edit lists
+    // and compares *effective* values in (wcet, release_cutoff, bcet)
+    // field order; positions edited in neither scenario hold the template
+    // value in both, so skipping them reproduces exactly the order the
+    // full-vector lexicographic sort would produce.
+    arena.order.resize(unique);
+    std::iota(arena.order.begin(), arena.order.end(), std::size_t{0});
+    constexpr std::uint32_t kEnd = std::numeric_limits<std::uint32_t>::max();
+    std::sort(arena.order.begin(), arena.order.end(),
+              [&](std::size_t ia, std::size_t ib) {
+                const ScenarioArena::Slice& sa = arena.slices[ia];
+                const ScenarioArena::Slice& sb = arena.slices[ib];
+                const ScenarioEdit* a = arena.edits.data() + sa.begin;
+                const ScenarioEdit* const ae = a + sa.count;
+                const ScenarioEdit* b = arena.edits.data() + sb.begin;
+                const ScenarioEdit* const be = b + sb.count;
+                while (a != ae || b != be) {
+                  const std::uint32_t ai = a != ae ? a->index : kEnd;
+                  const std::uint32_t bi = b != be ? b->index : kEnd;
+                  const std::uint32_t i = std::min(ai, bi);
+                  const sched::ExecBounds& va =
+                      ai == i ? (a++)->bounds : arena.base[i];
+                  const sched::ExecBounds& vb =
+                      bi == i ? (b++)->bounds : arena.base[i];
+                  if (va.wcet != vb.wcet) return va.wcet < vb.wcet;
+                  if (va.release_cutoff != vb.release_cutoff)
+                    return va.release_cutoff < vb.release_cutoff;
+                  if (va.bcet != vb.bcet) return va.bcet < vb.bcet;
+                }
+                return false;
+              });
+
+    // Materialize each unique scenario once into a contiguous lane buffer
+    // (template copy + sparse edits); solve_many consumes the views with
+    // no per-scenario vector ever built.
+    arena.lanes.resize(unique * n);
+    arena.lane_views.resize(unique);
+    for (std::size_t p = 0; p < unique; ++p) {
+      sched::ExecBounds* const lane = arena.lanes.data() + p * n;
+      std::copy(arena.base.begin(), arena.base.end(), lane);
+      const ScenarioArena::Slice& slice = arena.slices[arena.order[p]];
+      for (std::size_t e = 0; e < slice.count; ++e) {
+        const ScenarioEdit& edit = arena.edits[slice.begin + e];
+        lane[edit.index] = edit.bounds;
+      }
+      arena.lane_views[p] = std::span<const sched::ExecBounds>(lane, n);
+    }
+  } else {
+    // Rebuild reference path: one full bounds vector per scenario, dedup
+    // and sort over whole vectors.  Kept as the differential baseline the
+    // arena path is pinned against (tests) and benchmarked against.
+    rebuilt.reserve(triggers.size());
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_by_hash;
+    index_by_hash.reserve(triggers.size());
+    for (const std::size_t v : triggers) {
+      const model::Time v_min_start = result.normal.windows[v].min_start;
+      const model::Time v_max_finish = result.normal.windows[v].max_finish;
+      std::vector<sched::ExecBounds> bounds(n);
+      for (std::size_t w = 0; w < n; ++w)
+        bounds[w] = classify(w, v, v_min_start, v_max_finish);
+      const std::uint64_t digest = util::fnv1a_stream(
+          bounds.size(), [&](util::Fnv1aHasher& hasher, std::size_t i) {
+            hasher.feed(bounds[i].bcet);
+            hasher.feed(bounds[i].wcet);
+            hasher.feed(bounds[i].release_cutoff);
+          });
+      std::vector<std::size_t>& slots = index_by_hash[digest];
+      bool seen = false;
+      for (const std::size_t slot : slots)
+        if (rebuilt[slot] == bounds) {
+          seen = true;
+          break;
+        }
+      if (!seen) {
+        slots.push_back(rebuilt.size());
+        rebuilt.push_back(std::move(bounds));
+      }
+    }
+    analysis_counters().bounds_rebuilds.add(triggers.size());
+    std::sort(rebuilt.begin(), rebuilt.end(),
+              [](const std::vector<sched::ExecBounds>& a,
+                 const std::vector<sched::ExecBounds>& b) {
+                for (std::size_t i = 0; i < a.size(); ++i) {
+                  if (a[i].wcet != b[i].wcet) return a[i].wcet < b[i].wcet;
+                  if (a[i].release_cutoff != b[i].release_cutoff)
+                    return a[i].release_cutoff < b[i].release_cutoff;
+                  if (a[i].bcet != b[i].bcet) return a[i].bcet < b[i].bcet;
+                }
+                return false;
+              });
+    arena.lane_views.resize(rebuilt.size());
+    for (std::size_t p = 0; p < rebuilt.size(); ++p)
+      arena.lane_views[p] = std::span<const sched::ExecBounds>(rebuilt[p]);
   }
-  // Similarity sort: the merge below is a pointwise max over all scenario
-  // results, so the order of unique_scenarios is observationally free.
-  // Sorting the bounds vectors lexicographically clusters scenarios that
-  // differ in few entries (same drop pattern, nearby cutoffs) into adjacent
-  // lanes of the same solve_many() chunk — exactly where the batched
-  // kernel's cross-lane outcome sharing finds its hits.
-  std::sort(unique_scenarios.begin(), unique_scenarios.end(),
-            [](const std::vector<sched::ExecBounds>& a,
-               const std::vector<sched::ExecBounds>& b) {
-              for (std::size_t i = 0; i < a.size(); ++i) {
-                if (a[i].wcet != b[i].wcet) return a[i].wcet < b[i].wcet;
-                if (a[i].release_cutoff != b[i].release_cutoff)
-                  return a[i].release_cutoff < b[i].release_cutoff;
-                if (a[i].bcet != b[i].bcet) return a[i].bcet < b[i].bcet;
-              }
-              return false;
-            });
+
+  const std::size_t unique = arena.lane_views.size();
   analysis_counters().scenarios.add(triggers.size());
-  analysis_counters().dedup_hits.add(triggers.size() -
-                                     unique_scenarios.size());
-  const std::size_t unique = unique_scenarios.size();
+  analysis_counters().dedup_hits.add(triggers.size() - unique);
   result.scenario_solves = 2 + unique;
 
   // The Naive pass runs first and doubles as the warm-start base: every
@@ -262,43 +445,44 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   // backend with warm-start support replays most of the Naive trajectory
   // instead of re-solving it.  solve_capture falls back to a plain solve
   // (null base) on backends without support — observationally identical.
-  std::vector<model::Time> naive_part(n);
+  arena.naive_part.assign(n, 0);
   std::unique_ptr<sched::PreparedAnalysis::WarmBase> warm_base;
   {
     obs::Span span("analysis.solve");
     analysis_counters().solves.add(1);
-    std::vector<sched::ExecBounds> bounds(n);
+    arena.naive_bounds.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      bounds[i] = critical_bounds(task_of(i), system.info[i]);
-      if (drop[apps.task_ref(i).graph]) bounds[i].bcet = 0;
+      arena.naive_bounds[i] = critical_bounds(task_of(i), system.info[i]);
+      if (drop[apps.task_ref(i).graph]) arena.naive_bounds[i].bcet = 0;
     }
-    const auto run = prepared->solve_capture(bounds, warm_base);
+    const auto run = prepared->solve_capture(arena.naive_bounds, warm_base);
     for (std::size_t i = 0; i < n; ++i)
-      naive_part[i] = run.windows[i].max_finish;
+      arena.naive_part[i] = run.windows[i].max_finish;
   }
 
   // Chunked scenario fan-out: the backend's preferred lane width, narrowed
   // so a thread pool still gets one chunk per worker.  Each chunk solves
   // against the shared immutable prepared problem on this worker's
   // thread-local arenas, so the fan-out allocates nothing per scenario in
-  // the kernel.
+  // the kernel; the result slots come from this arena too (the batched
+  // driver finalizes in place, so warmed slots keep their capacity).
   std::size_t width = std::max<std::size_t>(1, prepared->preferred_batch());
   const std::size_t workers =
       pool != nullptr ? std::max<std::size_t>(1, pool->thread_count()) : 1;
   if (workers > 1)
     width = std::min(width, (unique + workers - 1) / workers);
   const std::size_t chunks = (unique + width - 1) / width;
-  std::vector<sched::AnalysisResult> scenario_results(unique);
+  arena.results.resize(unique);
   auto run_chunk = [&](std::size_t chunk) {
     obs::Span span("analysis.solve");
     const std::size_t begin = chunk * width;
     const std::size_t count = std::min(width, unique - begin);
     analysis_counters().solves.add(count);
     prepared->solve_many(
-        std::span<const std::vector<sched::ExecBounds>>(unique_scenarios)
+        std::span<const std::span<const sched::ExecBounds>>(arena.lane_views)
             .subspan(begin, count),
         warm_base.get(),
-        std::span<sched::AnalysisResult>(scenario_results)
+        std::span<sched::AnalysisResult>(arena.results)
             .subspan(begin, count));
   };
   if (pool != nullptr && chunks > 1) {
@@ -308,14 +492,17 @@ McAnalysisResult McAnalysis::analyze(const model::Architecture& arch,
   }
 
   {
-    std::vector<model::Time> scenario_part(n, 0);
-    for (const sched::AnalysisResult& run : scenario_results)
+    arena.scenario_part.assign(n, 0);
+    for (std::size_t k = 0; k < unique; ++k) {
+      const sched::AnalysisResult& run = arena.results[k];
       for (std::size_t i = 0; i < n; ++i)
-        scenario_part[i] =
-            std::max(scenario_part[i], run.windows[i].max_finish);
+        arena.scenario_part[i] =
+            std::max(arena.scenario_part[i], run.windows[i].max_finish);
+    }
     for (std::size_t i = 0; i < n; ++i)
       result.wcrt[i] = std::max(
-          result.wcrt[i], std::min(scenario_part[i], naive_part[i]));
+          result.wcrt[i],
+          std::min(arena.scenario_part[i], arena.naive_part[i]));
   }
 
   // Critical-state verdict from the combined bound: every non-dropped graph

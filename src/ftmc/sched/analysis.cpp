@@ -13,12 +13,21 @@ AnalysisResult PreparedAnalysis::solve_capture(
 }
 
 void PreparedAnalysis::solve_many(
-    std::span<const std::vector<ExecBounds>> scenarios,
+    std::span<const std::span<const ExecBounds>> scenarios,
     const WarmBase* /*base*/, std::span<AnalysisResult> results) const {
   if (scenarios.size() != results.size())
     throw std::invalid_argument("solve_many: scenario/result size mismatch");
   for (std::size_t k = 0; k < scenarios.size(); ++k)
     results[k] = solve(scenarios[k]);
+}
+
+void PreparedAnalysis::solve_many(
+    std::span<const std::vector<ExecBounds>> scenarios, const WarmBase* base,
+    std::span<AnalysisResult> results) const {
+  std::vector<std::span<const ExecBounds>> views(scenarios.begin(),
+                                                 scenarios.end());
+  solve_many(std::span<const std::span<const ExecBounds>>(views), base,
+             results);
 }
 
 model::Time AnalysisResult::graph_wcrt(const model::ApplicationSet& apps,

@@ -123,9 +123,19 @@ class PreparedAnalysis {
   /// solve() once per scenario — warm-starting and batching are
   /// amortizations, never approximations.  Thread-safe like solve();
   /// concurrent callers may share one `base`.
-  virtual void solve_many(std::span<const std::vector<ExecBounds>> scenarios,
-                          const WarmBase* base,
-                          std::span<AnalysisResult> results) const;
+  ///
+  /// Scenarios are views, not owned vectors: callers that build their
+  /// bounds in a contiguous arena (McAnalysis) feed the kernel without an
+  /// intermediate copy per scenario.
+  virtual void solve_many(
+      std::span<const std::span<const ExecBounds>> scenarios,
+      const WarmBase* base, std::span<AnalysisResult> results) const;
+
+  /// Convenience adapter for vector-of-vectors callers (tests, benches):
+  /// wraps each vector in a view and forwards to the virtual overload.
+  void solve_many(std::span<const std::vector<ExecBounds>> scenarios,
+                  const WarmBase* base,
+                  std::span<AnalysisResult> results) const;
 };
 
 /// Abstract backend.  `priorities` ranks tasks globally (flat-aligned,

@@ -712,8 +712,8 @@ std::size_t PreparedProblem::preferred_batch() const {
 }
 
 void PreparedProblem::solve_many(
-    std::span<const std::vector<ExecBounds>> scenarios, const WarmBase* base,
-    std::span<AnalysisResult> results) const {
+    std::span<const std::span<const ExecBounds>> scenarios,
+    const WarmBase* base, std::span<AnalysisResult> results) const {
   if (scenarios.size() != results.size())
     throw std::invalid_argument("solve_many: scenario/result size mismatch");
   if (scenarios.empty()) return;
@@ -733,7 +733,7 @@ void PreparedProblem::solve_many(
 }
 
 void PreparedProblem::solve_batch(
-    std::span<const std::vector<ExecBounds>> scenarios,
+    std::span<const std::span<const ExecBounds>> scenarios,
     const BaseRecord* base, BatchScratch& b,
     std::span<AnalysisResult> results) const {
   if (scenarios.size() != results.size())
@@ -778,7 +778,7 @@ void PreparedProblem::solve_batch(
 
   // Load + validate every lane's bounds (same derivation as load_bounds).
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    const std::vector<ExecBounds>& bounds = scenarios[lane];
+    const std::span<const ExecBounds> bounds = scenarios[lane];
     if (bounds.size() != n_)
       throw std::invalid_argument("HolisticAnalysis: bounds size mismatch");
     for (std::size_t i = 0; i < n_; ++i) {

@@ -206,14 +206,15 @@ class PreparedProblem final : public PreparedAnalysis {
   /// solve_batch() in worklist mode; sweep mode and single cold scenarios
   /// fall back to the scalar path.  Bitwise identical to per-scenario
   /// solve() in every configuration.
-  void solve_many(std::span<const std::vector<ExecBounds>> scenarios,
+  void solve_many(std::span<const std::span<const ExecBounds>> scenarios,
                   const WarmBase* base,
                   std::span<AnalysisResult> results) const override;
+  using PreparedAnalysis::solve_many;
 
   /// The batched SoA driver: solves all scenarios as parallel lanes of one
   /// round loop, each lane warm-started from `base` when non-null.
   /// Requires worklist mode; `results` must match `scenarios` in size.
-  void solve_batch(std::span<const std::vector<ExecBounds>> scenarios,
+  void solve_batch(std::span<const std::span<const ExecBounds>> scenarios,
                    const BaseRecord* base, BatchScratch& scratch,
                    std::span<AnalysisResult> results) const;
 

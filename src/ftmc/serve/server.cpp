@@ -7,17 +7,24 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "ftmc/core/eval_store.hpp"
 #include "ftmc/core/evaluation_cache.hpp"
 #include "ftmc/core/evaluator.hpp"
+#include "ftmc/dse/chromosome.hpp"
+#include "ftmc/dse/decoder.hpp"
 #include "ftmc/hardening/hardening.hpp"
 #include "ftmc/io/text_format.hpp"
 #include "ftmc/obs/json.hpp"
@@ -31,6 +38,7 @@
 #include "ftmc/util/file_io.hpp"
 #include "ftmc/util/hash.hpp"
 #include "ftmc/util/log.hpp"
+#include "ftmc/util/rng.hpp"
 
 namespace ftmc::serve {
 namespace {
@@ -41,11 +49,36 @@ struct ServeCounters {
   obs::Counter bytes_in{"serve.bytes_in"};
   obs::Counter bytes_out{"serve.bytes_out"};
   obs::Counter connections{"serve.connections"};
+  /// Session loops started (TCP connections + fd streams).
+  obs::Counter sessions{"serve.sessions"};
+  /// Requests currently executing in handle() across all sessions.
+  obs::Gauge inflight{"serve.inflight"};
+  obs::Counter batch_requests{"serve.batch.requests"};
+  obs::Counter batch_items{"serve.batch.items"};
 };
 
 ServeCounters& counters() {
   static ServeCounters instance;
   return instance;
+}
+
+/// Names the errnos the accept/poll paths care about; falls back to the
+/// number for everything else (the strerror text is appended either way).
+std::string describe_errno(int err) {
+  const char* name = nullptr;
+  switch (err) {
+    case EINTR: name = "EINTR"; break;
+    case EAGAIN: name = "EAGAIN"; break;
+    case ECONNABORTED: name = "ECONNABORTED"; break;
+    case EMFILE: name = "EMFILE"; break;
+    case ENFILE: name = "ENFILE"; break;
+    case EBADF: name = "EBADF"; break;
+    case EINVAL: name = "EINVAL"; break;
+    default: break;
+  }
+  std::string text = name != nullptr ? std::string(name)
+                                     : "errno " + std::to_string(err);
+  return text + " (" + std::strerror(err) + ")";
 }
 
 /// Echoes the request's "id" (string or number) into the response; absent
@@ -64,9 +97,79 @@ void echo_id(obs::Json& response, const JsonValue* id) {
   }
 }
 
+std::uint64_t read_gene(const JsonValue& item, const char* what,
+                        std::uint64_t max) {
+  if (item.kind != JsonValue::Kind::kNumber)
+    throw std::runtime_error(std::string(what) + " entries must be numbers");
+  const double value = item.number;
+  const auto integral = static_cast<std::uint64_t>(value);
+  if (value < 0 || static_cast<double>(integral) != value || integral > max)
+    throw std::runtime_error(std::string(what) +
+                             " entries must be integers in [0, " +
+                             std::to_string(max) + "]");
+  return integral;
+}
+
+std::vector<std::uint8_t> read_bits(const JsonValue* value,
+                                    const char* what) {
+  if (value == nullptr || value->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(std::string(what) +
+                             " must be an array of 0/1 flags");
+  std::vector<std::uint8_t> bits;
+  bits.reserve(value->array.size());
+  for (const JsonValue& item : value->array)
+    bits.push_back(static_cast<std::uint8_t>(read_gene(item, what, 1)));
+  return bits;
+}
+
+/// params.chromosome wire format — the compact row-per-task form remote DSE
+/// workers assemble without knowing our struct layout:
+///   {"allocation": [0/1 per PE], "keep": [0/1 per graph],
+///    "tasks": [[technique, reexec, active_n, base_pe,
+///               replica_pe0, replica_pe1, replica_pe2, voter_pe], ...]}
+dse::Chromosome read_chromosome(const JsonValue& genes) {
+  if (!genes.is_object())
+    throw std::runtime_error(
+        "params.chromosome must be an object with allocation/keep/tasks");
+  dse::Chromosome chromosome;
+  chromosome.allocation =
+      read_bits(genes.get("allocation"), "params.chromosome.allocation");
+  chromosome.keep = read_bits(genes.get("keep"), "params.chromosome.keep");
+  const JsonValue* tasks = genes.get("tasks");
+  if (tasks == nullptr || tasks->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(
+        "params.chromosome.tasks must be an array of 8-gene rows");
+  chromosome.tasks.reserve(tasks->array.size());
+  for (const JsonValue& row : tasks->array) {
+    if (row.kind != JsonValue::Kind::kArray || row.array.size() != 8)
+      throw std::runtime_error(
+          "params.chromosome.tasks rows must be [technique, reexec, "
+          "active_n, base_pe, replica_pe0..2, voter_pe]");
+    const char* what = "params.chromosome.tasks";
+    dse::TaskGenes task;
+    task.technique =
+        static_cast<dse::TechniqueGene>(read_gene(row.array[0], what, 3));
+    task.reexec = static_cast<std::uint8_t>(
+        read_gene(row.array[1], what, dse::kMaxReexecGene));
+    task.active_n =
+        static_cast<std::uint8_t>(read_gene(row.array[2], what, 3));
+    task.base_pe =
+        static_cast<std::uint16_t>(read_gene(row.array[3], what, 65535));
+    for (std::size_t r = 0; r < dse::kReplicaSlots; ++r)
+      task.replica_pe[r] = static_cast<std::uint16_t>(
+          read_gene(row.array[4 + r], what, 65535));
+    task.voter_pe =
+        static_cast<std::uint16_t>(read_gene(row.array[7], what, 65535));
+    chromosome.tasks.push_back(task);
+  }
+  return chromosome;
+}
+
 }  // namespace
 
-/// Everything expensive about one system, built once at startup.
+/// Everything expensive about one system, built once at startup.  Immutable
+/// while serving except `prepared` (guarded by prepared_mutex) and the
+/// internally synchronized cache/store.
 struct Server::ResidentSystem {
   ResidentSystem(std::string path_in, io::SystemSpec spec_in)
       : path(std::move(path_in)), spec(std::move(spec_in)) {}
@@ -77,10 +180,17 @@ struct Server::ResidentSystem {
   /// Hardened view + priorities for simulate (absent without a candidate).
   std::optional<hardening::HardenedSystem> hardened;
   std::vector<std::uint32_t> priorities;
+  /// The system rendered without its candidate block; params.candidate text
+  /// is appended to this and re-parsed, so inline candidates go through
+  /// exactly the validation and naming the file parser applies.
+  std::string body_text;
+  /// Genotype decoder for params.chromosome (same repair as the GA).
+  std::unique_ptr<dse::Decoder> decoder;
   std::unique_ptr<core::EvaluationCache> cache;  ///< L1 (optional)
   std::unique_ptr<core::EvalStore> store;        ///< L2 (optional)
   std::unique_ptr<core::Evaluator> evaluator;
   /// One prepared simulation problem per requested hyperperiod count.
+  std::mutex prepared_mutex;
   std::map<std::size_t, std::unique_ptr<sim::PreparedSim>> prepared;
 };
 
@@ -90,6 +200,7 @@ Server::Server(ServeOptions options)
       pool_(options_.threads) {
   if (options_.system_paths.empty())
     throw std::runtime_error("serve: no system files given");
+  if (options_.max_connections == 0) options_.max_connections = 1;
   for (const std::string& path : options_.system_paths) {
     for (const auto& loaded : systems_)
       if (loaded->path == path)
@@ -115,6 +226,9 @@ Server::Server(ServeOptions options)
     if (options_.threads != 1) evaluator_options.scenario_pool = &pool_;
     sys->evaluator = std::make_unique<core::Evaluator>(
         sys->spec.arch, sys->spec.apps, backend_, evaluator_options);
+    sys->body_text = io::to_text(sys->spec.arch, sys->spec.apps, nullptr);
+    sys->decoder =
+        std::make_unique<dse::Decoder>(sys->spec.arch, sys->spec.apps);
     if (sys->spec.candidate.has_value()) {
       sys->candidate = *sys->spec.candidate;
       sys->hardened = hardening::apply_hardening(
@@ -144,7 +258,8 @@ bool Server::stopping() const {
   return stop_.load(std::memory_order_relaxed) ||
          (options_.stop_requested && options_.stop_requested()) ||
          (options_.max_requests != 0 &&
-          stats_.requests >= options_.max_requests);
+          stats_.requests.load(std::memory_order_relaxed) >=
+              options_.max_requests);
 }
 
 void Server::flush() {
@@ -165,19 +280,75 @@ Server::ResidentSystem& Server::resident(const JsonValue& root) {
                            "' (not among the paths given at startup)");
 }
 
-obs::Json Server::handle_analyze(ResidentSystem& sys) {
+core::Candidate Server::request_candidate(ResidentSystem& sys,
+                                          const JsonValue& params) {
+  const JsonValue* text = params.get("candidate");
+  const JsonValue* genes = params.get("chromosome");
+  if (text != nullptr && genes != nullptr)
+    throw std::runtime_error(
+        "give either params.candidate or params.chromosome, not both");
+  if (text != nullptr) {
+    if (text->kind != JsonValue::Kind::kString)
+      throw std::runtime_error(
+          "params.candidate must be a string holding a text-format "
+          "`candidate { ... }` block");
+    std::optional<io::SystemSpec> parsed;
+    try {
+      parsed.emplace(io::parse_system_string(sys.body_text + "\n" +
+                                             text->string + "\n"));
+    } catch (const std::exception& error) {
+      throw std::runtime_error(std::string("params.candidate: ") +
+                               error.what());
+    }
+    const io::SystemSpec& combined = *parsed;
+    // The block is parsed against this system's rendered arch/apps; any
+    // text that alters the system itself (extra applications, processors)
+    // must not masquerade as a candidate for the resident evaluator.
+    if (combined.arch.processor_count() !=
+            sys.spec.arch.processor_count() ||
+        combined.apps.graph_count() != sys.spec.apps.graph_count() ||
+        combined.apps.task_count() != sys.spec.apps.task_count())
+      throw std::runtime_error(
+          "params.candidate must contain only a candidate block");
+    if (!combined.candidate.has_value())
+      throw std::runtime_error(
+          "params.candidate contains no candidate block");
+    return *combined.candidate;
+  }
+  if (genes != nullptr) {
+    dse::Chromosome chromosome = read_chromosome(*genes);
+    const dse::ChromosomeShape& shape = sys.decoder->shape();
+    if (!dse::shape_ok(chromosome, shape))
+      throw std::runtime_error(
+          "params.chromosome does not fit system '" + sys.path + "' (" +
+          std::to_string(shape.processors) + " processors, " +
+          std::to_string(shape.graphs) + " applications, " +
+          std::to_string(shape.tasks) + " tasks) or has out-of-range genes");
+    // Content-seeded decode, exactly like the GA: identical genotypes
+    // repair to identical candidates wherever they are evaluated, so a
+    // remote worker and an in-process run agree bitwise (params.seed is
+    // the campaign seed; default 0).
+    util::Rng rng(dse::chromosome_hash(chromosome, params.u64_or("seed", 0)));
+    return sys.decoder->decode(chromosome, rng);
+  }
   if (!sys.candidate.has_value())
     throw std::runtime_error(
-        "the system file has no candidate block; add one or run "
-        "`ftmc optimize` first");
-  if (const auto error = sys.evaluator->structural_error(*sys.candidate);
+        "the system file has no candidate block; pass params.candidate or "
+        "params.chromosome, add one, or run `ftmc optimize` first");
+  return *sys.candidate;
+}
+
+obs::Json Server::handle_analyze(ResidentSystem& sys,
+                                 const JsonValue& params) {
+  const core::Candidate candidate = request_candidate(sys, params);
+  if (const auto error = sys.evaluator->structural_error(candidate);
       !error.empty())
     throw std::runtime_error("candidate invalid: " + error);
   bool cache_hit = false;
   const core::Evaluation evaluation =
-      sys.evaluator->evaluate(*sys.candidate, &cache_hit);
+      sys.evaluator->evaluate(candidate, &cache_hit);
   std::ostringstream out;
-  write_analyze_report(out, sys.spec, *sys.candidate, evaluation);
+  write_analyze_report(out, sys.spec, candidate, evaluation);
   obs::Json result = obs::Json::object();
   result.set("feasible", evaluation.feasible())
       .set("power", evaluation.power)
@@ -189,17 +360,15 @@ obs::Json Server::handle_analyze(ResidentSystem& sys) {
   return result;
 }
 
-obs::Json Server::handle_evaluate(ResidentSystem& sys) {
-  if (!sys.candidate.has_value())
-    throw std::runtime_error(
-        "the system file has no candidate block; add one or run "
-        "`ftmc optimize` first");
-  if (const auto error = sys.evaluator->structural_error(*sys.candidate);
+obs::Json Server::handle_evaluate(ResidentSystem& sys,
+                                  const JsonValue& params) {
+  const core::Candidate candidate = request_candidate(sys, params);
+  if (const auto error = sys.evaluator->structural_error(candidate);
       !error.empty())
     throw std::runtime_error("candidate invalid: " + error);
   bool cache_hit = false;
   const core::Evaluation evaluation =
-      sys.evaluator->evaluate(*sys.candidate, &cache_hit);
+      sys.evaluator->evaluate(candidate, &cache_hit);
   obs::Json wcrt = obs::Json::array();
   for (const model::Time bound : evaluation.graph_wcrt)
     wcrt.push(obs::Json::integer(bound));
@@ -245,11 +414,20 @@ obs::Json Server::handle_simulate(ResidentSystem& sys,
     throw std::runtime_error("params.fault_prob '" + fault_prob +
                              "' is not a number");
 
-  auto& prepared = sys.prepared[mc.hyperperiods];
-  if (prepared == nullptr)
-    prepared = std::make_unique<sim::PreparedSim>(
-        sys.spec.arch, *sys.hardened, sys.candidate->drop, sys.priorities,
-        sim::PrepareOptions{mc.hyperperiods, false});
+  sim::PreparedSim* prepared = nullptr;
+  {
+    // Concurrent sessions may request the same hyperperiod count at once;
+    // the first builds, the rest wait and share.  A PreparedSim is
+    // immutable after construction, so the pointer is safe to use outside
+    // the lock.
+    std::lock_guard lock(sys.prepared_mutex);
+    auto& slot = sys.prepared[mc.hyperperiods];
+    if (slot == nullptr)
+      slot = std::make_unique<sim::PreparedSim>(
+          sys.spec.arch, *sys.hardened, sys.candidate->drop, sys.priorities,
+          sim::PrepareOptions{mc.hyperperiods, false});
+    prepared = slot.get();
+  }
   const sim::MonteCarloResult result =
       sim::monte_carlo_wcrt(*prepared, *sys.hardened, mc, &pool_);
   std::ostringstream out;
@@ -260,6 +438,31 @@ obs::Json Server::handle_simulate(ResidentSystem& sys,
       .set("events_processed", result.events_processed)
       .set("output", out.str());
   return doc;
+}
+
+obs::Json Server::handle_batch(const JsonValue& params) {
+  const JsonValue* items = params.get("requests");
+  if (items == nullptr || items->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error(
+        "params.requests must be an array of request objects");
+  counters().batch_requests.add(1);
+  counters().batch_items.add(items->array.size());
+  std::vector<obs::Json> responses(items->array.size());
+  auto run = [&](std::size_t k) {
+    responses[k] = dispatch(items->array[k], /*allow_batch=*/false);
+  };
+  // Fan the items out across the pool; each response lands in its own slot,
+  // so the result array keeps request order no matter the schedule.
+  if (pool_.thread_count() > 1 && responses.size() > 1) {
+    pool_.parallel_for(responses.size(), run);
+  } else {
+    for (std::size_t k = 0; k < responses.size(); ++k) run(k);
+  }
+  obs::Json list = obs::Json::array();
+  for (obs::Json& response : responses) list.push(std::move(response));
+  return obs::Json::object()
+      .set("count", obs::Json::uinteger(items->array.size()))
+      .set("results", std::move(list));
 }
 
 obs::Json Server::systems_json() const {
@@ -305,29 +508,30 @@ obs::Json Server::stats_json() const {
     systems.push(std::move(entry));
   }
   return obs::Json::object()
-      .set("requests", stats_.requests)
-      .set("errors", stats_.errors)
-      .set("bytes_in", stats_.bytes_in)
-      .set("bytes_out", stats_.bytes_out)
-      .set("connections", stats_.connections)
+      .set("requests", stats_.requests.load(std::memory_order_relaxed))
+      .set("errors", stats_.errors.load(std::memory_order_relaxed))
+      .set("bytes_in", stats_.bytes_in.load(std::memory_order_relaxed))
+      .set("bytes_out", stats_.bytes_out.load(std::memory_order_relaxed))
+      .set("connections",
+           stats_.connections.load(std::memory_order_relaxed))
       .set("systems", std::move(systems));
 }
 
-std::string Server::handle(const std::string& request) {
-  counters().requests.add(1);
-  counters().bytes_in.add(request.size());
-  ++stats_.requests;
-  stats_.bytes_in += request.size();
-
+obs::Json Server::dispatch(const JsonValue& root, bool allow_batch) {
   obs::Json response = obs::Json::object();
   try {
-    const JsonValue root = parse_json(request);
     if (!root.is_object())
       throw std::runtime_error("request must be a JSON object");
     echo_id(response, root.get("id"));
     const std::string method = root.str_or("method", "");
     if (method.empty())
       throw std::runtime_error("request has no \"method\" member");
+
+    static const JsonValue kNoParams{};
+    const JsonValue* params = root.get("params");
+    if (params != nullptr && !params->is_object() && !params->is_null())
+      throw std::runtime_error("\"params\" must be an object");
+    const JsonValue& p = params != nullptr ? *params : kNoParams;
 
     obs::Json result;
     if (method == "ping") {
@@ -339,18 +543,17 @@ std::string Server::handle(const std::string& request) {
       result = stats_json();
     } else if (method == "systems") {
       result = systems_json();
+    } else if (method == "batch") {
+      if (!allow_batch)
+        throw std::runtime_error("batch items may not be \"batch\"");
+      result = handle_batch(p);
     } else if (method == "analyze" || method == "evaluate" ||
                method == "simulate") {
       ResidentSystem& sys = resident(root);
-      static const JsonValue kNoParams{};
-      const JsonValue* params = root.get("params");
-      if (params != nullptr && !params->is_object() && !params->is_null())
-        throw std::runtime_error("\"params\" must be an object");
-      const JsonValue& p = params != nullptr ? *params : kNoParams;
       if (method == "analyze")
-        result = handle_analyze(sys);
+        result = handle_analyze(sys, p);
       else if (method == "evaluate")
-        result = handle_evaluate(sys);
+        result = handle_evaluate(sys, p);
       else
         result = handle_simulate(sys, p);
     } else {
@@ -359,19 +562,39 @@ std::string Server::handle(const std::string& request) {
     response.set("ok", true).set("result", std::move(result));
   } catch (const std::exception& error) {
     counters().errors.add(1);
-    ++stats_.errors;
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
     response.set("ok", false).set("error", error.what());
   }
+  return response;
+}
+
+std::string Server::handle(const std::string& request) {
+  counters().requests.add(1);
+  counters().bytes_in.add(request.size());
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(request.size(), std::memory_order_relaxed);
+  counters().inflight.add(1);
+
+  obs::Json response;
+  try {
+    const JsonValue root = parse_json(request);
+    response = dispatch(root, /*allow_batch=*/true);
+  } catch (const std::exception& error) {
+    counters().errors.add(1);
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    response = obs::Json::object();
+    response.set("ok", false).set("error", error.what());
+  }
+  counters().inflight.add(-1);
 
   std::string text = response.dump();
   counters().bytes_out.add(text.size());
-  stats_.bytes_out += text.size();
+  stats_.bytes_out.fetch_add(text.size(), std::memory_order_relaxed);
   return text;
 }
 
-int Server::serve_fd(int in_fd, int out_fd) {
-  counters().connections.add(1);
-  ++stats_.connections;
+int Server::run_session(int in_fd, int out_fd, bool tcp) {
+  counters().sessions.add(1);
   FrameReader reader(in_fd);
   std::string payload;
   for (;;) {
@@ -381,7 +604,11 @@ int Server::serve_fd(int in_fd, int out_fd) {
       got = reader.read(payload);
     } catch (const ProtocolError& error) {
       // Framing is lost; there is no way to resynchronize the stream.
-      util::log_error("serve: ", error.what());
+      if (tcp) {
+        util::log_warn("serve: dropping connection: ", error.what());
+      } else {
+        util::log_error("serve: ", error.what());
+      }
       return 1;
     }
     if (!got) {
@@ -392,12 +619,23 @@ int Server::serve_fd(int in_fd, int out_fd) {
     try {
       write_frame(out_fd, response);
     } catch (const ProtocolError& error) {
-      util::log_warn("serve: ", error.what());
+      if (tcp) {
+        util::log_warn("serve: dropping connection: ", error.what());
+      } else {
+        util::log_warn("serve: ", error.what());
+      }
       return 1;
     }
   }
-  flush();
   return 0;
+}
+
+int Server::serve_fd(int in_fd, int out_fd) {
+  counters().connections.add(1);
+  stats_.connections.fetch_add(1, std::memory_order_relaxed);
+  const int exit_code = run_session(in_fd, out_fd, /*tcp=*/false);
+  flush();
+  return exit_code;
 }
 
 int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
@@ -411,9 +649,11 @@ int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  const int backlog =
+      static_cast<int>(std::max<std::size_t>(8, options_.max_connections));
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0 ||
-      ::listen(listen_fd, 8) < 0) {
+      ::listen(listen_fd, backlog) < 0) {
     const std::string what = std::strerror(errno);
     ::close(listen_fd);
     throw std::runtime_error("serve: cannot listen on 127.0.0.1:" +
@@ -421,65 +661,127 @@ int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
   }
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  bound_port_ = ntohs(addr.sin_port);
+  bound_port_.store(ntohs(addr.sin_port), std::memory_order_release);
   if (!port_file.empty()) {
     // Atomic write: a client polling the file never reads a partial port.
-    const std::string text = std::to_string(bound_port_) + "\n";
+    const std::string text = std::to_string(bound_port()) + "\n";
     util::write_file_atomic(
         port_file, std::span<const std::uint8_t>(
                        reinterpret_cast<const std::uint8_t*>(text.data()),
                        text.size()));
   }
-  util::log_info("serve: listening on 127.0.0.1:", bound_port_);
+  util::log_info("serve: listening on 127.0.0.1:", bound_port(),
+                 " (max ", options_.max_connections,
+                 " concurrent connections)");
+
+  // One dedicated thread per accepted connection.  Only this acceptor
+  // thread mutates the session list or closes a session fd (always after
+  // joining its thread), so a kernel-reused fd can never be shut down by
+  // mistake; sessions just flag `done` and bump the slot count.
+  struct TcpSession {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::list<TcpSession> sessions;
+  std::mutex sessions_mutex;
+  std::condition_variable sessions_cv;
+  std::size_t active = 0;
+
+  auto reap_finished = [&] {
+    std::list<TcpSession> finished;
+    {
+      std::lock_guard lock(sessions_mutex);
+      for (auto it = sessions.begin(); it != sessions.end();) {
+        auto next = std::next(it);
+        if (it->done.load(std::memory_order_acquire))
+          finished.splice(finished.end(), sessions, it);
+        it = next;
+      }
+    }
+    for (TcpSession& session : finished) {
+      session.thread.join();
+      ::close(session.fd);
+    }
+  };
 
   int exit_code = 0;
   while (!stopping()) {
+    reap_finished();
+    {
+      std::unique_lock lock(sessions_mutex);
+      if (active >= options_.max_connections) {
+        // Backpressure: at the cap, stop accepting; pending clients wait
+        // in the listen backlog until a session frees the slot (or until
+        // the periodic timeout re-checks stopping()).
+        sessions_cv.wait_for(lock, std::chrono::milliseconds(200),
+                             [&] { return active < options_.max_connections; });
+        continue;
+      }
+    }
     pollfd poll_fd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&poll_fd, 1, 200);
     if (ready < 0) {
       if (errno == EINTR) continue;  // signal: re-check stopping()
-      util::log_error("serve: poll failed: ", std::strerror(errno));
+      util::log_error("serve: poll failed: ", describe_errno(errno));
       exit_code = 1;
       break;
     }
     if (ready == 0) continue;  // timeout: re-check stopping()
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) {
-      if (errno == EINTR) continue;
-      util::log_error("serve: accept failed: ", std::strerror(errno));
+      const int err = errno;
+      // Transient per-connection failures (aborted handshake, signal,
+      // spurious wakeup) must not end the serve loop.
+      if (err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+          err == EWOULDBLOCK) {
+        util::log_warn("serve: accept: ", describe_errno(err),
+                       ", retrying");
+        continue;
+      }
+      util::log_error("serve: accept failed: ", describe_errno(err));
       exit_code = 1;
       break;
     }
     counters().connections.add(1);
-    ++stats_.connections;
-    FrameReader reader(conn_fd);
-    std::string payload;
-    for (;;) {
-      if (stopping()) break;
-      bool got = false;
-      try {
-        got = reader.read(payload);
-      } catch (const ProtocolError& error) {
-        util::log_warn("serve: dropping connection: ", error.what());
-        break;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(sessions_mutex);
+    sessions.emplace_back();
+    TcpSession& session = sessions.back();
+    session.fd = conn_fd;
+    ++active;
+    session.thread = std::thread([this, &session, &sessions_mutex,
+                                  &sessions_cv, &active] {
+      (void)run_session(session.fd, session.fd, /*tcp=*/true);
+      {
+        std::lock_guard session_lock(sessions_mutex);
+        --active;
       }
-      if (!got) {
-        if (reader.was_interrupted()) continue;
-        break;
-      }
-      const std::string response = handle(payload);
-      try {
-        write_frame(conn_fd, response);
-      } catch (const ProtocolError& error) {
-        util::log_warn("serve: dropping connection: ", error.what());
-        break;
-      }
-    }
-    ::close(conn_fd);
+      session.done.store(true, std::memory_order_release);
+      sessions_cv.notify_one();
+    });
   }
   ::close(listen_fd);
+
+  // Graceful drain: half-close every live session so its blocking read
+  // returns EOF; in-flight requests finish and their responses still go
+  // out on the intact write side.  Then join and close everything.
+  {
+    std::lock_guard lock(sessions_mutex);
+    for (TcpSession& session : sessions)
+      if (!session.done.load(std::memory_order_acquire))
+        ::shutdown(session.fd, SHUT_RD);
+  }
+  for (TcpSession& session : sessions) {
+    session.thread.join();
+    ::close(session.fd);
+  }
   flush();
-  util::log_info("serve: drained after ", stats_.requests, " requests");
+  util::log_info("serve: drained after ",
+                 stats_.requests.load(std::memory_order_relaxed),
+                 " requests on ",
+                 stats_.connections.load(std::memory_order_relaxed),
+                 " connections");
   return exit_code;
 }
 

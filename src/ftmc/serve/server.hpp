@@ -9,11 +9,27 @@
 // ThreadPool — then answers analyze/simulate/evaluate requests over the
 // length-prefixed JSONL protocol of protocol.hpp, on stdio or a TCP socket.
 //
-// Requests are handled one at a time, in order; the resident thread pool
-// fans each request out internally (transition scenarios, Monte-Carlo
-// profiles), so responses stream back in request order and every "output"
-// field is byte-identical to the corresponding one-shot CLI stdout (pinned
-// by tests/test_serve.cpp and the CI smoke job).
+// Concurrency model (see DESIGN.md "Serving" for the full rules):
+//
+//  - serve_tcp accepts up to `max_connections` concurrent connections; each
+//    gets a dedicated session thread that reads frames, handles each request
+//    inline, and writes the response before the next read — so pipelined
+//    requests on one connection always answer in order.  At the connection
+//    cap the acceptor simply stops accepting (backpressure: further clients
+//    queue in the listen backlog) until a session ends.
+//  - Resident state is shared read-mostly: systems/evaluators/decoders are
+//    immutable after startup, the L1 cache and L2 store are internally
+//    synchronized, the per-system PreparedSim map is guarded by a mutex,
+//    and the thread pool is shared for intra-request fan-out (transition
+//    scenarios, Monte-Carlo profiles, batch items).
+//  - Graceful drain quiesces *all* sessions: a shutdown request or
+//    stop_requested() stops the acceptor, half-closes every session socket
+//    (SHUT_RD), lets in-flight responses finish writing, joins the session
+//    threads, and flushes the stores.
+//
+// Every "output" field stays byte-identical to the corresponding one-shot
+// CLI stdout regardless of concurrency (pinned by tests/test_serve.cpp and
+// the CI smoke job).
 //
 // Request:   {"id": <string|number>, "method": "<name>",
 //             "system": "<path as loaded>",   // optional with one system
@@ -23,8 +39,14 @@
 //
 // Methods: ping, systems, analyze, evaluate, simulate
 //          (params: profiles, fault_prob as a STRING, seed, hyperperiods),
-//          stats, shutdown.  A malformed request fails that one request
-//          (ok:false), never the server; a broken *frame* ends the stream.
+//          stats, batch (params.requests = array of request objects, fanned
+//          out across the pool, results in request order), shutdown.
+//          analyze/evaluate accept an inline candidate instead of the
+//          resident one: params.candidate (a text-format `candidate {...}`
+//          block) or params.chromosome (a GA genotype, decoded and repaired
+//          exactly like the in-process GA) — the entry point for remote DSE
+//          workers.  A malformed request fails that one request (ok:false),
+//          never the server; a broken *frame* ends that stream only.
 #pragma once
 
 #include <atomic>
@@ -39,6 +61,10 @@
 
 namespace ftmc::obs {
 class Json;
+}
+
+namespace ftmc::core {
+struct Candidate;
 }
 
 namespace ftmc::serve {
@@ -58,6 +84,9 @@ struct ServeOptions {
   bool enable_cache = true;
   /// Stop after this many requests (0 = unlimited; CI/test aid).
   std::size_t max_requests = 0;
+  /// Concurrent TCP sessions served at once (minimum 1).  Further clients
+  /// wait in the listen backlog until a session ends (backpressure).
+  std::size_t max_connections = 8;
   /// WCRT-kernel toggles, same as the one-shot commands.
   sched::HolisticAnalysis::Options kernel;
   /// Polled between requests/accepts; true requests a graceful drain
@@ -65,12 +94,14 @@ struct ServeOptions {
   std::function<bool()> stop_requested;
 };
 
+/// Aggregate request statistics; atomics because sessions record them
+/// concurrently (relaxed — they are monotone tallies, never coordination).
 struct ServeStats {
-  std::uint64_t requests = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
-  std::uint64_t connections = 0;
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> connections{0};
 };
 
 class Server {
@@ -85,7 +116,8 @@ class Server {
 
   /// Handles one request document and returns the response document (the
   /// protocol framing is the caller's job).  Never throws on bad requests —
-  /// those produce ok:false responses.
+  /// those produce ok:false responses.  Thread-safe: sessions call this
+  /// concurrently.
   std::string handle(const std::string& request);
 
   /// Serves frames from `in_fd` to `out_fd` (stdio mode: 0/1) until EOF,
@@ -93,12 +125,16 @@ class Server {
   int serve_fd(int in_fd, int out_fd);
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral), optionally writes the bound
-  /// port to `port_file` (atomically, for CI rendezvous), and serves
-  /// connections one at a time until shutdown/stop_requested.
+  /// port to `port_file` (atomically, for CI rendezvous), and serves up to
+  /// max_connections concurrent sessions until shutdown/stop_requested,
+  /// then drains them all.
   int serve_tcp(std::uint16_t port, const std::string& port_file);
 
-  /// Port bound by serve_tcp (0 before bind).
-  std::uint16_t bound_port() const noexcept { return bound_port_; }
+  /// Port bound by serve_tcp (0 before bind; atomic so another thread can
+  /// poll it while serve_tcp runs).
+  std::uint16_t bound_port() const noexcept {
+    return bound_port_.load(std::memory_order_acquire);
+  }
 
   /// True once a shutdown request or stop_requested() drain began.
   bool stopping() const;
@@ -112,9 +148,20 @@ class Server {
   struct ResidentSystem;
 
   ResidentSystem& resident(const JsonValue& root);
-  obs::Json handle_analyze(ResidentSystem& sys);
-  obs::Json handle_evaluate(ResidentSystem& sys);
+  /// Envelope-level dispatch shared by handle() and batch items: returns a
+  /// complete {"id", "ok", ...} response document and never throws.
+  obs::Json dispatch(const JsonValue& root, bool allow_batch);
+  obs::Json handle_batch(const JsonValue& params);
+  obs::Json handle_analyze(ResidentSystem& sys, const JsonValue& params);
+  obs::Json handle_evaluate(ResidentSystem& sys, const JsonValue& params);
   obs::Json handle_simulate(ResidentSystem& sys, const JsonValue& params);
+  /// The candidate a request refers to: inline params.candidate (text
+  /// block) or params.chromosome (decoded genotype), else the resident one.
+  core::Candidate request_candidate(ResidentSystem& sys,
+                                    const JsonValue& params);
+  /// One session: read frame -> handle inline -> write response, until
+  /// EOF/stop.  Shared by serve_fd and every TCP session thread.
+  int run_session(int in_fd, int out_fd, bool tcp);
   obs::Json stats_json() const;
   obs::Json systems_json() const;
 
@@ -123,7 +170,7 @@ class Server {
   util::ThreadPool pool_;
   std::vector<std::unique_ptr<ResidentSystem>> systems_;
   std::atomic<bool> stop_{false};
-  std::uint16_t bound_port_ = 0;
+  std::atomic<std::uint16_t> bound_port_{0};
   ServeStats stats_;
 };
 

@@ -216,4 +216,55 @@ TEST(KernelFuzz, FourBackendsBitwiseIdentical) {
 #endif
 }
 
+// The allocation-free arena construction (sparse edits over the all-critical
+// template, dedup on edit slices, contiguous lane materialization) must be a
+// pure transport optimization: on every random input, both Proposed and
+// Naive results are bitwise identical to the straightforward
+// build-a-vector-per-scenario path, with the same solve counts.
+TEST(KernelFuzz, ArenaAndRebuildConstructionBitwiseIdentical) {
+  const std::size_t iters = env_size("FTMC_FUZZ_ITERS", 40);
+  const std::uint64_t base_seed = env_u64("FTMC_FUZZ_SEED", 2024);
+  util::ThreadPool pool(4);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = base_seed + iter;
+    SCOPED_TRACE("iteration " + std::to_string(iter) + ", seed " +
+                 std::to_string(seed) + " (rerun just this input with " +
+                 "FTMC_FUZZ_SEED=" + std::to_string(seed) +
+                 " FTMC_FUZZ_ITERS=1)");
+    util::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 2);
+    const benchmarks::Benchmark benchmark = random_benchmark(rng);
+    const CandidateFixture fx = make_candidate(benchmark, rng);
+
+    sched::HolisticAnalysis::Options regime;
+    regime.bus_contention = rng.chance(0.5);
+    regime.precedence_aware = rng.chance(0.8);
+    const BackendArms arms(regime, 2 + rng.index(7));
+
+    const core::McAnalysis arena(arms.warm_batch);
+    const core::McAnalysis rebuild(
+        arms.warm_batch, sched::PriorityPolicy::kRateMonotonic,
+        core::McAnalysis::Construction::kRebuild);
+    util::ThreadPool* maybe_pool = rng.chance(0.5) ? &pool : nullptr;
+    for (const auto mode : {core::McAnalysis::Mode::kProposed,
+                            core::McAnalysis::Mode::kNaive}) {
+      SCOPED_TRACE(mode == core::McAnalysis::Mode::kProposed ? "proposed"
+                                                             : "naive");
+      const auto reference = rebuild.analyze(
+          benchmark.arch, fx.system, fx.candidate.drop, mode, maybe_pool);
+      const auto arena_result = arena.analyze(
+          benchmark.arch, fx.system, fx.candidate.drop, mode, maybe_pool);
+      expect_same_mc_result(reference, arena_result);
+      EXPECT_EQ(reference.scenario_solves, arena_result.scenario_solves);
+    }
+    if (::testing::Test::HasFailure()) break;  // one seed is enough to debug
+  }
+
+#if !defined(FTMC_OBS_DISABLED)
+  // Both construction paths must actually have run.
+  const obs::MetricsSnapshot snapshot = obs::snapshot();
+  EXPECT_GT(snapshot.value_of("analysis.bounds_edits"), 0u);
+  EXPECT_GT(snapshot.value_of("analysis.bounds_rebuilds"), 0u);
+#endif
+}
+
 }  // namespace

@@ -8,17 +8,27 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "ftmc/core/eval_store.hpp"
 #include "ftmc/core/evaluator.hpp"
+#include "ftmc/dse/chromosome.hpp"
+#include "ftmc/dse/decoder.hpp"
 #include "ftmc/hardening/hardening.hpp"
 #include "ftmc/io/text_format.hpp"
+#include "ftmc/obs/json.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sched/priority.hpp"
 #include "ftmc/serve/json_parse.hpp"
@@ -27,6 +37,7 @@
 #include "ftmc/sim/monte_carlo.hpp"
 #include "ftmc/util/file_io.hpp"
 #include "ftmc/util/hash.hpp"
+#include "ftmc/util/rng.hpp"
 #include "helpers.hpp"
 
 namespace {
@@ -359,6 +370,427 @@ TEST(Server, RejectsDuplicateSystems) {
   ServeOptions options;
   options.system_paths = {path, path};
   EXPECT_THROW(Server server(std::move(options)), std::runtime_error);
+}
+
+// --- Concurrent TCP serving -------------------------------------------------
+
+/// One TCP connection speaking the framed protocol.
+struct TcpClient {
+  int fd = -1;
+  std::unique_ptr<FrameReader> reader;
+
+  explicit TcpClient(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+      return;
+    }
+    reader = std::make_unique<FrameReader>(fd);
+  }
+  ~TcpClient() { close(); }
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  void send(const std::string& request) { serve::write_frame(fd, request); }
+  /// Next response, or "" on EOF.
+  std::string recv() {
+    std::string payload;
+    if (!reader->read(payload)) return "";
+    return payload;
+  }
+  std::string call(const std::string& request) {
+    send(request);
+    return recv();
+  }
+};
+
+/// A Server running serve_tcp on its own thread (ephemeral port).
+struct TcpServer {
+  Server server;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit TcpServer(ServeOptions options) : server(std::move(options)) {
+    thread = std::thread([this] { exit_code = server.serve_tcp(0, ""); });
+    while (server.bound_port() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ~TcpServer() {
+    if (thread.joinable()) shutdown_and_join();
+  }
+  std::uint16_t port() const { return server.bound_port(); }
+  int shutdown_and_join() {
+    // Through handle() directly: works even when every connection slot is
+    // occupied (handle is thread-safe; the acceptor polls stopping()).
+    if (!server.stopping())
+      (void)server.handle(R"({"method": "shutdown"})");
+    thread.join();
+    return exit_code;
+  }
+};
+
+/// First evaluate/analyze per server misses the cache; warming both the
+/// server under test and the serial reference makes cache_hit (and thus the
+/// response bytes) independent of which concurrent request lands first.
+void warm(Server& server) {
+  (void)server.handle(R"({"id": "warm-a", "method": "analyze"})");
+  (void)server.handle(R"({"id": "warm-e", "method": "evaluate"})");
+  (void)server.handle(
+      R"({"id": "warm-s", "method": "simulate",)"
+      R"( "params": {"profiles": 20, "fault_prob": "0.25", "seed": 9}})");
+}
+
+TEST(Server, TcpConcurrentMixedStreamsMatchSerialReference) {
+  const std::string path = write_demo_system("tcp_concurrent");
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  static const char* const kMethods[] = {"analyze", "evaluate", "ping",
+                                         "simulate"};
+
+  std::vector<std::vector<std::string>> requests(kClients);
+  for (int c = 0; c < kClients; ++c)
+    for (int i = 0; i < kRequests; ++i) {
+      const char* method = kMethods[(c + i) % 4];  // mixed, offset per client
+      std::string request = R"({"id": "c)" + std::to_string(c) + "-" +
+                            std::to_string(i) + R"(", "method": ")" + method +
+                            "\"";
+      if (std::string(method) == "simulate")
+        request +=
+            R"(, "params": {"profiles": 20, "fault_prob": "0.25", "seed": 9})";
+      requests[c].push_back(request + "}");
+    }
+
+  // Byte-exact expectations from a warmed serial server.
+  Server reference(demo_options(path));
+  warm(reference);
+  std::vector<std::vector<std::string>> expected(kClients);
+  for (int c = 0; c < kClients; ++c)
+    for (const std::string& request : requests[c])
+      expected[c].push_back(reference.handle(request));
+
+  ServeOptions options = demo_options(path);
+  options.max_connections = kClients;
+  TcpServer tcp(std::move(options));
+  warm(tcp.server);
+
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      TcpClient client(tcp.port());
+      ASSERT_GE(client.fd, 0);
+      for (const std::string& request : requests[c])
+        got[c].push_back(client.call(request));
+    });
+  for (std::thread& client : clients) client.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), expected[c].size());
+    for (int i = 0; i < kRequests; ++i)
+      EXPECT_EQ(got[c][i], expected[c][i]) << "client " << c << " request "
+                                           << i;
+  }
+  EXPECT_EQ(tcp.shutdown_and_join(), 0);
+}
+
+TEST(Server, TcpPipelinedRequestsAnswerInOrder) {
+  const std::string path = write_demo_system("tcp_pipeline");
+  TcpServer tcp(demo_options(path));
+  TcpClient client(tcp.port());
+  ASSERT_GE(client.fd, 0);
+  constexpr int kFrames = 8;
+  // All frames written before any response is read: the session must still
+  // answer strictly in request order.
+  for (int i = 0; i < kFrames; ++i)
+    client.send(R"({"id": )" + std::to_string(i) +
+                R"(, "method": ")" + (i % 2 == 0 ? "ping" : "evaluate") +
+                "\"}");
+  for (int i = 0; i < kFrames; ++i) {
+    const JsonValue root = parse_json(client.recv());
+    EXPECT_TRUE(root.bool_or("ok", false));
+    EXPECT_EQ(root.u64_or("id", ~0ULL), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(tcp.shutdown_and_join(), 0);
+}
+
+TEST(Server, TcpBackpressureStillServesQueuedConnections) {
+  const std::string path = write_demo_system("tcp_backpressure");
+  ServeOptions options = demo_options(path);
+  options.max_connections = 1;
+  TcpServer tcp(std::move(options));
+
+  auto first = std::make_unique<TcpClient>(tcp.port());
+  ASSERT_GE(first->fd, 0);
+  EXPECT_TRUE(expect_ok(first->call(R"({"id": 1, "method": "ping"})"))
+                  .bool_or("pong", false));
+
+  // At the cap the acceptor stops accepting; the second connection sits in
+  // the listen backlog with its request already written...
+  TcpClient second(tcp.port());
+  ASSERT_GE(second.fd, 0);
+  second.send(R"({"id": 2, "method": "ping"})");
+
+  // ...and is served as soon as the first connection ends.
+  first->close();
+  EXPECT_TRUE(expect_ok(second.recv()).bool_or("pong", false));
+  EXPECT_EQ(tcp.shutdown_and_join(), 0);
+}
+
+TEST(Server, ShutdownDrainsPipelinedRequestsInFlight) {
+  const std::string path = write_demo_system("tcp_drain");
+  TcpServer tcp(demo_options(path));
+  TcpClient client(tcp.port());
+  ASSERT_GE(client.fd, 0);
+  // Everything up to and including the shutdown answers; later frames are
+  // dropped by the drain (the session stops reading, not mid-response).
+  client.send(R"({"id": 0, "method": "ping"})");
+  client.send(R"({"id": 1, "method": "shutdown"})");
+  client.send(R"({"id": 2, "method": "ping"})");
+  client.send(R"({"id": 3, "method": "ping"})");
+  EXPECT_TRUE(expect_ok(client.recv()).bool_or("pong", false));
+  EXPECT_TRUE(expect_ok(client.recv()).bool_or("stopping", false));
+  EXPECT_EQ(client.recv(), "");  // EOF: drained, not answered
+  EXPECT_EQ(tcp.shutdown_and_join(), 0);
+}
+
+// --- batch ------------------------------------------------------------------
+
+TEST(Server, BatchFansOutAndPreservesRequestOrder) {
+  const std::string path = write_demo_system("batch");
+  Server server(demo_options(path));
+  warm(server);
+
+  const std::string ping = R"({"id": "b0", "method": "ping"})";
+  const std::string evaluate = R"({"id": "b1", "method": "evaluate"})";
+  const std::string analyze = R"({"id": "b2", "method": "analyze"})";
+  const JsonValue expected_evaluate = expect_ok(server.handle(evaluate));
+  const JsonValue expected_analyze = expect_ok(server.handle(analyze));
+
+  const std::string batch =
+      R"({"id": "batch", "method": "batch", "params": {"requests": [)" +
+      ping + "," + evaluate + "," + analyze + "]}}";
+  const JsonValue result = expect_ok(server.handle(batch));
+  EXPECT_EQ(result.u64_or("count", 0), 3u);
+  const JsonValue* results = result.get("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 3u);
+
+  EXPECT_EQ(results->array[0].str_or("id", ""), "b0");
+  EXPECT_TRUE(results->array[0].bool_or("ok", false));
+  EXPECT_EQ(results->array[1].str_or("id", ""), "b1");
+  EXPECT_EQ(results->array[1].get("result")->num_or("power", -1.0),
+            expected_evaluate.num_or("power", -2.0));
+  EXPECT_EQ(results->array[2].str_or("id", ""), "b2");
+  EXPECT_EQ(results->array[2].get("result")->str_or("output", "a"),
+            expected_analyze.str_or("output", "b"));
+
+  // A failing item fails that item only, and nested batches are rejected.
+  const std::string mixed =
+      R"({"method": "batch", "params": {"requests": [)"
+      R"({"id": "x", "method": "frobnicate"},)" +
+      ping +
+      R"(, {"id": "n", "method": "batch", "params": {"requests": []}}]}})";
+  const JsonValue partial = expect_ok(server.handle(mixed));
+  ASSERT_EQ(partial.get("results")->array.size(), 3u);
+  EXPECT_FALSE(partial.get("results")->array[0].bool_or("ok", true));
+  EXPECT_TRUE(partial.get("results")->array[1].bool_or("ok", false));
+  EXPECT_NE(partial.get("results")->array[2].str_or("error", "").find(
+                "batch"),
+            std::string::npos);
+}
+
+// --- inline candidates ------------------------------------------------------
+
+/// The file's own candidate block, verbatim (to_text appends it after the
+/// architecture/application body).
+std::string candidate_block(const io::SystemSpec& spec) {
+  const std::string body = io::to_text(spec.arch, spec.apps, nullptr);
+  const std::string full =
+      io::to_text(spec.arch, spec.apps, &*spec.candidate);
+  EXPECT_EQ(full.compare(0, body.size(), body), 0);
+  return full.substr(body.size());
+}
+
+TEST(Server, InlineCandidateMatchesResidentEvaluate) {
+  const std::string path = write_demo_system("inline_candidate");
+  Server server(demo_options(path));
+  const io::SystemSpec spec = io::parse_system_file(path);
+
+  const JsonValue resident =
+      expect_ok(server.handle(R"({"id": 1, "method": "evaluate"})"));
+  const std::string request =
+      obs::Json::object()
+          .set("id", "inline")
+          .set("method", "evaluate")
+          .set("params",
+               obs::Json::object().set("candidate", candidate_block(spec)))
+          .dump();
+  const JsonValue inline_result = expect_ok(server.handle(request));
+
+  EXPECT_EQ(inline_result.num_or("power", -1.0),
+            resident.num_or("power", -2.0));
+  EXPECT_EQ(inline_result.num_or("service", -1.0),
+            resident.num_or("service", -2.0));
+  EXPECT_EQ(inline_result.bool_or("feasible", false),
+            resident.bool_or("feasible", true));
+  ASSERT_EQ(inline_result.get("graph_wcrt")->array.size(),
+            resident.get("graph_wcrt")->array.size());
+  for (std::size_t g = 0; g < resident.get("graph_wcrt")->array.size(); ++g)
+    EXPECT_EQ(inline_result.get("graph_wcrt")->array[g].number,
+              resident.get("graph_wcrt")->array[g].number);
+
+  // The analyze rendering is equally candidate-driven: inline == resident.
+  const JsonValue analyzed =
+      expect_ok(server.handle(R"({"id": 2, "method": "analyze"})"));
+  const std::string analyze_inline =
+      obs::Json::object()
+          .set("id", "ia")
+          .set("method", "analyze")
+          .set("params",
+               obs::Json::object().set("candidate", candidate_block(spec)))
+          .dump();
+  EXPECT_EQ(expect_ok(server.handle(analyze_inline)).str_or("output", "x"),
+            analyzed.str_or("output", "y"));
+}
+
+TEST(Server, InlineCandidateServesSystemsWithoutACandidateBlock) {
+  const model::Architecture arch = fixtures::test_arch(2);
+  const model::ApplicationSet apps = fixtures::small_mixed_apps();
+  const std::string path = ::testing::TempDir() + "ftmc_serve_bare.ftmc";
+  {
+    std::ofstream out(path);
+    io::write_system(out, arch, apps, nullptr);
+  }
+  Server server(demo_options(path));
+  // Without params the request fails and the error names the way out.
+  EXPECT_NE(expect_error(server.handle(R"({"method": "evaluate"})"))
+                .find("params.candidate"),
+            std::string::npos);
+
+  const core::Candidate candidate = fixtures::plain_candidate(arch, apps);
+  const std::string block = candidate_block(
+      io::SystemSpec{arch, apps, candidate});
+  const std::string request =
+      obs::Json::object()
+          .set("id", 1)
+          .set("method", "evaluate")
+          .set("params", obs::Json::object().set("candidate", block))
+          .dump();
+  const JsonValue result = expect_ok(server.handle(request));
+  EXPECT_GT(result.num_or("power", 0.0), 0.0);
+}
+
+TEST(Server, ChromosomeEvaluateMatchesInProcessDecode) {
+  const std::string path = write_demo_system("chromosome");
+  Server server(demo_options(path));
+  const io::SystemSpec spec = io::parse_system_file(path);
+
+  const dse::Decoder decoder(spec.arch, spec.apps);
+  util::Rng rng(42);
+  const dse::Chromosome chromosome =
+      dse::random_chromosome(decoder.shape(), rng);
+
+  // Reference: decode exactly as the GA would with campaign seed 7 —
+  // content-seeded RNG over the *undecoded* genotype — then evaluate.
+  dse::Chromosome repaired = chromosome;
+  util::Rng decode_rng(dse::chromosome_hash(chromosome, 7));
+  const core::Candidate expected_candidate =
+      decoder.decode(repaired, decode_rng);
+  const sched::HolisticAnalysis backend;
+  const core::Evaluator evaluator(spec.arch, spec.apps, backend);
+  const core::Evaluation expected = evaluator.evaluate(expected_candidate);
+
+  obs::Json allocation = obs::Json::array();
+  for (const std::uint8_t bit : chromosome.allocation)
+    allocation.push(obs::Json::integer(bit));
+  obs::Json keep = obs::Json::array();
+  for (const std::uint8_t bit : chromosome.keep)
+    keep.push(obs::Json::integer(bit));
+  obs::Json tasks = obs::Json::array();
+  for (const dse::TaskGenes& task : chromosome.tasks) {
+    obs::Json row = obs::Json::array();
+    row.push(obs::Json::integer(static_cast<int>(task.technique)));
+    row.push(obs::Json::integer(task.reexec));
+    row.push(obs::Json::integer(task.active_n));
+    row.push(obs::Json::integer(task.base_pe));
+    for (const std::uint16_t pe : task.replica_pe)
+      row.push(obs::Json::integer(pe));
+    row.push(obs::Json::integer(task.voter_pe));
+    tasks.push(std::move(row));
+  }
+  const std::string request =
+      obs::Json::object()
+          .set("id", "chromosome")
+          .set("method", "evaluate")
+          .set("params", obs::Json::object()
+                             .set("seed", 7)
+                             .set("chromosome",
+                                  obs::Json::object()
+                                      .set("allocation", std::move(allocation))
+                                      .set("keep", std::move(keep))
+                                      .set("tasks", std::move(tasks))))
+          .dump();
+  const JsonValue result = expect_ok(server.handle(request));
+
+  EXPECT_EQ(result.bool_or("feasible", !expected.feasible()),
+            expected.feasible());
+  EXPECT_EQ(result.num_or("power", -1.0), expected.power);
+  EXPECT_EQ(result.num_or("service", -1.0), expected.service);
+  ASSERT_EQ(result.get("graph_wcrt")->array.size(),
+            expected.graph_wcrt.size());
+  for (std::size_t g = 0; g < expected.graph_wcrt.size(); ++g)
+    EXPECT_EQ(static_cast<model::Time>(
+                  result.get("graph_wcrt")->array[g].number),
+              expected.graph_wcrt[g]);
+}
+
+TEST(Server, CandidateParameterErrorPaths) {
+  const std::string path = write_demo_system("candidate_errors");
+  Server server(demo_options(path));
+  EXPECT_NE(
+      expect_error(server.handle(
+                       R"({"method": "evaluate", "params":)"
+                       R"( {"candidate": "x", "chromosome": {}}})"))
+          .find("not both"),
+      std::string::npos);
+  EXPECT_NE(expect_error(server.handle(
+                             R"({"method": "evaluate", "params":)"
+                             R"( {"candidate": 17}})"))
+                .find("must be a string"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle(
+                             R"({"method": "evaluate", "params":)"
+                             R"( {"candidate": "garbage {{{"}})"))
+                .find("params.candidate"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle(
+                             R"({"method": "evaluate", "params":)"
+                             R"( {"candidate": ""}})"))
+                .find("no candidate block"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle(
+                             R"({"method": "analyze", "params":)"
+                             R"( {"chromosome": {"allocation": [1],)"
+                             R"( "keep": [1], "tasks": []}}})"))
+                .find("does not fit"),
+            std::string::npos);
+  EXPECT_NE(expect_error(server.handle(
+                             R"({"method": "analyze", "params":)"
+                             R"( {"chromosome": {"allocation": [1, 1],)"
+                             R"( "keep": [1], "tasks": [[0, 1]]}}})"))
+                .find("rows must be"),
+            std::string::npos);
+  // The server still answers normally afterwards.
+  EXPECT_TRUE(expect_ok(server.handle(R"({"method": "ping"})"))
+                  .bool_or("pong", false));
 }
 
 }  // namespace

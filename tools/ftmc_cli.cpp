@@ -71,6 +71,7 @@ int usage() {
       "            [--stdio]  (serve fds 0/1 instead of TCP)\n"
       "            [--also=FILE,...]  (additional resident systems)\n"
       "            [--cache-dir=DIR] [--no-cache] [--max-requests=N]\n"
+      "            [--max-connections=N]  (concurrent TCP sessions, def. 8)\n"
       "            [--threads=N] [--no-warm-start] [--scenario-batch=N]\n"
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
@@ -444,6 +445,7 @@ int cmd_serve(int argc, char** argv) {
   options.cache_dir = parser.str("cache-dir", "");
   options.enable_cache = !parser.flag("no-cache");
   options.max_requests = parser.size("max-requests", 0);
+  options.max_connections = parser.size("max-connections", 8);
   options.kernel = parse_kernel_options(parser);
   const bool stdio = parser.flag("stdio");
   const auto port = static_cast<std::uint16_t>(parser.u64("port", 0));

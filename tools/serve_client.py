@@ -19,9 +19,17 @@ Modes (one required):
                         runs of the same binary — the serve responses must
                         be bitwise identical to the CLI.
 
-CI runs `--smoke 50 --diff` against the shipped demo system (see
-.github/workflows/ci.yml); tests/test_serve.cpp pins the same byte-identity
-in-process.
+With --concurrency N (smoke mode), N client threads each open their own
+connection and send the N_req mixed requests concurrently — including
+periodic `batch` requests and `evaluate` calls carrying the system's own
+candidate block inline via params.candidate (which must answer identically
+to the resident-candidate evaluate).  Per-request latencies are aggregated
+into p50/p95 and an overall request rate; --diff byte-compares exactly as
+in the serial mode, so concurrency must not change a single output byte.
+
+CI runs `--smoke 50 --diff` serially and `--smoke 16 --concurrency 8
+--diff` against the shipped demo system (see .github/workflows/ci.yml);
+tests/test_serve.cpp pins the same byte-identity in-process.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -114,10 +123,159 @@ def cli_reference(ftmc: str, system: str, method: str) -> str:
     return run.stdout
 
 
+def extract_candidate_block(system: str) -> str | None:
+    """The `candidate { ... }` block of a system file, verbatim (brace
+    counting; the text format has no braces inside string literals)."""
+    text = Path(system).read_text()
+    start = text.find("candidate")
+    if start < 0:
+        return None
+    depth = 0
+    for pos in range(start, len(text)):
+        if text[pos] == "{":
+            depth += 1
+        elif text[pos] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start:pos + 1]
+    return None
+
+
+def check_response(request: dict, response: dict,
+                   references: dict[str, str], errors: list[str]) -> None:
+    if response.get("ok") is not True:
+        errors.append(f"request {request['id']} ({request['method']})"
+                      f" failed: {response}")
+        return
+    if response.get("id") != request["id"]:
+        errors.append(f"request {request['id']}: id echoed as"
+                      f" {response.get('id')!r}")
+    method = request["method"]
+    if method in references and "candidate" not in request.get("params", {}):
+        served = response["result"].get("output", "")
+        if served != references[method]:
+            errors.append(f"request {request['id']}: {method} output"
+                          f" differs from one-shot CLI ({len(served)} vs"
+                          f" {len(references[method])} bytes)")
+
+
+def load_worker(worker: int, port: int, count: int, system: str,
+                references: dict[str, str], candidate_block: str | None,
+                resident_eval: dict | None, latencies: list[float],
+                errors: list[str]) -> None:
+    """One load connection: `count` mixed requests, some pipelined in pairs,
+    every latency recorded.  Appends human-readable problems to `errors`."""
+    try:
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            for i in range(count):
+                rid = f"w{worker}-{i}"
+                kind = i % 8
+                if kind == 6:
+                    # Batch: three sub-requests fanned out server-side.
+                    subs = [smoke_request(j, system) for j in range(3, 6)]
+                    for j, sub in enumerate(subs):
+                        sub["id"] = f"{rid}-b{j}"
+                    request = {"id": rid, "method": "batch",
+                               "params": {"requests": subs}}
+                    begin = time.monotonic()
+                    response = call(sock, request)
+                    latencies.append(time.monotonic() - begin)
+                    if response.get("ok") is not True:
+                        errors.append(f"batch {rid} failed: {response}")
+                        continue
+                    results = response["result"].get("results", [])
+                    if len(results) != len(subs):
+                        errors.append(f"batch {rid}: {len(results)} results"
+                                      f" for {len(subs)} requests")
+                        continue
+                    for sub, sub_response in zip(subs, results):
+                        check_response(sub, sub_response, references, errors)
+                elif kind == 7 and candidate_block is not None:
+                    # Inline-candidate evaluate: must answer exactly like
+                    # the resident-candidate evaluate (the candidate IS the
+                    # resident one, re-sent as text).
+                    request = {"id": rid, "method": "evaluate",
+                               "system": system,
+                               "params": {"candidate": candidate_block}}
+                    begin = time.monotonic()
+                    response = call(sock, request)
+                    latencies.append(time.monotonic() - begin)
+                    check_response(request, response, references, errors)
+                    if response.get("ok") is True and resident_eval:
+                        got = dict(response["result"])
+                        got.pop("cache_hit", None)
+                        if got != resident_eval:
+                            errors.append(f"request {rid}: inline-candidate"
+                                          " evaluate differs from resident"
+                                          " evaluate")
+                else:
+                    request = smoke_request(i, system)
+                    request["id"] = rid
+                    begin = time.monotonic()
+                    response = call(sock, request)
+                    latencies.append(time.monotonic() - begin)
+                    check_response(request, response, references, errors)
+    except (OSError, ConnectionError, ValueError) as error:
+        errors.append(f"worker {worker}: {error!r}")
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def run_load(args: argparse.Namespace, port: int,
+             references: dict[str, str]) -> int:
+    candidate_block = extract_candidate_block(args.system)
+    resident_eval = None
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        response = call(sock, {"id": "ref", "method": "evaluate",
+                               "system": args.system})
+        if response.get("ok") is True:
+            resident_eval = dict(response["result"])
+            resident_eval.pop("cache_hit", None)
+    per_worker: list[tuple[list[float], list[str]]] = []
+    threads = []
+    begin = time.monotonic()
+    for worker in range(args.concurrency):
+        latencies: list[float] = []
+        errors: list[str] = []
+        per_worker.append((latencies, errors))
+        threads.append(threading.Thread(
+            target=load_worker,
+            args=(worker, port, args.smoke, args.system, references,
+                  candidate_block, resident_eval, latencies, errors)))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - begin
+    failures = 0
+    for _, errors in per_worker:
+        for message in errors:
+            print(message, file=sys.stderr)
+            failures += 1
+    all_latencies = sorted(
+        value for latencies, _ in per_worker for value in latencies)
+    if not all_latencies:
+        print("load: no requests completed", file=sys.stderr)
+        return failures + 1
+    rate = len(all_latencies) / elapsed if elapsed > 0 else 0.0
+    print(f"serve_client: {len(all_latencies)} requests over"
+          f" {args.concurrency} connections in {elapsed:.2f}s"
+          f" ({rate:.0f} req/s, p50"
+          f" {percentile(all_latencies, 0.50) * 1e3:.1f}ms, p95"
+          f" {percentile(all_latencies, 0.95) * 1e3:.1f}ms)"
+          + (" — outputs byte-identical to CLI" if args.diff else ""))
+    return failures
+
+
 def run_smoke(args: argparse.Namespace) -> int:
     port_file = Path(tempfile.mkdtemp(prefix="ftmc_serve_")) / "port"
     argv = [args.ftmc, "serve", args.system, "--port=0",
-            f"--port-file={port_file}"]
+            f"--port-file={port_file}",
+            f"--max-connections={max(args.concurrency + 1, 8)}"]
     if args.cache_dir:
         argv.append(f"--cache-dir={args.cache_dir}")
     if args.metrics_json:
@@ -129,6 +287,18 @@ def run_smoke(args: argparse.Namespace) -> int:
             method: cli_reference(args.ftmc, args.system, method)
             for method in ("analyze", "simulate")
         } if args.diff else {}
+        if args.concurrency > 1:
+            failures = run_load(args, port, references)
+            with socket.create_connection(("127.0.0.1", port)) as sock:
+                response = call(sock, {"id": "bye", "method": "shutdown"})
+                if response.get("ok") is not True:
+                    print(f"shutdown refused: {response}", file=sys.stderr)
+                    failures += 1
+            code = daemon.wait(timeout=30)
+            if code != 0:
+                print(f"daemon exited with code {code}", file=sys.stderr)
+                failures += 1
+            return 1 if failures else 0
         failures = 0
         with socket.create_connection(("127.0.0.1", port)) as sock:
             for i in range(args.smoke):
@@ -191,6 +361,9 @@ def main() -> int:
     parser.add_argument("--port-file")
     parser.add_argument("--smoke", type=int,
                         help="spawn a daemon and send N mixed requests")
+    parser.add_argument("--concurrency", type=int, default=1,
+                        help="client connections in smoke mode (each sends"
+                             " N requests; reports req/s and p50/p95)")
     parser.add_argument("--diff", action="store_true",
                         help="byte-compare analyze/simulate vs the CLI")
     parser.add_argument("--ftmc", help="path to the ftmc binary (smoke)")
