@@ -34,6 +34,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -83,6 +84,7 @@ serve::ServeOptions server_options(const std::string& path,
   serve::ServeOptions options;
   options.system_paths = {path};
   options.threads = threads;
+  options.sample_interval_ms = 0;  // telemetry arms opt in explicitly
   return options;
 }
 
@@ -270,6 +272,36 @@ int main(int argc, char** argv) {
   std::cout << "(responses cross-checked " << (identical ? "equal" : "UNEQUAL")
             << "; the speedup is state reuse, not a different answer)\n";
 
+  // Telemetry overhead: the same hot stream with the full observability
+  // surface on (access log + background sampler) — the acceptance gate is
+  // that serving with telemetry costs only a few percent.
+  const std::string access_log_path = "/tmp/ftmc_bench_serve_access.jsonl";
+  std::remove(access_log_path.c_str());
+  serve::ServeOptions telemetry_options = server_options(path, threads);
+  telemetry_options.access_log = access_log_path;
+  telemetry_options.sample_interval_ms = 50;
+  serve::Server telemetry_server(std::move(telemetry_options));
+  (void)telemetry_server.handle(request_at(0, profiles));  // warm
+  const auto telemetry_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < hot_requests; ++i) {
+    const std::string response =
+        telemetry_server.handle(request_at(i % 3, profiles));
+    if (i < 3) identical = identical &&
+                           identity_of(response) == cold_identities[i % 3];
+  }
+  const double telemetry_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    telemetry_start)
+          .count();
+  const double telemetry_rps =
+      static_cast<double>(hot_requests) / telemetry_seconds;
+  const double overhead_pct =
+      hot_rps > 0 ? (hot_rps - telemetry_rps) / hot_rps * 100.0 : 0.0;
+  std::cout << "telemetry on (access log + 50ms sampler): "
+            << util::Table::cell(telemetry_rps, 1) << " requests/s, "
+            << util::Table::cell(overhead_pct, 1)
+            << "% overhead vs hot; responses still byte-identical\n";
+
   // Concurrent TCP sessions: server pinned to one worker thread, so the
   // only parallelism is across connections.
   const std::size_t conc_requests = env_or("FTMC_CONC_REQUESTS", 120);
@@ -337,6 +369,8 @@ int main(int argc, char** argv) {
       .set("cold_rps", obs::Json::number(cold_rps, 1))
       .set("hot_rps", obs::Json::number(hot_rps, 1))
       .set("speedup", obs::Json::number(hot_rps / cold_rps, 2))
+      .set("telemetry_rps", obs::Json::number(telemetry_rps, 1))
+      .set("overhead_pct", obs::Json::number(overhead_pct, 1))
       .set("conc_requests", conc_requests)
       .set("tcp_levels", std::move(tcp_levels))
       .set("speedup_8x", obs::Json::number(speedup_8x, 2))

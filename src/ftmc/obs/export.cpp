@@ -1,6 +1,7 @@
 #include "ftmc/obs/export.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "ftmc/obs/trace.hpp"
@@ -39,6 +40,61 @@ Json metrics_to_json(const MetricsSnapshot& snapshot) {
       .set("counters", std::move(counters))
       .set("gauges", std::move(gauges))
       .set("histograms", std::move(histograms));
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ftmc_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const MetricValue& metric : snapshot.metrics) {
+    const std::string name = prometheus_name(metric.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << ' ' << metric.value << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << ' ' << metric.value << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        std::size_t used = metric.buckets.size();
+        while (used > 0 && metric.buckets[used - 1] == 0) --used;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < used; ++b) {
+          cumulative += metric.buckets[b];
+          // Bucket b holds integer samples in [2^(b-1), 2^b), so its
+          // inclusive upper edge is 2^b - 1 (bucket 0 holds exactly 0).
+          const std::uint64_t le =
+              b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+          out << name << "_bucket{le=\"" << le << "\"} " << cumulative
+              << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << metric.value << '\n'
+            << name << "_sum " << metric.sum << '\n'
+            << name << "_count " << metric.value << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  write_prometheus(out, snapshot);
+  return out.str();
 }
 
 void write_metrics_json(std::ostream& out) {

@@ -22,6 +22,15 @@ namespace ftmc::obs {
 
 Json metrics_to_json(const MetricsSnapshot& snapshot);
 
+/// Prometheus text exposition (version 0.0.4) of a snapshot: counters and
+/// gauges as single samples, histograms as cumulative `_bucket{le="..."}`
+/// series derived from the log2 buckets (le is each bucket's inclusive
+/// integer upper edge 2^b - 1, bucket 0 is le="0", plus the mandatory
+/// `+Inf`), with `_sum`/`_count`.  Metric names are prefixed `ftmc_` and
+/// sanitized (every character outside [a-zA-Z0-9_:] becomes '_').
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
 /// snapshot() -> JSON -> `out`, one line.
 void write_metrics_json(std::ostream& out);
 

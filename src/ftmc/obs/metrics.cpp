@@ -1,6 +1,7 @@
 #include "ftmc/obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -18,6 +19,37 @@ const MetricValue* MetricsSnapshot::find(
   for (const MetricValue& metric : metrics)
     if (metric.name == name) return &metric;
   return nullptr;
+}
+
+double MetricsSnapshot::quantile(std::string_view name,
+                                 double q) const noexcept {
+  const MetricValue* metric = find(name);
+  if (metric == nullptr || metric->kind != MetricKind::kHistogram ||
+      metric->value == 0)
+    return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Same rank convention as util::percentile_sorted: rank q*(n-1) over the
+  // sorted samples, so quantile(..., 0) is the minimum bucket and
+  // quantile(..., 1) the maximum.
+  const double rank = q * static_cast<double>(metric->value - 1);
+  double below = 0.0;
+  for (std::size_t b = 0; b < metric->buckets.size(); ++b) {
+    const double count = static_cast<double>(metric->buckets[b]);
+    if (count == 0.0) continue;
+    if (rank < below + count || b + 1 == metric->buckets.size()) {
+      if (b == 0) return 0.0;  // bucket 0 holds exactly the value 0
+      // Interpolate log-linearly across the bucket's [2^(b-1), 2^b) range:
+      // position 0 within the bucket maps to the lower edge, position 1 to
+      // the upper, with equal rank-mass per octave fraction.
+      double position = (rank - below) / count;
+      if (position < 0.0) position = 0.0;
+      if (position > 1.0) position = 1.0;
+      return std::exp2(static_cast<double>(b - 1) + position);
+    }
+    below += count;
+  }
+  return 0.0;
 }
 
 #if !defined(FTMC_OBS_DISABLED)

@@ -78,6 +78,16 @@ struct MetricsSnapshot {
   /// Value of a named counter/gauge (0 when absent) — test/export helper.
   std::uint64_t value_of(std::string_view name) const noexcept;
   const MetricValue* find(std::string_view name) const noexcept;
+
+  /// Estimated q-quantile (q in [0,1]) of a named histogram from its
+  /// power-of-two buckets: the target rank is located bucket by bucket and
+  /// interpolated log-linearly inside the covering bucket, so the estimate
+  /// is always within the bucket's [2^(b-1), 2^b) value range.  Returns 0
+  /// when the histogram is absent or empty.  This is the percentile path
+  /// for metrics whose raw samples are not retained (e.g. serve request
+  /// latencies); exact percentiles over explicit sample vectors remain
+  /// util::percentile_sorted's job.
+  double quantile(std::string_view name, double q) const noexcept;
 };
 
 #if !defined(FTMC_OBS_DISABLED)

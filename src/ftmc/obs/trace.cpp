@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "ftmc/obs/json.hpp"
@@ -17,7 +19,8 @@ namespace {
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t ts_ns = 0;
-  bool begin = false;
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'i' instant (carries `arg`)
+  std::string arg;   ///< instant events only: the args.id payload
 };
 
 /// Fixed-capacity per-thread ring.  The owning thread writes the cell and
@@ -28,9 +31,9 @@ struct Ring {
   explicit Ring(std::size_t capacity, std::uint32_t tid)
       : storage(capacity), tid(tid) {}
 
-  void push(const char* name, std::uint64_t ts_ns, bool begin) noexcept {
+  void push(TraceEvent event) {
     const std::uint64_t h = head.load(std::memory_order_relaxed);
-    storage[h % storage.size()] = TraceEvent{name, ts_ns, begin};
+    storage[h % storage.size()] = std::move(event);
     head.store(h + 1, std::memory_order_release);
   }
 
@@ -117,7 +120,9 @@ void append_thread_events(Json& trace_events, std::uint32_t tid,
   std::vector<std::uint8_t> keep(events.size(), 0);
   std::vector<std::size_t> stack;
   for (std::size_t i = 0; i < events.size(); ++i) {
-    if (events[i].begin) {
+    if (events[i].phase == 'i') {
+      keep[i] = 1;  // instants stand alone; the wrap cannot orphan them
+    } else if (events[i].phase == 'B') {
       stack.push_back(i);
     } else if (!stack.empty() && events[stack.back()].name == events[i].name) {
       keep[stack.back()] = 1;
@@ -128,13 +133,17 @@ void append_thread_events(Json& trace_events, std::uint32_t tid,
   }
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (!keep[i]) continue;
-    trace_events.push(Json::object()
-                          .set("name", events[i].name)
-                          .set("cat", "ftmc")
-                          .set("ph", events[i].begin ? "B" : "E")
-                          .set("ts", ts_us(events[i].ts_ns))
-                          .set("pid", 1)
-                          .set("tid", tid));
+    Json event = Json::object()
+                     .set("name", events[i].name)
+                     .set("cat", "ftmc")
+                     .set("ph", std::string(1, events[i].phase))
+                     .set("ts", ts_us(events[i].ts_ns))
+                     .set("pid", 1)
+                     .set("tid", tid);
+    if (events[i].phase == 'i')
+      event.set("s", "t").set("args",
+                              Json::object().set("id", events[i].arg));
+    trace_events.push(std::move(event));
   }
 }
 
@@ -167,11 +176,16 @@ void clear_trace() {
 
 void Span::begin(const char* name) noexcept {
   name_ = name;
-  my_ring().push(name, now_ns(), /*begin=*/true);
+  my_ring().push(TraceEvent{name, now_ns(), 'B', {}});
 }
 
 void Span::end() noexcept {
-  my_ring().push(name_, now_ns(), /*begin=*/false);
+  my_ring().push(TraceEvent{name_, now_ns(), 'E', {}});
+}
+
+void trace_instant(const char* name, std::string_view value) {
+  if (!tracing_enabled()) return;
+  my_ring().push(TraceEvent{name, now_ns(), 'i', std::string(value)});
 }
 
 void write_chrome_trace(std::ostream& out) {

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <ostream>
+#include <string_view>
 
 namespace ftmc::obs {
 
@@ -46,6 +47,13 @@ void clear_trace();
 /// Writes the Chrome trace-event JSON (an object with "traceEvents") for
 /// everything recorded so far.
 void write_chrome_trace(std::ostream& out);
+
+/// Records an instant event carrying a small string payload (exported as
+/// ph:"i" with args {"id": value}) on the current thread — the serve layer
+/// stamps each request's id into the trace this way, so Chrome/Perfetto
+/// views correlate spans with access-log records.  `name` must be a string
+/// literal, like Span names; no-op when tracing is disabled.
+void trace_instant(const char* name, std::string_view value);
 
 class Span {
  public:
@@ -73,6 +81,7 @@ inline void enable_tracing(std::size_t = 0) {}
 inline void disable_tracing() {}
 inline void clear_trace() {}
 void write_chrome_trace(std::ostream& out);  // writes an empty trace
+inline void trace_instant(const char*, std::string_view) {}
 
 class Span {
  public:

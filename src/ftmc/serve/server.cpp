@@ -1,6 +1,7 @@
 #include "ftmc/serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -27,8 +28,11 @@
 #include "ftmc/dse/decoder.hpp"
 #include "ftmc/hardening/hardening.hpp"
 #include "ftmc/io/text_format.hpp"
+#include "ftmc/obs/export.hpp"
 #include "ftmc/obs/json.hpp"
 #include "ftmc/obs/metrics.hpp"
+#include "ftmc/obs/sampler.hpp"
+#include "ftmc/obs/trace.hpp"
 #include "ftmc/sched/priority.hpp"
 #include "ftmc/serve/json_parse.hpp"
 #include "ftmc/serve/protocol.hpp"
@@ -55,11 +59,46 @@ struct ServeCounters {
   obs::Gauge inflight{"serve.inflight"};
   obs::Counter batch_requests{"serve.batch.requests"};
   obs::Counter batch_items{"serve.batch.items"};
+  /// Per-method request-handling latency (parse+dispatch+render, in µs) —
+  /// the raw samples are not retained, so p50/p95 come from these buckets
+  /// via MetricsSnapshot::quantile (the `metrics` method and ftmc_top.py).
+  obs::Histogram latency_ping{"serve.latency.ping"};
+  obs::Histogram latency_systems{"serve.latency.systems"};
+  obs::Histogram latency_stats{"serve.latency.stats"};
+  obs::Histogram latency_analyze{"serve.latency.analyze"};
+  obs::Histogram latency_evaluate{"serve.latency.evaluate"};
+  obs::Histogram latency_simulate{"serve.latency.simulate"};
+  obs::Histogram latency_batch{"serve.latency.batch"};
+  obs::Histogram latency_metrics{"serve.latency.metrics"};
+  obs::Histogram latency_health{"serve.latency.health"};
+  obs::Histogram latency_shutdown{"serve.latency.shutdown"};
+  obs::Histogram latency_other{"serve.latency.other"};
+
+  obs::Histogram& latency_for(const std::string& method) {
+    if (method == "analyze") return latency_analyze;
+    if (method == "evaluate") return latency_evaluate;
+    if (method == "simulate") return latency_simulate;
+    if (method == "batch") return latency_batch;
+    if (method == "ping") return latency_ping;
+    if (method == "metrics") return latency_metrics;
+    if (method == "health") return latency_health;
+    if (method == "stats") return latency_stats;
+    if (method == "systems") return latency_systems;
+    if (method == "shutdown") return latency_shutdown;
+    return latency_other;
+  }
 };
 
 ServeCounters& counters() {
   static ServeCounters instance;
   return instance;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
 }
 
 /// Names the errnos the accept/poll paths care about; falls back to the
@@ -95,6 +134,23 @@ void echo_id(obs::Json& response, const JsonValue* id) {
   } else {
     response.set("id", obs::Json());
   }
+}
+
+/// The request id the observation layer records: the client's "id"
+/// rendered as text (strings verbatim, numbers with the same integral
+/// round-trip check the echo applies), empty when absent/null — the
+/// caller then generates one.  Never echoed into the response, so the
+/// response bytes cannot depend on it.
+std::string id_text(const JsonValue* id) {
+  if (id == nullptr) return {};
+  if (id->kind == JsonValue::Kind::kString) return id->string;
+  if (id->kind == JsonValue::Kind::kNumber) {
+    const auto integral = static_cast<std::int64_t>(id->number);
+    if (static_cast<double>(integral) == id->number)
+      return std::to_string(integral);
+    return obs::Json::number(id->number).dump();
+  }
+  return {};
 }
 
 std::uint64_t read_gene(const JsonValue& item, const char* what,
@@ -194,13 +250,80 @@ struct Server::ResidentSystem {
   std::map<std::size_t, std::unique_ptr<sim::PreparedSim>> prepared;
 };
 
+struct Server::RequestInfo {
+  std::string id;            ///< client-supplied or generated ("r<n>")
+  std::string method;
+  std::string system;
+  bool ok = true;
+  std::string error_class;   ///< "parse" | "request" when !ok
+  bool cache_known = false;  ///< analyze/evaluate report a cache outcome
+  bool cache_hit = false;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t read_us = 0;      ///< frame read (includes the wait for it)
+  std::uint64_t parse_us = 0;
+  std::uint64_t dispatch_us = 0;
+  std::uint64_t render_us = 0;
+  std::uint64_t write_us = 0;
+
+  /// In-process handling time — what the latency histograms and --slow-ms
+  /// measure (read/write depend on the peer, not on us).
+  std::uint64_t handle_us() const noexcept {
+    return parse_us + dispatch_us + render_us;
+  }
+  std::uint64_t total_us() const noexcept {
+    return read_us + handle_us() + write_us;
+  }
+};
+
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
       backend_(options_.kernel),
-      pool_(options_.threads) {
+      pool_(options_.threads),
+      started_at_(std::chrono::steady_clock::now()) {
   if (options_.system_paths.empty())
     throw std::runtime_error("serve: no system files given");
   if (options_.max_connections == 0) options_.max_connections = 1;
+  if (!options_.access_log.empty()) {
+    // O_APPEND and one write() per record: records from concurrent
+    // sessions never interleave, and a crash loses at most the line in
+    // flight.
+    access_log_fd_ = ::open(options_.access_log.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (access_log_fd_ < 0)
+      throw std::runtime_error("serve: cannot open access log '" +
+                               options_.access_log + "': " +
+                               std::strerror(errno));
+  }
+  if (options_.sample_interval_ms > 0) {
+    obs::TimeSeriesSampler::Options sampler_options;
+    sampler_options.interval_ms = options_.sample_interval_ms;
+    if (!options_.prom_textfile.empty()) {
+      // write_file_atomic (temp + rename) so a scraper never reads a
+      // partial exposition.
+      sampler_options.on_sample = [path = options_.prom_textfile](
+                                      const obs::MetricsSnapshot& snap) {
+        try {
+          const std::string text = obs::prometheus_text(snap);
+          util::write_file_atomic(
+              path,
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size()));
+        } catch (const std::exception& error) {
+          util::log_warn("serve: prometheus textfile export failed: ",
+                         error.what());
+        }
+      };
+    }
+    sampler_ =
+        std::make_unique<obs::TimeSeriesSampler>(std::move(sampler_options));
+    sampler_->start();
+  } else if (!options_.prom_textfile.empty()) {
+    throw std::runtime_error(
+        "serve: --prom-textfile requires the sampler (--sample-interval "
+        "> 0)");
+  }
   for (const std::string& path : options_.system_paths) {
     for (const auto& loaded : systems_)
       if (loaded->path == path)
@@ -247,11 +370,13 @@ Server::Server(ServeOptions options)
 }
 
 Server::~Server() {
+  if (sampler_ != nullptr) sampler_->stop();  // joins the sampling thread
   try {
     flush();
   } catch (const std::exception& error) {
     util::log_warn("serve: flush on shutdown failed: ", error.what());
   }
+  if (access_log_fd_ >= 0) ::close(access_log_fd_);
 }
 
 bool Server::stopping() const {
@@ -339,7 +464,8 @@ core::Candidate Server::request_candidate(ResidentSystem& sys,
 }
 
 obs::Json Server::handle_analyze(ResidentSystem& sys,
-                                 const JsonValue& params) {
+                                 const JsonValue& params,
+                                 RequestInfo* info) {
   const core::Candidate candidate = request_candidate(sys, params);
   if (const auto error = sys.evaluator->structural_error(candidate);
       !error.empty())
@@ -347,6 +473,10 @@ obs::Json Server::handle_analyze(ResidentSystem& sys,
   bool cache_hit = false;
   const core::Evaluation evaluation =
       sys.evaluator->evaluate(candidate, &cache_hit);
+  if (info != nullptr) {
+    info->cache_known = true;
+    info->cache_hit = cache_hit;
+  }
   std::ostringstream out;
   write_analyze_report(out, sys.spec, candidate, evaluation);
   obs::Json result = obs::Json::object();
@@ -361,7 +491,8 @@ obs::Json Server::handle_analyze(ResidentSystem& sys,
 }
 
 obs::Json Server::handle_evaluate(ResidentSystem& sys,
-                                  const JsonValue& params) {
+                                  const JsonValue& params,
+                                  RequestInfo* info) {
   const core::Candidate candidate = request_candidate(sys, params);
   if (const auto error = sys.evaluator->structural_error(candidate);
       !error.empty())
@@ -369,6 +500,10 @@ obs::Json Server::handle_evaluate(ResidentSystem& sys,
   bool cache_hit = false;
   const core::Evaluation evaluation =
       sys.evaluator->evaluate(candidate, &cache_hit);
+  if (info != nullptr) {
+    info->cache_known = true;
+    info->cache_hit = cache_hit;
+  }
   obs::Json wcrt = obs::Json::array();
   for (const model::Time bound : evaluation.graph_wcrt)
     wcrt.push(obs::Json::integer(bound));
@@ -440,7 +575,8 @@ obs::Json Server::handle_simulate(ResidentSystem& sys,
   return doc;
 }
 
-obs::Json Server::handle_batch(const JsonValue& params) {
+obs::Json Server::handle_batch(const JsonValue& params,
+                               const std::string& request_id) {
   const JsonValue* items = params.get("requests");
   if (items == nullptr || items->kind != JsonValue::Kind::kArray)
     throw std::runtime_error(
@@ -449,7 +585,16 @@ obs::Json Server::handle_batch(const JsonValue& params) {
   counters().batch_items.add(items->array.size());
   std::vector<obs::Json> responses(items->array.size());
   auto run = [&](std::size_t k) {
-    responses[k] = dispatch(items->array[k], /*allow_batch=*/false);
+    const JsonValue& item = items->array[k];
+    if (obs::tracing_enabled()) {
+      // Derive the sub-request id from the parent so the pool thread's
+      // spans correlate with the batch request's access-log record.
+      std::string sub =
+          id_text(item.is_object() ? item.get("id") : nullptr);
+      if (sub.empty()) sub = std::to_string(k);
+      obs::trace_instant("serve.request_id", request_id + "#" + sub);
+    }
+    responses[k] = dispatch(item, /*allow_batch=*/false, nullptr, request_id);
   };
   // Fan the items out across the pool; each response lands in its own slot,
   // so the result array keeps request order no matter the schedule.
@@ -517,13 +662,97 @@ obs::Json Server::stats_json() const {
       .set("systems", std::move(systems));
 }
 
-obs::Json Server::dispatch(const JsonValue& root, bool allow_batch) {
+obs::Json Server::handle_metrics(const JsonValue& params) const {
+  const std::string format = params.str_or("format", "json");
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  if (format == "prometheus")
+    return obs::Json::object()
+        .set("format", "prometheus")
+        .set("body", obs::prometheus_text(snap));
+  if (format != "json")
+    throw std::runtime_error(
+        "params.format must be \"json\" or \"prometheus\"");
+  obs::Json result = obs::Json::object();
+  result.set("metrics", obs::metrics_to_json(snap));
+  if (sampler_ == nullptr) {
+    result.set("window", obs::Json());  // sampling off: no windowed view
+    return result;
+  }
+  const obs::TimeSeriesSampler::Window w = sampler_->window(60.0);
+  obs::Json rates =
+      obs::Json::object()
+          .set("requests_per_s",
+               obs::Json::number(w.rate("serve.requests"), 3))
+          .set("scenarios_per_s",
+               obs::Json::number(w.rate("analysis.scenarios"), 3))
+          .set("sim_events_per_s",
+               obs::Json::number(w.rate("sim.events"), 3));
+  obs::Json latency = obs::Json::object();
+  static constexpr const char* kMethods[] = {
+      "ping",  "systems", "stats",  "analyze",  "evaluate", "simulate",
+      "batch", "metrics", "health", "shutdown", "other"};
+  for (const char* m : kMethods) {
+    const std::string name = std::string("serve.latency.") + m;
+    const obs::MetricValue* hist = w.delta.find(name);
+    if (hist == nullptr || hist->value == 0) continue;
+    latency.set(
+        m, obs::Json::object()
+               .set("count", obs::Json::uinteger(hist->value))
+               .set("p50_us", obs::Json::number(w.delta.quantile(name, 0.5), 1))
+               .set("p95_us",
+                    obs::Json::number(w.delta.quantile(name, 0.95), 1)));
+  }
+  result.set(
+      "window",
+      obs::Json::object()
+          .set("seconds", obs::Json::number(w.seconds, 3))
+          .set("samples", obs::Json::uinteger(w.samples))
+          .set("rates", std::move(rates))
+          .set("cache_hit_rate",
+               obs::Json::number(
+                   w.hit_rate("cache.eval.hits", "cache.eval.misses"), 4))
+          .set("latency", std::move(latency)));
+  return result;
+}
+
+obs::Json Server::health_json() const {
+  obs::Json systems = obs::Json::array();
+  for (const auto& sys : systems_) {
+    obs::Json entry = obs::Json::object()
+                          .set("system", sys->path)
+                          .set("candidate", sys->candidate.has_value());
+    if (sys->store != nullptr)
+      entry.set("store_records",
+                obs::Json::uinteger(sys->store->stats().records));
+    else
+      entry.set("store_records", obs::Json());
+    systems.push(std::move(entry));
+  }
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started_at_)
+                            .count();
+  return obs::Json::object()
+      .set("status", stopping() ? "draining" : "ready")
+      .set("uptime_s", obs::Json::number(uptime, 3))
+      .set("requests", stats_.requests.load(std::memory_order_relaxed))
+      .set("errors", stats_.errors.load(std::memory_order_relaxed))
+      .set("inflight", stats_.inflight.load(std::memory_order_relaxed))
+      .set("connections",
+           stats_.connections.load(std::memory_order_relaxed))
+      .set("sampling", sampler_ != nullptr)
+      .set("systems", std::move(systems));
+}
+
+obs::Json Server::dispatch(const JsonValue& root, bool allow_batch,
+                           RequestInfo* info,
+                           const std::string& request_id) {
   obs::Json response = obs::Json::object();
   try {
     if (!root.is_object())
       throw std::runtime_error("request must be a JSON object");
     echo_id(response, root.get("id"));
     const std::string method = root.str_or("method", "");
+    if (info != nullptr) info->method = method;
     if (method.empty())
       throw std::runtime_error("request has no \"method\" member");
 
@@ -543,17 +772,22 @@ obs::Json Server::dispatch(const JsonValue& root, bool allow_batch) {
       result = stats_json();
     } else if (method == "systems") {
       result = systems_json();
+    } else if (method == "metrics") {
+      result = handle_metrics(p);
+    } else if (method == "health") {
+      result = health_json();
     } else if (method == "batch") {
       if (!allow_batch)
         throw std::runtime_error("batch items may not be \"batch\"");
-      result = handle_batch(p);
+      result = handle_batch(p, request_id);
     } else if (method == "analyze" || method == "evaluate" ||
                method == "simulate") {
       ResidentSystem& sys = resident(root);
+      if (info != nullptr) info->system = sys.path;
       if (method == "analyze")
-        result = handle_analyze(sys, p);
+        result = handle_analyze(sys, p, info);
       else if (method == "evaluate")
-        result = handle_evaluate(sys, p);
+        result = handle_evaluate(sys, p, info);
       else
         result = handle_simulate(sys, p);
     } else {
@@ -563,34 +797,132 @@ obs::Json Server::dispatch(const JsonValue& root, bool allow_batch) {
   } catch (const std::exception& error) {
     counters().errors.add(1);
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    if (info != nullptr) {
+      info->ok = false;
+      info->error_class = "request";
+    }
     response.set("ok", false).set("error", error.what());
   }
   return response;
 }
 
 std::string Server::handle(const std::string& request) {
+  RequestInfo info;
+  std::string response = handle_request(request, info);
+  finish_request(info);
+  return response;
+}
+
+std::string Server::handle_request(const std::string& request,
+                                   RequestInfo& info) {
   counters().requests.add(1);
   counters().bytes_in.add(request.size());
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_in.fetch_add(request.size(), std::memory_order_relaxed);
   counters().inflight.add(1);
+  stats_.inflight.fetch_add(1, std::memory_order_relaxed);
+  info.bytes_in = request.size();
 
   obs::Json response;
+  const auto parse_start = std::chrono::steady_clock::now();
   try {
     const JsonValue root = parse_json(request);
-    response = dispatch(root, /*allow_batch=*/true);
+    info.parse_us = elapsed_us(parse_start);
+    info.id = id_text(root.is_object() ? root.get("id") : nullptr);
+    if (info.id.empty())
+      info.id = "r" + std::to_string(next_request_id_.fetch_add(
+                          1, std::memory_order_relaxed));
+    obs::trace_instant("serve.request_id", info.id);
+    const auto dispatch_start = std::chrono::steady_clock::now();
+    response = dispatch(root, /*allow_batch=*/true, &info, info.id);
+    info.dispatch_us = elapsed_us(dispatch_start);
   } catch (const std::exception& error) {
+    info.parse_us = elapsed_us(parse_start);
+    if (info.id.empty())
+      info.id = "r" + std::to_string(next_request_id_.fetch_add(
+                          1, std::memory_order_relaxed));
     counters().errors.add(1);
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    info.ok = false;
+    info.error_class = "parse";
     response = obs::Json::object();
     response.set("ok", false).set("error", error.what());
   }
   counters().inflight.add(-1);
+  stats_.inflight.fetch_sub(1, std::memory_order_relaxed);
 
+  const auto render_start = std::chrono::steady_clock::now();
   std::string text = response.dump();
+  info.render_us = elapsed_us(render_start);
+  info.bytes_out = text.size();
   counters().bytes_out.add(text.size());
   stats_.bytes_out.fetch_add(text.size(), std::memory_order_relaxed);
   return text;
+}
+
+void Server::finish_request(const RequestInfo& info) {
+  counters().latency_for(info.method).record(info.handle_us());
+  if (access_log_fd_ >= 0) write_access_record(info);
+  if (options_.slow_ms > 0 &&
+      info.handle_us() >=
+          static_cast<std::uint64_t>(options_.slow_ms) * 1000) {
+    util::log_warn(
+        "serve: slow request id=", info.id,
+        " method=", info.method.empty() ? "?" : info.method.c_str(),
+        info.system.empty() ? "" : " system=" + info.system,
+        " handle_us=", info.handle_us(), " (parse=", info.parse_us,
+        " dispatch=", info.dispatch_us, " render=", info.render_us, ")");
+  }
+}
+
+void Server::write_access_record(const RequestInfo& info) {
+  const auto ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  obs::Json record = obs::Json::object()
+                         .set("ts_ms", obs::Json::integer(ts_ms))
+                         .set("id", info.id)
+                         .set("method", info.method)
+                         .set("system", info.system)
+                         .set("ok", info.ok);
+  if (!info.ok) record.set("error", info.error_class);
+  if (info.cache_known)
+    record.set("cache", info.cache_hit ? "hit" : "miss");
+  record
+      .set("bytes_in", obs::Json::uinteger(info.bytes_in))
+      .set("bytes_out", obs::Json::uinteger(info.bytes_out))
+      .set("us", obs::Json::object()
+                     .set("read", obs::Json::uinteger(info.read_us))
+                     .set("parse", obs::Json::uinteger(info.parse_us))
+                     .set("dispatch", obs::Json::uinteger(info.dispatch_us))
+                     .set("render", obs::Json::uinteger(info.render_us))
+                     .set("write", obs::Json::uinteger(info.write_us)))
+      .set("total_us", obs::Json::uinteger(info.total_us()))
+      .set("slow",
+           options_.slow_ms > 0 &&
+               info.handle_us() >=
+                   static_cast<std::uint64_t>(options_.slow_ms) * 1000);
+  std::string line = record.dump();
+  line.push_back('\n');
+  // One write() per record, retrying EINTR (the CLI installs handlers
+  // without SA_RESTART); O_APPEND makes concurrent whole-line appends
+  // atomic.  A partial write (out of space) finishes the line so the file
+  // stays line-framed; a hard failure warns once and drops records.
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t written = ::write(access_log_fd_, data, left);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (!access_log_failed_.exchange(true, std::memory_order_relaxed))
+        util::log_warn("serve: access log write failed: ",
+                       describe_errno(errno));
+      return;
+    }
+    data += written;
+    left -= static_cast<std::size_t>(written);
+  }
 }
 
 int Server::run_session(int in_fd, int out_fd, bool tcp) {
@@ -599,7 +931,9 @@ int Server::run_session(int in_fd, int out_fd, bool tcp) {
   std::string payload;
   for (;;) {
     if (stopping()) break;
+    RequestInfo info;
     bool got = false;
+    const auto read_start = std::chrono::steady_clock::now();
     try {
       got = reader.read(payload);
     } catch (const ProtocolError& error) {
@@ -615,10 +949,14 @@ int Server::run_session(int in_fd, int out_fd, bool tcp) {
       if (reader.was_interrupted()) continue;  // re-check stopping()
       break;                                   // clean EOF
     }
-    const std::string response = handle(payload);
+    info.read_us = elapsed_us(read_start);
+    const std::string response = handle_request(payload, info);
+    const auto write_start = std::chrono::steady_clock::now();
     try {
       write_frame(out_fd, response);
     } catch (const ProtocolError& error) {
+      info.write_us = elapsed_us(write_start);
+      finish_request(info);  // the record still lands in the access log
       if (tcp) {
         util::log_warn("serve: dropping connection: ", error.what());
       } else {
@@ -626,6 +964,8 @@ int Server::run_session(int in_fd, int out_fd, bool tcp) {
       }
       return 1;
     }
+    info.write_us = elapsed_us(write_start);
+    finish_request(info);
   }
   return 0;
 }
@@ -683,6 +1023,22 @@ int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
     std::thread thread;
     std::atomic<bool> done{false};
   };
+  // Closing a socket with unread bytes in its receive queue makes the
+  // kernel send RST, which can revoke responses the peer has not read yet
+  // (a drain legitimately leaves pipelined frames behind).  Half-close the
+  // write side so the final response is followed by FIN, discard whatever
+  // input is already buffered, then close on an empty queue.
+  const auto close_session_fd = [](int fd) {
+    ::shutdown(fd, SHUT_WR);
+    char discard[4096];
+    for (;;) {
+      const ssize_t got = ::recv(fd, discard, sizeof(discard), MSG_DONTWAIT);
+      if (got > 0) continue;
+      if (got < 0 && errno == EINTR) continue;
+      break;  // EOF or empty queue: nothing left to trigger an RST
+    }
+    ::close(fd);
+  };
   std::list<TcpSession> sessions;
   std::mutex sessions_mutex;
   std::condition_variable sessions_cv;
@@ -701,7 +1057,7 @@ int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
     }
     for (TcpSession& session : finished) {
       session.thread.join();
-      ::close(session.fd);
+      close_session_fd(session.fd);
     }
   };
 
@@ -774,7 +1130,7 @@ int Server::serve_tcp(std::uint16_t port, const std::string& port_file) {
   }
   for (TcpSession& session : sessions) {
     session.thread.join();
-    ::close(session.fd);
+    close_session_fd(session.fd);
   }
   flush();
   util::log_info("serve: drained after ",

@@ -40,7 +40,10 @@
 // Methods: ping, systems, analyze, evaluate, simulate
 //          (params: profiles, fault_prob as a STRING, seed, hyperperiods),
 //          stats, batch (params.requests = array of request objects, fanned
-//          out across the pool, results in request order), shutdown.
+//          out across the pool, results in request order), shutdown,
+//          metrics (full ftmc.metrics.v1 snapshot + windowed rates;
+//          params.format "prometheus" returns the text exposition), and
+//          health (ready/draining, uptime, inflight, resident systems).
 //          analyze/evaluate accept an inline candidate instead of the
 //          resident one: params.candidate (a text-format `candidate {...}`
 //          block) or params.chromosome (a GA genotype, decoded and repaired
@@ -50,6 +53,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -61,6 +65,7 @@
 
 namespace ftmc::obs {
 class Json;
+class TimeSeriesSampler;
 }
 
 namespace ftmc::core {
@@ -87,6 +92,19 @@ struct ServeOptions {
   /// Concurrent TCP sessions served at once (minimum 1).  Further clients
   /// wait in the listen backlog until a session ends (backpressure).
   std::size_t max_connections = 8;
+  /// JSONL access log: one record per request with the latency breakdown
+  /// (see DESIGN.md "Live serve observability").  Empty disables it.
+  std::string access_log;
+  /// Requests whose parse+dispatch+render time reaches this many
+  /// milliseconds are escalated to the main log at Warn (0 disables).
+  std::size_t slow_ms = 0;
+  /// Cadence of the background metrics sampler feeding the `metrics`
+  /// method's windowed rates (0 disables sampling).
+  std::size_t sample_interval_ms = 1000;
+  /// Prometheus textfile rewritten (write-temp+rename) on every sampler
+  /// tick, for node-exporter-style collection.  Empty disables it;
+  /// requires the sampler.
+  std::string prom_textfile;
   /// WCRT-kernel toggles, same as the one-shot commands.
   sched::HolisticAnalysis::Options kernel;
   /// Polled between requests/accepts; true requests a graceful drain
@@ -102,6 +120,8 @@ struct ServeStats {
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> connections{0};
+  /// Requests currently inside handle() across all sessions (health).
+  std::atomic<std::uint64_t> inflight{0};
 };
 
 class Server {
@@ -146,19 +166,43 @@ class Server {
 
  private:
   struct ResidentSystem;
+  /// Per-request observation record (defined in server.cpp): request id,
+  /// method, outcome, byte counts, and the read/parse/dispatch/render/
+  /// write latency breakdown.  Purely observational — it is filled beside
+  /// the request and emitted to the access log, the per-method latency
+  /// histograms, and (past --slow-ms) the main log after the response is
+  /// complete; nothing in it feeds back into response bytes.
+  struct RequestInfo;
 
   ResidentSystem& resident(const JsonValue& root);
   /// Envelope-level dispatch shared by handle() and batch items: returns a
   /// complete {"id", "ok", ...} response document and never throws.
-  obs::Json dispatch(const JsonValue& root, bool allow_batch);
-  obs::Json handle_batch(const JsonValue& params);
-  obs::Json handle_analyze(ResidentSystem& sys, const JsonValue& params);
-  obs::Json handle_evaluate(ResidentSystem& sys, const JsonValue& params);
+  /// `info` (top-level requests only, else nullptr) receives method/system/
+  /// cache/error observations; `request_id` is the caller's resolved id,
+  /// propagated into batch sub-request trace annotations.
+  obs::Json dispatch(const JsonValue& root, bool allow_batch,
+                     RequestInfo* info, const std::string& request_id);
+  obs::Json handle_batch(const JsonValue& params,
+                         const std::string& request_id);
+  obs::Json handle_analyze(ResidentSystem& sys, const JsonValue& params,
+                           RequestInfo* info);
+  obs::Json handle_evaluate(ResidentSystem& sys, const JsonValue& params,
+                            RequestInfo* info);
   obs::Json handle_simulate(ResidentSystem& sys, const JsonValue& params);
+  obs::Json handle_metrics(const JsonValue& params) const;
+  obs::Json health_json() const;
   /// The candidate a request refers to: inline params.candidate (text
   /// block) or params.chromosome (decoded genotype), else the resident one.
   core::Candidate request_candidate(ResidentSystem& sys,
                                     const JsonValue& params);
+  /// handle() minus the observation epilogue: parses, dispatches, renders,
+  /// and fills `info` (counters/stats included).  Sessions call this so
+  /// the record can also cover the frame read/write stages.
+  std::string handle_request(const std::string& request, RequestInfo& info);
+  /// Emits the completed record: per-method latency histogram, access-log
+  /// line, and the --slow-ms escalation.
+  void finish_request(const RequestInfo& info);
+  void write_access_record(const RequestInfo& info);
   /// One session: read frame -> handle inline -> write response, until
   /// EOF/stop.  Shared by serve_fd and every TCP session thread.
   int run_session(int in_fd, int out_fd, bool tcp);
@@ -172,6 +216,13 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint16_t> bound_port_{0};
   ServeStats stats_;
+  /// Feeds the `metrics` method's windowed rates; started at construction,
+  /// joined in the destructor (after the graceful drain).
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::chrono::steady_clock::time_point started_at_;
+  int access_log_fd_ = -1;  ///< O_APPEND fd; -1 when access logging is off
+  std::atomic<bool> access_log_failed_{false};
+  std::atomic<std::uint64_t> next_request_id_{1};
 };
 
 }  // namespace ftmc::serve

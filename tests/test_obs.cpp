@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -18,10 +22,12 @@
 #include "ftmc/dse/ga.hpp"
 #include "ftmc/obs/export.hpp"
 #include "ftmc/obs/json.hpp"
+#include "ftmc/obs/sampler.hpp"
 #include "ftmc/obs/trace.hpp"
 #include "ftmc/sched/holistic.hpp"
 #include "ftmc/sched/priority.hpp"
 #include "ftmc/sim/monte_carlo.hpp"
+#include "ftmc/util/stats.hpp"
 #include "ftmc/util/thread_pool.hpp"
 #include "helpers.hpp"
 
@@ -306,6 +312,201 @@ TEST(MetricsExport, SchemaRoundTripsThroughJson) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram quantiles.  The log2 buckets retain no raw samples, so
+// MetricsSnapshot::quantile interpolates within a power-of-two bucket: the
+// estimate must land within the true sample's bucket — i.e. within a factor
+// of two of the exact percentile — and be monotone in q.
+
+TEST(MetricsQuantile, TracksExactPercentilesWithinBucketResolution) {
+  obs::reset();
+  obs::Histogram histogram("test.quantile_hist");
+  std::mt19937_64 rng(12345);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 200000);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t sample = dist(rng);
+    histogram.record(sample);
+    samples.push_back(static_cast<double>(sample));
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto snap = obs::snapshot();
+  double previous = 0.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = util::percentile_sorted(samples, q);
+    const double estimate = snap.quantile("test.quantile_hist", q);
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+    EXPECT_GE(estimate, previous) << "quantile must be monotone in q";
+    previous = estimate;
+  }
+}
+
+TEST(MetricsQuantile, StaysInsideTheOnlyOccupiedBucket) {
+  obs::reset();
+  obs::Histogram histogram("test.quantile_single");
+  for (int i = 0; i < 7; ++i) histogram.record(6);  // bucket 3: [4, 8)
+  const auto snap = obs::snapshot();
+  for (const double q : {0.0, 0.5, 1.0}) {
+    const double estimate = snap.quantile("test.quantile_single", q);
+    EXPECT_GE(estimate, 4.0);
+    EXPECT_LE(estimate, 8.0);
+  }
+}
+
+TEST(MetricsQuantile, ZeroSamplesLandInBucketZero) {
+  obs::reset();
+  obs::Histogram histogram("test.quantile_zero");
+  histogram.record(0);
+  histogram.record(0);
+  EXPECT_EQ(obs::snapshot().quantile("test.quantile_zero", 0.5), 0.0);
+}
+
+TEST(MetricsQuantile, MissingEmptyOrNonHistogramYieldsZero) {
+  obs::reset();
+  obs::Counter counter("test.quantile_counter");
+  counter.add(5);
+  obs::Histogram histogram("test.quantile_empty");
+  const auto snap = obs::snapshot();
+  EXPECT_EQ(snap.quantile("test.no_such_metric", 0.5), 0.0);
+  EXPECT_EQ(snap.quantile("test.quantile_counter", 0.5), 0.0);
+  EXPECT_EQ(snap.quantile("test.quantile_empty", 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+
+TEST(MetricsExport, PrometheusExpositionShape) {
+  obs::reset();
+  obs::Counter counter("test.prom_counter");
+  counter.add(5);
+  obs::Gauge gauge("test.prom_gauge");
+  gauge.set(11);
+  obs::Histogram histogram("test.prom_hist");
+  histogram.record(0);  // bucket 0 (le="0")
+  histogram.record(1);  // bucket 1 (le="1")
+  histogram.record(6);  // bucket 3 (le="7")
+  const std::string text = obs::prometheus_text(obs::snapshot());
+  const auto has = [&text](const std::string& line) {
+    return text.find(line) != std::string::npos;
+  };
+  EXPECT_TRUE(has("# TYPE ftmc_test_prom_counter counter"));
+  EXPECT_TRUE(has("ftmc_test_prom_counter 5\n"));
+  EXPECT_TRUE(has("# TYPE ftmc_test_prom_gauge gauge"));
+  EXPECT_TRUE(has("ftmc_test_prom_gauge 11\n"));
+  EXPECT_TRUE(has("# TYPE ftmc_test_prom_hist histogram"));
+  EXPECT_TRUE(has("ftmc_test_prom_hist_bucket{le=\"0\"} 1\n"));
+  EXPECT_TRUE(has("ftmc_test_prom_hist_bucket{le=\"1\"} 2\n"));
+  EXPECT_TRUE(has("ftmc_test_prom_hist_bucket{le=\"3\"} 2\n"));  // cumulative
+  EXPECT_TRUE(has("ftmc_test_prom_hist_bucket{le=\"7\"} 3\n"));
+  EXPECT_TRUE(has("ftmc_test_prom_hist_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(has("ftmc_test_prom_hist_sum 7\n"));
+  EXPECT_TRUE(has("ftmc_test_prom_hist_count 3\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Time-series sampler.  interval_ms = 0 keeps the background thread off so
+// sample_now() drives the ring deterministically.
+
+TEST(Sampler, DeltasAgainstConstructionBaseline) {
+  obs::reset();
+  obs::Counter counter("test.sampler_counter");
+  counter.add(10);  // pre-baseline traffic must not appear in any delta
+  obs::TimeSeriesSampler::Options options;
+  options.interval_ms = 0;
+  obs::TimeSeriesSampler sampler(options);
+  counter.add(5);
+  sampler.sample_now();
+  EXPECT_EQ(sampler.window().delta.value_of("test.sampler_counter"), 5u);
+  counter.add(7);
+  sampler.sample_now();
+  const auto window = sampler.window();
+  EXPECT_EQ(window.samples, 2u);
+  EXPECT_EQ(window.delta.value_of("test.sampler_counter"), 12u);
+  EXPECT_GE(window.rate("test.sampler_counter"), 0.0);
+}
+
+TEST(Sampler, RingEvictsOldestPastCapacity) {
+  obs::reset();
+  obs::Counter counter("test.sampler_ring");
+  obs::TimeSeriesSampler::Options options;
+  options.interval_ms = 0;
+  options.capacity = 3;
+  obs::TimeSeriesSampler sampler(options);
+  for (int i = 0; i < 5; ++i) {
+    counter.add(1);
+    sampler.sample_now();
+  }
+  EXPECT_EQ(sampler.sample_count(), 5u);
+  const auto window = sampler.window();
+  EXPECT_EQ(window.samples, 3u);  // two oldest deltas fell off the ring
+  EXPECT_EQ(window.delta.value_of("test.sampler_ring"), 3u);
+}
+
+TEST(Sampler, GaugesReportNewestSampledValue) {
+  obs::reset();
+  obs::Gauge gauge("test.sampler_gauge");
+  obs::TimeSeriesSampler::Options options;
+  options.interval_ms = 0;
+  obs::TimeSeriesSampler sampler(options);
+  gauge.set(5);
+  sampler.sample_now();
+  gauge.set(9);
+  sampler.sample_now();
+  EXPECT_EQ(sampler.window().delta.value_of("test.sampler_gauge"), 9u);
+}
+
+TEST(Sampler, HitRateAndHistogramDeltasFeedWindowedViews) {
+  obs::reset();
+  obs::Counter hits("test.sampler_hits");
+  obs::Counter misses("test.sampler_misses");
+  obs::Histogram latency("test.sampler_latency");
+  latency.record(1000000);  // pre-baseline sample must not reach the window
+  obs::TimeSeriesSampler::Options options;
+  options.interval_ms = 0;
+  obs::TimeSeriesSampler sampler(options);
+  hits.add(3);
+  misses.add(1);
+  for (int i = 0; i < 100; ++i) latency.record(6);  // bucket 3: [4, 8)
+  sampler.sample_now();
+  const auto window = sampler.window();
+  EXPECT_DOUBLE_EQ(window.hit_rate("test.sampler_hits", "test.sampler_misses"),
+                   0.75);
+  EXPECT_EQ(window.hit_rate("test.sampler_none_a", "test.sampler_none_b"),
+            0.0);
+  const double p50 = window.delta.quantile("test.sampler_latency", 0.5);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+}
+
+TEST(Sampler, BackgroundThreadSamplesAndJoinsCleanly) {
+  obs::reset();
+  std::atomic<std::uint64_t> callbacks{0};
+  obs::TimeSeriesSampler::Options options;
+  options.interval_ms = 2;
+  options.on_sample = [&callbacks](const obs::MetricsSnapshot&) {
+    callbacks.fetch_add(1, std::memory_order_relaxed);
+  };
+  obs::TimeSeriesSampler sampler(options);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sampler.sample_count() < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GE(sampler.sample_count(), 2u);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const std::uint64_t settled = sampler.sample_count();
+  EXPECT_EQ(callbacks.load(), settled);  // every sample ran the callback
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(sampler.sample_count(), settled);  // no samples after the join
+  sampler.stop();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
 // Tracing.
 
 /// Collects {ph, name, tid, ts} trace events from an exported document and
@@ -323,11 +524,20 @@ void check_trace(const std::string& text, std::size_t* spans_out = nullptr) {
     if (phase == "M") continue;  // thread_name metadata carries no ts
     const double tid = event.at("tid").number;
     const double ts = event.at("ts").number;
-    ASSERT_TRUE(phase == "B" || phase == "E") << "unexpected phase " << phase;
+    ASSERT_TRUE(phase == "B" || phase == "E" || phase == "i")
+        << "unexpected phase " << phase;
     if (last_ts.count(tid) != 0) {
       EXPECT_GE(ts, last_ts[tid]) << "per-thread timestamps must not go back";
     }
     last_ts[tid] = ts;
+    if (phase == "i") {
+      // Instant events annotate rather than bracket: no stack effect, but
+      // they must carry the thread scope and an args.id payload.
+      EXPECT_EQ(event.at("s").string, "t");
+      ASSERT_EQ(event.at("args").kind, JsonValue::Kind::kObject);
+      event.at("args").at("id");  // throws (fails the test) when absent
+      continue;
+    }
     if (phase == "B") {
       stacks[tid].push_back(event.at("name").string);
     } else {
@@ -370,6 +580,40 @@ TEST(Tracing, NestedSpansExportMatchedPairs) {
   std::size_t spans = 0;
   check_trace(out.str(), &spans);
   EXPECT_EQ(spans, 3u);
+}
+
+TEST(Tracing, InstantEventsCarryTheirAnnotation) {
+  obs::enable_tracing();
+  obs::clear_trace();
+  {
+    obs::Span span("test.op");
+    obs::trace_instant("serve.request_id", "r42");
+  }
+  obs::disable_tracing();
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  std::size_t spans = 0;
+  check_trace(out.str(), &spans);  // validates ph/s/args shape
+  EXPECT_EQ(spans, 1u);
+  const JsonValue doc = JsonReader(out.str()).parse();
+  bool found = false;
+  for (const JsonValue& event : doc.at("traceEvents").array) {
+    if (event.at("ph").string != "i") continue;
+    EXPECT_EQ(event.at("name").string, "serve.request_id");
+    EXPECT_EQ(event.at("args").at("id").string, "r42");
+    found = true;
+  }
+  EXPECT_TRUE(found) << "instant event missing from the export";
+}
+
+TEST(Tracing, DisabledInstantEventsRecordNothing) {
+  obs::disable_tracing();
+  obs::clear_trace();
+  obs::trace_instant("serve.request_id", "dropped");
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  const JsonValue doc = JsonReader(out.str()).parse();
+  EXPECT_TRUE(doc.at("traceEvents").array.empty());
 }
 
 TEST(Tracing, RingWraparoundStillExportsBalancedPairs) {

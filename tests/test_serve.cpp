@@ -37,6 +37,7 @@
 #include "ftmc/sim/monte_carlo.hpp"
 #include "ftmc/util/file_io.hpp"
 #include "ftmc/util/hash.hpp"
+#include "ftmc/util/log.hpp"
 #include "ftmc/util/rng.hpp"
 #include "helpers.hpp"
 
@@ -791,6 +792,306 @@ TEST(Server, CandidateParameterErrorPaths) {
   // The server still answers normally afterwards.
   EXPECT_TRUE(expect_ok(server.handle(R"({"method": "ping"})"))
                   .bool_or("pong", false));
+}
+
+// --- Observability ----------------------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ftmc_serve_obs_" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+/// One access-log record, schema-checked: required keys, stage breakdown
+/// summing to total_us, error class only on failures.
+JsonValue check_access_record(const std::string& line) {
+  const JsonValue record = parse_json(line);
+  EXPECT_TRUE(record.is_object()) << line;
+  EXPECT_GT(record.u64_or("ts_ms", 0), 0u) << line;
+  EXPECT_FALSE(record.str_or("id", "").empty()) << line;
+  // A request that never parsed has no method to record.
+  if (record.str_or("error", "") != "parse")
+    EXPECT_FALSE(record.str_or("method", "").empty()) << line;
+  const JsonValue* stages = record.get("us");
+  EXPECT_NE(stages, nullptr) << line;
+  std::uint64_t sum = 0;
+  for (const char* stage : {"read", "parse", "dispatch", "render", "write"}) {
+    const JsonValue* value = stages->get(stage);
+    EXPECT_NE(value, nullptr) << stage << " missing: " << line;
+    if (value != nullptr) sum += static_cast<std::uint64_t>(value->number);
+  }
+  EXPECT_EQ(record.u64_or("total_us", ~0ULL), sum) << line;
+  if (record.bool_or("ok", true)) {
+    EXPECT_EQ(record.get("error"), nullptr) << line;
+  } else {
+    EXPECT_FALSE(record.str_or("error", "").empty()) << line;
+  }
+  return record;
+}
+
+TEST(ServeObservability, ResponsesByteIdenticalWithTelemetryEnabled) {
+  const std::string path = write_demo_system("obs_identity");
+  ServeOptions plain_options = demo_options(path);
+  plain_options.sample_interval_ms = 0;
+  Server plain(std::move(plain_options));
+  ServeOptions traced_options = demo_options(path);
+  traced_options.access_log = temp_path("identity.jsonl");
+  traced_options.sample_interval_ms = 2;
+  traced_options.slow_ms = 60000;  // armed but never tripped here
+  std::remove(traced_options.access_log.c_str());
+  Server traced(std::move(traced_options));
+  warm(plain);
+  warm(traced);
+
+  const std::string requests[] = {
+      R"({"id": "x1", "method": "analyze"})",
+      R"({"id": "x2", "method": "evaluate"})",
+      R"({"id": "x3", "method": "simulate",)"
+      R"( "params": {"profiles": 50, "fault_prob": "0.25", "seed": 9}})",
+      R"({"id": 44, "method": "ping"})",
+      R"({"method": "stats"})",
+      R"({"id": "x5", "method": "nope"})",  // error path must match too
+      R"(not json at all)",                 // parse-error path as well
+  };
+  for (const std::string& request : requests)
+    EXPECT_EQ(plain.handle(request), traced.handle(request)) << request;
+}
+
+TEST(ServeObservability, AccessLogRecordsEveryRequestWithStageBreakdown) {
+  const std::string path = write_demo_system("obs_access");
+  const std::string log_path = temp_path("access.jsonl");
+  std::remove(log_path.c_str());
+  ServeOptions options = demo_options(path);
+  options.access_log = log_path;
+  options.sample_interval_ms = 0;
+  {
+    Server server(std::move(options));
+    (void)server.handle(R"({"id": "a1", "method": "analyze"})");
+    (void)server.handle(R"({"id": 12, "method": "evaluate"})");
+    (void)server.handle(R"({"method": "ping"})");       // id generated
+    (void)server.handle(R"({"id": "a4", "method": "nope"})");
+    (void)server.handle(R"(garbage)");                  // parse error
+  }  // destructor closes (and flushes) the log fd
+
+  const std::vector<std::string> lines = read_lines(log_path);
+  ASSERT_EQ(lines.size(), 5u);
+  const JsonValue analyze = check_access_record(lines[0]);
+  EXPECT_EQ(analyze.str_or("id", ""), "a1");
+  EXPECT_EQ(analyze.str_or("method", ""), "analyze");
+  EXPECT_EQ(analyze.str_or("system", ""), path);
+  EXPECT_TRUE(analyze.bool_or("ok", false));
+  ASSERT_NE(analyze.get("cache"), nullptr);  // analyze reports cache outcome
+  EXPECT_GT(analyze.u64_or("bytes_in", 0), 0u);
+  EXPECT_GT(analyze.u64_or("bytes_out", 0), 0u);
+
+  const JsonValue evaluate = check_access_record(lines[1]);
+  EXPECT_EQ(evaluate.str_or("id", ""), "12");  // numeric id, echoed as text
+
+  const JsonValue ping = check_access_record(lines[2]);
+  EXPECT_EQ(ping.str_or("id", "").rfind("r", 0), 0u) << "generated id";
+  EXPECT_EQ(ping.get("cache"), nullptr);  // ping has no cache outcome
+
+  const JsonValue unknown = check_access_record(lines[3]);
+  EXPECT_FALSE(unknown.bool_or("ok", true));
+  EXPECT_EQ(unknown.str_or("error", ""), "request");
+
+  const JsonValue garbage = check_access_record(lines[4]);
+  EXPECT_FALSE(garbage.bool_or("ok", true));
+  EXPECT_EQ(garbage.str_or("error", ""), "parse");
+}
+
+TEST(ServeObservability, BatchLogsOneTopLevelRecordWithClientId) {
+  const std::string path = write_demo_system("obs_batch");
+  const std::string log_path = temp_path("batch.jsonl");
+  std::remove(log_path.c_str());
+  ServeOptions options = demo_options(path);
+  options.access_log = log_path;
+  options.sample_interval_ms = 0;
+  {
+    Server server(std::move(options));
+    const JsonValue result = expect_ok(server.handle(
+        R"({"id": "B7", "method": "batch", "params": {"requests": [)"
+        R"({"id": "s1", "method": "ping"},)"
+        R"({"id": "s2", "method": "ping"}]}})"));
+    EXPECT_EQ(result.u64_or("count", 0), 2u);
+  }
+  const std::vector<std::string> lines = read_lines(log_path);
+  ASSERT_EQ(lines.size(), 1u);  // sub-requests ride inside the batch record
+  const JsonValue record = check_access_record(lines[0]);
+  EXPECT_EQ(record.str_or("id", ""), "B7");
+  EXPECT_EQ(record.str_or("method", ""), "batch");
+}
+
+TEST(ServeObservability, SlowRequestsEscalateToMainLog) {
+  const std::string path = write_demo_system("obs_slow");
+  ServeOptions options = demo_options(path);
+  options.slow_ms = 1;  // any analysis-bearing request trips this
+  options.sample_interval_ms = 0;
+  Server server(std::move(options));
+  std::ostringstream sink;
+  util::Logger::instance().set_sink(&sink);
+  // The workload must out-run the 1ms threshold even on a fast machine:
+  // keep doubling the Monte-Carlo profile count until the request trips it.
+  for (std::uint64_t profiles = 2000; profiles <= 512000; profiles *= 2) {
+    (void)server.handle(
+        R"({"id": "slow", "method": "simulate", "params": {"profiles": )" +
+        std::to_string(profiles) + R"(, "fault_prob": "0.25", "seed": 9}})");
+    if (sink.str().find("slow request") != std::string::npos) break;
+  }
+  util::Logger::instance().set_sink(nullptr);
+  EXPECT_NE(sink.str().find("slow request"), std::string::npos) << sink.str();
+  EXPECT_NE(sink.str().find("id=slow"), std::string::npos) << sink.str();
+}
+
+TEST(ServeObservability, MetricsMethodRoundTripsSchema) {
+  const std::string path = write_demo_system("obs_metrics");
+  ServeOptions options = demo_options(path);
+  options.sample_interval_ms = 0;  // sampling off: window must be null
+  Server server(std::move(options));
+  (void)server.handle(R"({"method": "ping"})");
+  const JsonValue off = expect_ok(server.handle(R"({"method": "metrics"})"));
+  const JsonValue* metrics = off.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->str_or("schema", ""), "ftmc.metrics.v1");
+  ASSERT_NE(metrics->get("counters"), nullptr);
+  ASSERT_NE(off.get("window"), nullptr);
+  EXPECT_TRUE(off.get("window")->is_null());
+
+  const JsonValue prom = expect_ok(
+      server.handle(R"({"method": "metrics", "params":)"
+                    R"( {"format": "prometheus"}})"));
+  EXPECT_EQ(prom.str_or("format", ""), "prometheus");
+  ASSERT_NE(prom.get("body"), nullptr);
+#if !defined(FTMC_OBS_DISABLED)
+  EXPECT_NE(prom.get("body")->string.find("# TYPE ftmc_serve_requests"),
+            std::string::npos);
+#endif
+  EXPECT_NE(expect_error(server.handle(
+                             R"({"method": "metrics", "params":)"
+                             R"( {"format": "xml"}})"))
+                .find("format"),
+            std::string::npos);
+}
+
+TEST(ServeObservability, MetricsWindowReportsRatesOnceSampled) {
+  const std::string path = write_demo_system("obs_window");
+  ServeOptions options = demo_options(path);
+  options.sample_interval_ms = 2;
+  Server server(std::move(options));
+  (void)server.handle(R"({"method": "ping"})");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t samples = 0;
+  JsonValue window;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const JsonValue result =
+        expect_ok(server.handle(R"({"method": "metrics"})"));
+    const JsonValue* w = result.get("window");
+    ASSERT_NE(w, nullptr);
+    ASSERT_FALSE(w->is_null());  // sampler on: the window is always present
+    samples = w->u64_or("samples", 0);
+    if (samples > 0) {
+      window = *w;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GT(samples, 0u) << "sampler took no sample within the deadline";
+  EXPECT_GT(window.num_or("seconds", 0.0), 0.0);
+  const JsonValue* rates = window.get("rates");
+  ASSERT_NE(rates, nullptr);
+  for (const char* key :
+       {"requests_per_s", "scenarios_per_s", "sim_events_per_s"})
+    EXPECT_NE(rates->get(key), nullptr) << key;
+  EXPECT_NE(window.get("cache_hit_rate"), nullptr);
+  ASSERT_NE(window.get("latency"), nullptr);
+#if !defined(FTMC_OBS_DISABLED)
+  // The pings we issued must eventually show up as per-method latency.
+  const auto method_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool saw_ping = false;
+  while (!saw_ping && std::chrono::steady_clock::now() < method_deadline) {
+    (void)server.handle(R"({"method": "ping"})");
+    const JsonValue result =
+        expect_ok(server.handle(R"({"method": "metrics"})"));
+    const JsonValue* latency = result.get("window")->get("latency");
+    if (latency != nullptr && latency->get("ping") != nullptr) {
+      const JsonValue* ping = latency->get("ping");
+      EXPECT_GT(ping->u64_or("count", 0), 0u);
+      EXPECT_GE(ping->num_or("p95_us", -1.0), ping->num_or("p50_us", 0.0));
+      saw_ping = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(saw_ping) << "ping latency never appeared in the window";
+#endif
+}
+
+TEST(ServeObservability, HealthReportsReadyThenDraining) {
+  const std::string path = write_demo_system("obs_health");
+  ServeOptions options = demo_options(path);
+  options.sample_interval_ms = 0;
+  Server server(std::move(options));
+  const JsonValue ready = expect_ok(server.handle(R"({"method": "health"})"));
+  EXPECT_EQ(ready.str_or("status", ""), "ready");
+  EXPECT_GE(ready.num_or("uptime_s", -1.0), 0.0);
+  EXPECT_EQ(ready.u64_or("inflight", 99), 1u);  // this very request
+  EXPECT_FALSE(ready.bool_or("sampling", true));
+  const JsonValue* systems = ready.get("systems");
+  ASSERT_NE(systems, nullptr);
+  ASSERT_EQ(systems->array.size(), 1u);
+  EXPECT_EQ(systems->array[0].str_or("system", ""), path);
+  EXPECT_TRUE(systems->array[0].bool_or("candidate", false));
+  ASSERT_NE(systems->array[0].get("store_records"), nullptr);
+  EXPECT_TRUE(systems->array[0].get("store_records")->is_null());  // no L2
+
+  (void)server.handle(R"({"method": "shutdown"})");
+  const JsonValue draining =
+      expect_ok(server.handle(R"({"method": "health"})"));
+  EXPECT_EQ(draining.str_or("status", ""), "draining");
+  EXPECT_GE(draining.u64_or("requests", 0), 3u);
+}
+
+TEST(ServeObservability, PromTextfileRewrittenBySampler) {
+  const std::string path = write_demo_system("obs_prom");
+  const std::string prom_path = temp_path("metrics.prom");
+  std::remove(prom_path.c_str());
+  ServeOptions options = demo_options(path);
+  options.sample_interval_ms = 2;
+  options.prom_textfile = prom_path;
+  {
+    Server server(std::move(options));
+    (void)server.handle(R"({"method": "ping"})");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (read_lines(prom_path).empty() &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<std::string> lines = read_lines(prom_path);
+#if !defined(FTMC_OBS_DISABLED)
+  ASSERT_FALSE(lines.empty()) << "sampler never exported the textfile";
+  bool found = false;
+  for (const std::string& line : lines)
+    if (line.rfind("ftmc_", 0) == 0 || line.rfind("# TYPE ftmc_", 0) == 0)
+      found = true;
+  EXPECT_TRUE(found) << "exposition carries no ftmc_ series";
+#endif
+}
+
+TEST(ServeObservability, PromTextfileWithoutSamplerIsRejected) {
+  const std::string path = write_demo_system("obs_prom_reject");
+  ServeOptions options = demo_options(path);
+  options.sample_interval_ms = 0;
+  options.prom_textfile = temp_path("rejected.prom");
+  EXPECT_THROW(Server server(std::move(options)), std::runtime_error);
 }
 
 }  // namespace

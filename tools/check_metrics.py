@@ -10,7 +10,9 @@ Three kinds of input, all optional, each repeatable:
   --trace FILE          a --chrome-trace export; must be valid JSON with a
                         `traceEvents` array of B/E duration events that are
                         balanced and properly nested per (pid, tid), with
-                        per-thread non-decreasing timestamps.
+                        per-thread non-decreasing timestamps.  Instant
+                        events (ph "i", e.g. serve request-id annotations)
+                        must carry thread scope and an args.id payload.
   --bench-output FILE   captured stdout of a bench binary; must contain
                         exactly one `JSON: {...}` summary line (see
                         bench/README.md) whose payload parses and carries a
@@ -29,6 +31,18 @@ Three kinds of input, all optional, each repeatable:
                         have a valid header, a matching slots digest, and
                         slots that point at real records of the same key
                         (see src/ftmc/core/eval_store.hpp for the layout).
+  --access-log FILE     an `ftmc serve --access-log` JSONL stream; every
+                        record must carry the full schema (ts_ms, id,
+                        method, ok, byte counts, the five us.* latency
+                        stages) with total_us equal to the stage sum, an
+                        error class only on failures, and non-decreasing
+                        timestamps.
+  --prom FILE           a Prometheus text exposition (the `metrics` method
+                        with format=prometheus, or --prom-textfile); every
+                        sample line must parse, follow its # TYPE
+                        declaration, and histogram series must be
+                        cumulative, ending in a `+Inf` bucket equal to
+                        `_count`.
 
 Cross-cutting checks:
 
@@ -50,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import struct
 import sys
 
@@ -170,7 +185,7 @@ def check_trace(path: str) -> None:
         phase = event.get("ph")
         if phase == "M":  # metadata (thread names)
             continue
-        if phase not in ("B", "E"):
+        if phase not in ("B", "E", "i"):
             fail(path, f"traceEvents[{index}]: unexpected phase {phase!r}")
             return
         key = (event.get("pid"), event.get("tid"))
@@ -183,6 +198,18 @@ def check_trace(path: str) -> None:
             fail(path, f"traceEvents[{index}]: ts goes backwards on {key}")
             return
         last_ts[key] = ts
+        if phase == "i":
+            # Instant annotations (request ids): no stack effect, but the
+            # scope and payload must be present for chrome://tracing.
+            if event.get("s") != "t":
+                fail(path, f"traceEvents[{index}]: instant needs s='t'")
+                return
+            if not isinstance(event.get("args"), dict) or not isinstance(
+                event["args"].get("id"), str
+            ):
+                fail(path, f"traceEvents[{index}]: instant needs args.id")
+                return
+            continue
         stack = stacks.setdefault(key, [])
         if phase == "B":
             stack.append(name)
@@ -439,6 +466,153 @@ def check_store(directory: str) -> None:
                               os.path.getsize(log_path))
 
 
+ACCESS_LOG_STAGES = ("read", "parse", "dispatch", "render", "write")
+
+
+def check_access_log(path: str) -> None:
+    lines = load_jsonl(path)
+    if lines is None:
+        return
+    if not lines:
+        fail(path, "access log is empty")
+        return
+    last_ts = 0
+    for index, record in enumerate(lines):
+        label = f"record {index + 1}"
+        ts = record.get("ts_ms")
+        if not is_count(ts) or ts == 0:
+            fail(path, f"{label}: ts_ms missing or not a positive integer")
+            continue
+        if ts < last_ts:
+            fail(path, f"{label}: ts_ms goes backwards")
+        last_ts = ts
+        rid = record.get("id")
+        if not isinstance(rid, str) or not rid:
+            fail(path, f"{label}: id must be a non-empty string")
+        ok = record.get("ok")
+        if not isinstance(ok, bool):
+            fail(path, f"{label}: ok must be a boolean")
+            continue
+        error = record.get("error")
+        if ok and error is not None:
+            fail(path, f"{label}: error class on a successful request")
+        if not ok and error not in ("parse", "request"):
+            fail(path, f"{label}: error class {error!r} not parse/request")
+        method = record.get("method")
+        if not isinstance(method, str) or (not method and error != "parse"):
+            fail(path, f"{label}: method missing (and not a parse error)")
+        cache = record.get("cache")
+        if cache is not None and cache not in ("hit", "miss"):
+            fail(path, f"{label}: cache outcome {cache!r} not hit/miss")
+        for key in ("bytes_in", "bytes_out"):
+            if not is_count(record.get(key)):
+                fail(path, f"{label}: {key} missing or not a count")
+        stages = record.get("us")
+        if not isinstance(stages, dict):
+            fail(path, f"{label}: us stage breakdown missing")
+            continue
+        total = 0
+        complete = True
+        for stage in ACCESS_LOG_STAGES:
+            value = stages.get(stage)
+            if not is_count(value):
+                fail(path, f"{label}: us.{stage} missing or not a count")
+                complete = False
+            else:
+                total += value
+        if complete and record.get("total_us") != total:
+            fail(
+                path,
+                f"{label}: total_us {record.get('total_us')} != stage sum"
+                f" {total}",
+            )
+        if not isinstance(record.get("slow"), bool):
+            fail(path, f"{label}: slow must be a boolean")
+
+
+PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def check_prom(path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        fail(path, f"not readable: {exc}")
+        return
+    types: dict[str, str] = {}
+    # histogram base name -> list of (le, cumulative count), plus _count
+    buckets: dict[str, list[tuple[str, float]]] = {}
+    counts: dict[str, float] = {}
+    for index, line in enumerate(raw.splitlines()):
+        label = f"line {index + 1}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                fail(path, f"{label}: malformed TYPE declaration")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = PROM_SAMPLE.match(line)
+        if match is None:
+            fail(path, f"{label}: unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        if base not in types and name not in types:
+            fail(path, f"{label}: sample {name!r} precedes its TYPE line")
+            continue
+        declared = types.get(base, types.get(name))
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            fail(path, f"{label}: bad sample value {match.group('value')!r}")
+            continue
+        if declared == "histogram":
+            if name.endswith("_bucket"):
+                labels = match.group("labels") or ""
+                le = None
+                for part in labels.split(","):
+                    key, _, bound = part.partition("=")
+                    if key == "le":
+                        le = bound.strip('"')
+                if le is None:
+                    fail(path, f"{label}: histogram bucket without le label")
+                    continue
+                buckets.setdefault(base, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[base] = value
+    for base, series in buckets.items():
+        cumulative = [value for _, value in series]
+        if cumulative != sorted(cumulative):
+            fail(path, f"histogram {base}: buckets are not cumulative")
+        if not series or series[-1][0] != "+Inf":
+            fail(path, f"histogram {base}: last bucket must be le='+Inf'")
+            continue
+        if base in counts and series[-1][1] != counts[base]:
+            fail(
+                path,
+                f"histogram {base}: +Inf bucket {series[-1][1]}"
+                f" != _count {counts[base]}",
+            )
+
+
 def parse_counter_expectation(spec: str) -> tuple[str, int] | None:
     name, sep, bound = spec.partition(">=")
     if not sep or not name or not bound.isdigit():
@@ -522,6 +696,8 @@ def main() -> int:
     parser.add_argument("--bench-output", action="append", default=[])
     parser.add_argument("--checkpoint", action="append", default=[])
     parser.add_argument("--store", action="append", default=[])
+    parser.add_argument("--access-log", action="append", default=[])
+    parser.add_argument("--prom", action="append", default=[])
     parser.add_argument("--expect-counter", action="append", default=[])
     parser.add_argument(
         "--compare-jsonl", nargs=2, action="append", default=[]
@@ -533,11 +709,13 @@ def main() -> int:
         or args.bench_output
         or args.checkpoint
         or args.store
+        or args.access_log
+        or args.prom
         or args.compare_jsonl
     ):
         parser.error(
             "nothing to check; pass --metrics/--trace/--bench-output/"
-            "--checkpoint/--store/--compare-jsonl"
+            "--checkpoint/--store/--access-log/--prom/--compare-jsonl"
         )
     if args.expect_counter and not args.metrics:
         parser.error("--expect-counter requires at least one --metrics")
@@ -558,6 +736,10 @@ def main() -> int:
         check_checkpoint(path)
     for path in args.store:
         check_store(path)
+    for path in args.access_log:
+        check_access_log(path)
+    for path in args.prom:
+        check_prom(path)
     for pair in args.compare_jsonl:
         compare_jsonl(pair[0], pair[1])
     for error in errors:
@@ -568,6 +750,8 @@ def main() -> int:
         + len(args.bench_output)
         + len(args.checkpoint)
         + len(args.store)
+        + len(args.access_log)
+        + len(args.prom)
         + len(args.compare_jsonl)
     )
     if not errors:

@@ -73,6 +73,10 @@ int usage() {
       "            [--cache-dir=DIR] [--no-cache] [--max-requests=N]\n"
       "            [--max-connections=N]  (concurrent TCP sessions, def. 8)\n"
       "            [--threads=N] [--no-warm-start] [--scenario-batch=N]\n"
+      "            [--access-log=FILE]  (JSONL per-request records)\n"
+      "            [--slow-ms=N]  (escalate slow requests to the log)\n"
+      "            [--sample-interval=MS]  (metrics sampler cadence,\n"
+      "            default 1000, 0 = off) [--prom-textfile=FILE]\n"
       "  optimize  genetic design-space exploration\n"
       "            [--generations=N] [--population=N] [--seed=S]\n"
       "            [--seeds=A,B,...]  (multi-seed campaign, merged front)\n"
@@ -446,6 +450,10 @@ int cmd_serve(int argc, char** argv) {
   options.enable_cache = !parser.flag("no-cache");
   options.max_requests = parser.size("max-requests", 0);
   options.max_connections = parser.size("max-connections", 8);
+  options.access_log = parser.str("access-log", "");
+  options.slow_ms = parser.size("slow-ms", 0);
+  options.sample_interval_ms = parser.size("sample-interval", 1000);
+  options.prom_textfile = parser.str("prom-textfile", "");
   options.kernel = parse_kernel_options(parser);
   const bool stdio = parser.flag("stdio");
   const auto port = static_cast<std::uint16_t>(parser.u64("port", 0));

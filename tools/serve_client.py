@@ -19,6 +19,12 @@ Modes (one required):
                         runs of the same binary — the serve responses must
                         be bitwise identical to the CLI.
 
+With --watch (load mode), one extra connection polls the daemon's `metrics`
+method while the load runs and prints a live windowed rate line (req/s and
+cache hit rate from the serve-side sampler).  --access-log / --slow-ms /
+--sample-interval / --prom-textfile forward the matching daemon flags so CI
+can validate the observability artifacts afterwards.
+
 With --concurrency N (smoke mode), N client threads each open their own
 connection and send the N_req mixed requests concurrently — including
 periodic `batch` requests and `evaluate` calls carrying the system's own
@@ -225,6 +231,28 @@ def percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+def watch_worker(port: int, stop: threading.Event) -> None:
+    """Live rate line for load mode: polls the daemon's `metrics` method on
+    its own connection and prints the windowed request rate the serve-side
+    sampler reports (requires the daemon's sampler, on by default)."""
+    try:
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            while not stop.wait(0.5):
+                response = call(sock, {"id": "watch", "method": "metrics"})
+                if response.get("ok") is not True:
+                    return
+                window = response["result"].get("window")
+                if not window or not window.get("samples"):
+                    continue
+                rates = window.get("rates", {})
+                print(f"watch: {rates.get('requests_per_s', 0.0):.1f} req/s,"
+                      f" cache hit rate"
+                      f" {window.get('cache_hit_rate', 0.0):.2f} over"
+                      f" {window.get('seconds', 0.0):.1f}s", flush=True)
+    except (OSError, ConnectionError, ValueError):
+        pass  # daemon draining mid-poll; the load result is what matters
+
+
 def run_load(args: argparse.Namespace, port: int,
              references: dict[str, str]) -> int:
     candidate_block = extract_candidate_block(args.system)
@@ -237,6 +265,12 @@ def run_load(args: argparse.Namespace, port: int,
             resident_eval.pop("cache_hit", None)
     per_worker: list[tuple[list[float], list[str]]] = []
     threads = []
+    watcher = None
+    watch_stop = threading.Event()
+    if args.watch:
+        watcher = threading.Thread(target=watch_worker,
+                                   args=(port, watch_stop))
+        watcher.start()
     begin = time.monotonic()
     for worker in range(args.concurrency):
         latencies: list[float] = []
@@ -251,6 +285,9 @@ def run_load(args: argparse.Namespace, port: int,
     for thread in threads:
         thread.join()
     elapsed = time.monotonic() - begin
+    if watcher is not None:
+        watch_stop.set()
+        watcher.join()
     failures = 0
     for _, errors in per_worker:
         for message in errors:
@@ -280,6 +317,14 @@ def run_smoke(args: argparse.Namespace) -> int:
         argv.append(f"--cache-dir={args.cache_dir}")
     if args.metrics_json:
         argv.append(f"--metrics-json={args.metrics_json}")
+    if args.access_log:
+        argv.append(f"--access-log={args.access_log}")
+    if args.slow_ms is not None:
+        argv.append(f"--slow-ms={args.slow_ms}")
+    if args.sample_interval is not None:
+        argv.append(f"--sample-interval={args.sample_interval}")
+    if args.prom_textfile:
+        argv.append(f"--prom-textfile={args.prom_textfile}")
     daemon = subprocess.Popen(argv)
     try:
         port = wait_for_port(port_file, daemon)
@@ -371,6 +416,17 @@ def main() -> int:
     parser.add_argument("--cache-dir", help="persistent store root (smoke)")
     parser.add_argument("--metrics-json",
                         help="daemon --metrics-json path (smoke)")
+    parser.add_argument("--access-log",
+                        help="daemon --access-log path (smoke)")
+    parser.add_argument("--slow-ms", type=int,
+                        help="daemon --slow-ms threshold (smoke)")
+    parser.add_argument("--sample-interval", type=int,
+                        help="daemon --sample-interval in ms (smoke)")
+    parser.add_argument("--prom-textfile",
+                        help="daemon --prom-textfile path (smoke)")
+    parser.add_argument("--watch", action="store_true",
+                        help="poll `metrics` during load mode and print a"
+                             " live windowed rate line")
     args = parser.parse_args()
     if args.smoke is not None:
         if not args.ftmc or not args.system:
