@@ -482,7 +482,51 @@ void EvalStore::flush() {
   update_mapped_gauge_locked();
 }
 
+void EvalStore::absorb_sibling_records_locked() {
+  // Sibling processes sharing this log append their records under the same
+  // flock ours use, so everything past this process's validated prefix is a
+  // run of complete records from an arbitrary interleaving of writers.  The
+  // index snapshot below claims coverage of every log byte up to `covered`;
+  // absorbing the interleaved records first keeps that claim honest —
+  // otherwise a sibling's records inside the covered range would be invisible
+  // to every future open (the tail scan starts after `covered`).
+  if (::flock(log_fd_, LOCK_SH) != 0)
+    fail("cannot lock evaluation store log", log_path());
+  std::uint64_t log_end = 0;
+  try {
+    log_end = file_size_of(log_fd_, log_path());
+  } catch (...) {
+    ::flock(log_fd_, LOCK_UN);
+    throw;
+  }
+  ::flock(log_fd_, LOCK_UN);
+  const std::uint64_t from = log_valid_end_;
+  if (log_end <= from) return;
+  // Bytes below log_end are immutable (the log is append-only), so the scan
+  // itself needs no lock.
+  const std::size_t len = static_cast<std::size_t>(log_end - from);
+  std::vector<std::uint8_t> tail(len);
+  pread_all(log_fd_, tail.data(), len, from, log_path());
+  std::size_t off = 0;
+  while (off + kRecordHeaderSize <= len) {
+    const std::uint64_t key = load_u64(tail.data() + off);
+    const std::uint64_t cand_bytes = load_u32(tail.data() + off + 8);
+    const std::uint64_t eval_bytes = load_u32(tail.data() + off + 12);
+    const std::uint64_t digest = load_u64(tail.data() + off + 16);
+    const std::uint64_t payload = cand_bytes + eval_bytes;
+    if (off + kRecordHeaderSize + payload > len) break;
+    const std::uint8_t* body = tail.data() + off + kRecordHeaderSize;
+    if (util::fnv1a_bytes({body, static_cast<std::size_t>(payload)}) !=
+        digest)
+      break;  // a sibling crashed mid-append; open() recovers/truncates
+    overlay_.emplace(key, from + off);  // our own newer re-put offsets win
+    off += kRecordHeaderSize + static_cast<std::size_t>(payload);
+  }
+  overlay_end_ = std::max(overlay_end_, from + off);
+}
+
 void EvalStore::persist_index_locked() {
+  absorb_sibling_records_locked();
   // Merge the mapped index with the overlay (overlay wins: it holds the
   // newest offset for re-put keys).
   std::unordered_map<std::uint64_t, std::uint64_t> entries;

@@ -127,6 +127,7 @@ class EvalStore {
   void map_index(std::uint64_t file_size);
   void unmap_all();
   void persist_index_locked();
+  void absorb_sibling_records_locked();
   bool index_lookup(std::uint64_t key, std::uint64_t* offset) const;
   std::optional<Evaluation> read_record_locked(std::uint64_t offset,
                                                std::uint64_t key,

@@ -1,0 +1,102 @@
+// Worker fleet management for distributed campaigns.
+//
+// A WorkerFleet owns the `ftmc serve` workers a campaign evaluates on:
+// locally spawned processes (fork/exec of the ftmc binary, ephemeral port
+// rendezvous through a --port-file) and/or externally managed daemons
+// reached by host:port.  The fleet hands out framed ftmc.rpc.v1 calls,
+// detects dead workers, respawns local ones (counted in
+// dse.worker.lost / dse.worker.respawns), and re-shards islands away from
+// external workers that stay unreachable.
+//
+// Layering: this library sits above both ftmc_dse (the Executor interface)
+// and ftmc_serve (the wire protocol); neither of those links the other.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ftmc::dist {
+
+/// One framed TCP connection to a worker.  Methods throw
+/// dse::ExecutorError (via the fleet) on transport failure.
+class WorkerConnection {
+ public:
+  /// Connects to 127.0.0.1-or-host:port; throws std::runtime_error when
+  /// the worker is unreachable.
+  WorkerConnection(const std::string& host, std::uint16_t port);
+  ~WorkerConnection();
+
+  WorkerConnection(const WorkerConnection&) = delete;
+  WorkerConnection& operator=(const WorkerConnection&) = delete;
+
+  /// One request/response round trip (payloads, not frames).  Throws
+  /// std::runtime_error when the peer hangs up mid-call.
+  std::string call(const std::string& request);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct WorkerFleetOptions {
+  /// Path of the ftmc binary for spawned workers; empty = this very
+  /// executable (/proc/self/exe).
+  std::string ftmc_binary;
+  /// System file every spawned worker serves.
+  std::string system_path;
+  /// Local workers to spawn (`ftmc serve <system> --port=0 ...`).
+  std::size_t spawn = 0;
+  /// Externally managed workers, each "host:port"; appended after the
+  /// spawned ones in worker indexing.
+  std::vector<std::string> hosts;
+  /// --threads forwarded to each spawned worker (0 = worker default).
+  std::size_t worker_threads = 0;
+  /// --cache-dir forwarded to each spawned worker (shared eval store).
+  std::string cache_dir;
+};
+
+/// Owns the worker processes/endpoints of one campaign.  Thread-safe: the
+/// per-worker mutex serializes calls on one worker while different workers
+/// serve concurrent islands.
+class WorkerFleet {
+ public:
+  explicit WorkerFleet(WorkerFleetOptions options);
+  /// Shuts down spawned workers (shutdown request, then SIGKILL) and
+  /// closes external connections.
+  ~WorkerFleet();
+
+  WorkerFleet(const WorkerFleet&) = delete;
+  WorkerFleet& operator=(const WorkerFleet&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// The worker an island should evaluate on: `island % size()` when that
+  /// worker is usable, otherwise the next usable one (elastic re-sharding
+  /// after an external worker became unreachable).  Throws
+  /// dse::ExecutorError when no worker is usable.
+  std::size_t assign(std::size_t island);
+
+  /// One request/response round trip on worker `index`, reconnecting and —
+  /// for spawned workers — respawning dead processes first.  Throws
+  /// dse::ExecutorError on transport failure (the connection is dropped so
+  /// the next call reconnects).
+  std::string call(std::size_t index, const std::string& request);
+
+  /// Process id of a spawned worker (tests SIGKILL it), -1 for external.
+  pid_t pid(std::size_t index) const;
+
+ private:
+  struct Worker;
+  void spawn_worker(Worker& worker);
+  void ensure_connected(Worker& worker);
+
+  WorkerFleetOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace ftmc::dist

@@ -6,23 +6,40 @@
 // bounded exponential backoff, enforces wall-clock and evaluation budgets,
 // and merges the per-seed feasible fronts into one non-dominated set.
 //
+// With `migration_every > 0` the seeds become an island model instead:
+// every seed is an island, islands run `migration_every` generations per
+// epoch, meet at a barrier, and exchange their best feasible non-dominated
+// candidates along a ring before resuming from in-memory snapshots.
+// Islands may run their epochs concurrently (`parallel_islands`), and each
+// island's evaluations can be delegated to a remote worker through
+// `executor_factory` (see executor.hpp; the factory is re-invoked on retry
+// so a lost worker is replaced by a fresh one).
+//
 // Determinism: every shard is an ordinary GA run, so a fixed seed list
 // yields a bitwise-identical merged front; a retried shard reloads its
 // latest checkpoint (or restarts from scratch when checkpointing is off),
 // which by the resume guarantee of checkpoint.hpp reproduces the exact
-// trajectory the failed attempt was on.  Configuration errors
-// (std::invalid_argument) and checkpoint defects (CheckpointError) are
-// never retried — they fail the campaign immediately.
+// trajectory the failed attempt was on.  Island campaigns are equally
+// deterministic — migration happens at fixed generation barriers on sorted
+// candidate lists — so a fixed (seeds, migration_every, migration_size)
+// triple pins the merged front regardless of which executor evaluated each
+// batch or whether any worker died and was respawned mid-epoch.
+// Configuration errors (std::invalid_argument) and checkpoint defects
+// (CheckpointError) are never retried — they fail the campaign
+// immediately.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ftmc/dse/ga.hpp"
 
 namespace ftmc::dse {
+
+class Executor;
 
 struct CampaignOptions {
   /// Per-shard GA configuration; `ga.seed` is overridden by each entry of
@@ -31,6 +48,30 @@ struct CampaignOptions {
   GaOptions ga;
   /// One shard per seed, run in order.  Empty = single shard with ga.seed.
   std::vector<std::uint64_t> seeds;
+
+  /// Island-model migration cadence in generations (0 = plain sequential
+  /// multi-seed shards, the historical behaviour).  With a cadence, every
+  /// seed is an island: epochs of `migration_every` generations separated
+  /// by ring-migration barriers.
+  std::size_t migration_every = 0;
+  /// Candidates each island donates to its ring successor per barrier
+  /// (its best feasible non-dominated individuals, deduplicated against
+  /// the recipient's archive by objective vector).
+  std::size_t migration_size = 4;
+  /// Run island epochs concurrently, one thread per island.  Off by
+  /// default: in-process islands already saturate the machine through the
+  /// evaluator pool, so threads only help when executors evaluate
+  /// elsewhere (remote workers).
+  bool parallel_islands = false;
+  /// An island whose epoch-duration EWMA exceeds this factor times the
+  /// fleet mean is counted in `dse.campaign.stragglers` (diagnostic only;
+  /// the migration barrier still waits for it).
+  double straggler_factor = 3.0;
+  /// Evaluation executor per island (nullptr = in-process).  Called once
+  /// per GA attempt, so a retry after a worker loss constructs a fresh
+  /// executor — typically a respawned worker.  Also honoured in plain
+  /// shard mode (one call per shard attempt).
+  std::function<std::unique_ptr<Executor>(std::size_t)> executor_factory;
 
   /// Retries per shard on evaluator failure (any std::exception except
   /// configuration and checkpoint errors).
@@ -86,6 +127,9 @@ struct CampaignResult {
   bool interrupted = false;
   /// True when a wall-clock or evaluation budget ended the campaign early.
   bool budget_exhausted = false;
+  /// Island-mode telemetry (both zero in plain shard mode).
+  std::size_t migration_epochs = 0;
+  std::size_t migrants = 0;
 };
 
 /// Merges per-shard fronts into one non-dominated, deduplicated front.
@@ -100,6 +144,11 @@ class Campaign {
   CampaignResult run(const CampaignOptions& options) const;
 
  private:
+  CampaignResult run_shards(const CampaignOptions& options,
+                            const std::vector<std::uint64_t>& seeds) const;
+  CampaignResult run_islands(const CampaignOptions& options,
+                             const std::vector<std::uint64_t>& seeds) const;
+
   const model::Architecture* arch_;
   const model::ApplicationSet* apps_;
   const sched::SchedulingAnalysis* backend_;

@@ -1,0 +1,25 @@
+#include "ftmc/dse/executor.hpp"
+
+#include <chrono>
+
+#include "ftmc/util/thread_pool.hpp"
+
+namespace ftmc::dse {
+
+void InProcessExecutor::evaluate(const std::vector<EvalRequest>& requests,
+                                 std::vector<EvalOutcome>& outcomes) {
+  outcomes.resize(requests.size());
+  pool_->parallel_for(requests.size(), [&](std::size_t index) {
+    const auto start = std::chrono::steady_clock::now();
+    bool cache_hit = false;
+    outcomes[index].evaluation =
+        evaluator_->evaluate(*requests[index].candidate, &cache_hit);
+    outcomes[index].cache_hit = cache_hit;
+    outcomes[index].latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+  });
+}
+
+}  // namespace ftmc::dse

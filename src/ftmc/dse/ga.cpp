@@ -1,7 +1,6 @@
 #include "ftmc/dse/ga.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -10,6 +9,7 @@
 #include <unordered_map>
 
 #include "ftmc/dse/checkpoint.hpp"
+#include "ftmc/dse/executor.hpp"
 #include "ftmc/obs/metrics.hpp"
 #include "ftmc/obs/trace.hpp"
 #include "ftmc/util/stats.hpp"
@@ -107,6 +107,15 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
   const core::Evaluator evaluator(*arch_, *apps_, *backend_,
                                   evaluator_options);
 
+  // Evaluation backend: the caller's executor, or a run-local in-process
+  // one over the evaluator and pool built above.
+  std::optional<InProcessExecutor> local_executor;
+  Executor* executor = options.executor;
+  if (executor == nullptr) {
+    local_executor.emplace(evaluator, pool);
+    executor = &*local_executor;
+  }
+
   GaResult result;
   result.best_feasible_power = std::numeric_limits<double>::quiet_NaN();
 
@@ -138,16 +147,22 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     std::vector<double> eval_us;
   } last_batch;
 
-  // Evaluates a batch of chromosomes in parallel; repair mutates the
-  // chromosomes in place (Lamarckian), so the batch is taken by reference.
+  // Evaluates a batch of chromosomes; repair mutates the chromosomes in
+  // place (Lamarckian), so the batch is taken by reference.  Three phases:
+  // (1) parallel decode-memo lookup + decode/repair, (2) one executor call
+  // covering every memo miss (so a remote backend sees the whole
+  // generation as one batch), (3) sequential fold of the outcomes back
+  // into individuals, memo, and telemetry.  The phases compute exactly
+  // what the pre-executor fused loop did, in a batch-friendly order.
   auto evaluate_batch = [&](std::vector<Chromosome>& batch) {
     obs::Span batch_span("ga.evaluate_batch");
     std::vector<Individual> individuals(batch.size());
-    std::vector<double> latencies(batch.size());
-    std::atomic<std::size_t> hits{0};
-    std::atomic<std::size_t> scenarios{0};
-    std::atomic<std::size_t> solves{0};
+    std::vector<double> latencies(batch.size(), 0.0);
+    std::vector<std::uint64_t> keys(batch.size(), 0);
+    std::vector<Chromosome> genotypes(batch.size());
+    std::vector<char> memoized(batch.size(), 0);
     const auto start = std::chrono::steady_clock::now();
+
     pool.parallel_for(batch.size(), [&](std::size_t index) {
       obs::Span candidate_span("ga.candidate");
       const auto candidate_start = std::chrono::steady_clock::now();
@@ -158,8 +173,9 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
       // determinism is what makes the genotype memo and the candidate
       // cache sound — and keeps the run reproducible for a fixed seed.
       const std::uint64_t key = chromosome_hash(batch[index], options.seed);
+      keys[index] = key;
 
-      bool cache_hit = false;
+      bool memo_hit = false;
       if (options.cache_evaluations) {
         std::lock_guard lock(memo_mutex);
         const auto found = decode_memo.find(key);
@@ -169,58 +185,83 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
           individual.chromosome = found->second.repaired;
           individual.candidate = found->second.candidate;
           individual.evaluation = found->second.evaluation;
-          cache_hit = true;
+          memo_hit = true;
           ga_counters().decode_memo_hits.add(1);
         }
       }
 
-      if (!cache_hit) {
-        Chromosome genotype;
-        if (options.cache_evaluations) genotype = batch[index];
+      if (!memo_hit) {
+        genotypes[index] = batch[index];  // pre-repair wire form
         util::Rng rng(key);
         individual.candidate = decoder.decode(batch[index], rng);
         individual.chromosome = batch[index];
-        individual.evaluation =
-            evaluator.evaluate(individual.candidate, &cache_hit);
-        if (options.cache_evaluations) {
-          std::lock_guard lock(memo_mutex);
-          if (decode_memo.size() < options.cache_capacity)
-            decode_memo.emplace(
-                key, DecodeMemoEntry{std::move(genotype), batch[index],
-                                     individual.candidate,
-                                     individual.evaluation});
-        }
       }
+      memoized[index] = memo_hit ? 1 : 0;
+      latencies[index] = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() -
+                             candidate_start)
+                             .count();
+    });
 
-      if (cache_hit) {
-        hits.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::size_t> pending;
+    pending.reserve(batch.size());
+    for (std::size_t index = 0; index < batch.size(); ++index)
+      if (memoized[index] == 0) pending.push_back(index);
+
+    std::vector<EvalRequest> requests(pending.size());
+    std::vector<EvalOutcome> outcomes;
+    for (std::size_t slot = 0; slot < pending.size(); ++slot) {
+      const std::size_t index = pending[slot];
+      requests[slot].genotype = &genotypes[index];
+      requests[slot].candidate = &individuals[index].candidate;
+      requests[slot].key = keys[index];
+    }
+    executor->evaluate(requests, outcomes);
+
+    std::size_t hits = batch.size() - pending.size();
+    std::size_t scenarios = 0;
+    std::size_t solves = 0;
+    for (std::size_t slot = 0; slot < pending.size(); ++slot) {
+      const std::size_t index = pending[slot];
+      Individual& individual = individuals[index];
+      individual.evaluation = outcomes[slot].evaluation;
+      latencies[index] += outcomes[slot].latency_us;
+      if (outcomes[slot].cache_hit) {
+        ++hits;
       } else {
-        scenarios.fetch_add(individual.evaluation.scenario_count,
-                            std::memory_order_relaxed);
-        solves.fetch_add(individual.evaluation.scenario_solves,
-                         std::memory_order_relaxed);
+        scenarios += individual.evaluation.scenario_count;
+        solves += individual.evaluation.scenario_solves;
       }
+      if (options.cache_evaluations) {
+        std::lock_guard lock(memo_mutex);
+        if (decode_memo.size() < options.cache_capacity)
+          decode_memo.emplace(
+              keys[index],
+              DecodeMemoEntry{std::move(genotypes[index]), batch[index],
+                              individual.candidate, individual.evaluation});
+      }
+    }
+
+    for (std::size_t index = 0; index < batch.size(); ++index) {
+      Individual& individual = individuals[index];
       individual.objectives =
           objectives_of(individual.evaluation, options.optimize_service);
       if (observer_) {
         std::lock_guard lock(observer_mutex);
         observer_(individual.candidate, individual.evaluation);
       }
-      const double micros =
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - candidate_start)
-              .count();
-      latencies[index] = micros;
       ga_counters().eval_us.record(
-          micros <= 0.0 ? 0 : static_cast<std::uint64_t>(micros));
-    });
+          latencies[index] <= 0.0
+              ? 0
+              : static_cast<std::uint64_t>(latencies[index]));
+    }
     ga_counters().evaluations.add(batch.size());
     std::sort(latencies.begin(), latencies.end());
     last_batch.eval_us = std::move(latencies);
     last_batch.evaluations = batch.size();
-    last_batch.cache_hits = hits.load();
-    last_batch.scenarios_analyzed = scenarios.load();
-    last_batch.scenario_solves = solves.load();
+    last_batch.cache_hits = hits;
+    last_batch.scenarios_analyzed = scenarios;
+    last_batch.scenario_solves = solves;
     last_batch.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -258,8 +299,7 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     return offspring;
   };
 
-  auto write_snapshot = [&](std::size_t generation, bool finished) {
-    if (options.checkpoint_path.empty()) return;
+  auto make_snapshot = [&](std::size_t generation, bool finished) {
     Checkpoint snapshot;
     snapshot.options = TrajectoryOptions::of(options);
     snapshot.generation = generation;
@@ -270,7 +310,13 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     snapshot.master = master.state();
     snapshot.archive = archive;
     snapshot.history = result.history;
-    save_checkpoint(options.checkpoint_path, snapshot,
+    return snapshot;
+  };
+
+  auto write_snapshot = [&](std::size_t generation, bool finished) {
+    if (options.checkpoint_path.empty()) return;
+    save_checkpoint(options.checkpoint_path,
+                    make_snapshot(generation, finished),
                     options.checkpoint_keep);
   };
 
@@ -402,6 +448,9 @@ GaResult GeneticOptimizer::run(const GaOptions& options) const {
     const bool cadence = !options.checkpoint_path.empty() &&
                          generation % options.checkpoint_every == 0;
     if (finished || stop || cadence) write_snapshot(generation, finished);
+    if (options.capture_final_snapshot && (finished || stop))
+      result.snapshot =
+          std::make_shared<Checkpoint>(make_snapshot(generation, finished));
     if (stop) {
       result.interrupted = true;
       break;

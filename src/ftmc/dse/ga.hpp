@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,7 @@
 namespace ftmc::dse {
 
 struct Checkpoint;  // checkpoint.hpp
+class Executor;     // executor.hpp
 
 /// One evaluated design point.
 struct Individual {
@@ -121,6 +123,20 @@ struct GaOptions {
   /// checkpoint_path is set, and returns with GaResult::interrupted.
   std::function<bool()> stop_requested;
 
+  /// Evaluation backend for memo-missing candidates (see executor.hpp).
+  /// nullptr runs a run-local InProcessExecutor over the GA's own
+  /// evaluator and pool — bit-for-bit the pre-executor behavior.  The
+  /// executor choice never alters the trajectory (evaluations are pure
+  /// functions of the genotype), so it is deliberately NOT part of
+  /// TrajectoryOptions: snapshots resume under any backend.  Must outlive
+  /// run().
+  Executor* executor = nullptr;
+  /// Also return the boundary snapshot in GaResult::snapshot when the run
+  /// ends (finished or stopped), independent of checkpoint_path.  The
+  /// island-model campaign uses this to chunk a run into migration epochs
+  /// without a disk round-trip per epoch.
+  bool capture_final_snapshot = false;
+
   /// Validates field ranges and resolves the overlapping cache/pool knobs
   /// with the precedence documented above.  Throws std::invalid_argument
   /// naming the offending field(s).  run() calls this first.
@@ -145,6 +161,11 @@ struct GaResult {
   /// Final counters of the run-local EvaluationCache (all zero when
   /// caching was disabled).
   core::CacheStats cache;
+  /// The run-ending boundary snapshot, when capture_final_snapshot was
+  /// set (null otherwise, and on the resume-of-finished-run fast path).
+  /// Resuming from it continues the trajectory exactly as a disk
+  /// checkpoint would.
+  std::shared_ptr<Checkpoint> snapshot;
 };
 
 class GeneticOptimizer {

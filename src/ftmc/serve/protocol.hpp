@@ -22,6 +22,12 @@ class ProtocolError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// RPC surface version (docs/PROTOCOL.md).  Every request must carry it
+/// as its "v" member and every response echoes it; a missing or different
+/// version is rejected with the `version_mismatch` error code so protocol
+/// drift fails loudly instead of half-working.
+inline constexpr const char* kRpcVersion = "ftmc.rpc.v1";
+
 /// Upper bound on one frame's payload (a malformed or hostile length
 /// prefix must not allocate unbounded memory).
 constexpr std::size_t kMaxFramePayload = 64u << 20;

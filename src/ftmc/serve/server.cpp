@@ -120,6 +120,42 @@ std::string describe_errno(int err) {
   return text + " (" + std::strerror(err) + ")";
 }
 
+/// A request failure tagged with its ftmc.rpc.v1 taxonomy code
+/// (docs/PROTOCOL.md): bad_request | unknown_method | version_mismatch |
+/// shutting_down | internal.  Handlers that throw a plain
+/// std::runtime_error are input-validation failures and map to
+/// bad_request; non-runtime exceptions (logic errors, allocation) and
+/// store faults map to internal.
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(std::string code, const std::string& message,
+               std::string detail = {})
+      : std::runtime_error(message),
+        code_(std::move(code)),
+        detail_(std::move(detail)) {}
+
+  const std::string& code() const noexcept { return code_; }
+  const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  std::string code_;
+  std::string detail_;
+};
+
+/// Resolves an exception to its taxonomy code (`detail` receives any
+/// extra context a RequestError carried).
+std::string error_code_of(const std::exception& error, std::string* detail) {
+  if (const auto* typed = dynamic_cast<const RequestError*>(&error)) {
+    *detail = typed->detail();
+    return typed->code();
+  }
+  if (dynamic_cast<const core::StoreError*>(&error) != nullptr)
+    return "internal";
+  if (dynamic_cast<const std::runtime_error*>(&error) != nullptr)
+    return "bad_request";
+  return "internal";
+}
+
 /// Echoes the request's "id" (string or number) into the response; absent
 /// or other-kind ids echo as null, so a reply always carries the field.
 void echo_id(obs::Json& response, const JsonValue* id) {
@@ -255,7 +291,9 @@ struct Server::RequestInfo {
   std::string method;
   std::string system;
   bool ok = true;
-  std::string error_class;   ///< "parse" | "request" when !ok
+  /// Taxonomy code (docs/PROTOCOL.md) when !ok: bad_request |
+  /// unknown_method | version_mismatch | shutting_down | internal.
+  std::string error_class;
   bool cache_known = false;  ///< analyze/evaluate report a cache outcome
   bool cache_hit = false;
   std::uint64_t bytes_in = 0;
@@ -747,14 +785,47 @@ obs::Json Server::dispatch(const JsonValue& root, bool allow_batch,
                            RequestInfo* info,
                            const std::string& request_id) {
   obs::Json response = obs::Json::object();
+  response.set("v", kRpcVersion);
   try {
     if (!root.is_object())
       throw std::runtime_error("request must be a JSON object");
     echo_id(response, root.get("id"));
+    // Version gate: top-level requests must carry v; batch items may omit
+    // it (they inherit the envelope's, already checked) but must match
+    // when present.
+    const JsonValue* version = root.get("v");
+    if (version == nullptr) {
+      if (allow_batch)
+        throw RequestError(
+            "version_mismatch",
+            std::string("request has no \"v\" member; this server speaks ") +
+                kRpcVersion);
+    } else if (version->kind != JsonValue::Kind::kString ||
+               version->string != kRpcVersion) {
+      throw RequestError(
+          "version_mismatch",
+          std::string("unsupported protocol version; this server speaks ") +
+              kRpcVersion,
+          version->kind == JsonValue::Kind::kString
+              ? "got \"" + version->string + "\""
+              : "got a non-string \"v\"");
+    }
     const std::string method = root.str_or("method", "");
     if (info != nullptr) info->method = method;
     if (method.empty())
       throw std::runtime_error("request has no \"method\" member");
+    // Work-bearing methods are refused while draining so a shutdown never
+    // queues new analysis behind itself; introspection (ping, health,
+    // metrics, stats, systems, shutdown) still answers, which is what
+    // lets monitors watch the drain.  Checked at the envelope only: a
+    // batch accepted before the drain finishes all of its items.
+    if (allow_batch && stopping() &&
+        (method == "analyze" || method == "evaluate" ||
+         method == "simulate" || method == "batch"))
+      throw RequestError(
+          "shutting_down",
+          "server is draining; method '" + method + "' is refused",
+          "introspection methods still answer during the drain");
 
     static const JsonValue kNoParams{};
     const JsonValue* params = root.get("params");
@@ -791,17 +862,23 @@ obs::Json Server::dispatch(const JsonValue& root, bool allow_batch,
       else
         result = handle_simulate(sys, p);
     } else {
-      throw std::runtime_error("unknown method '" + method + "'");
+      throw RequestError("unknown_method", "unknown method '" + method + "'");
     }
     response.set("ok", true).set("result", std::move(result));
   } catch (const std::exception& error) {
     counters().errors.add(1);
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    std::string detail;
+    const std::string code = error_code_of(error, &detail);
     if (info != nullptr) {
       info->ok = false;
-      info->error_class = "request";
+      info->error_class = code;
     }
-    response.set("ok", false).set("error", error.what());
+    obs::Json err = obs::Json::object()
+                        .set("code", code)
+                        .set("message", error.what());
+    if (!detail.empty()) err.set("detail", detail);
+    response.set("ok", false).set("error", std::move(err));
   }
   return response;
 }
@@ -844,9 +921,14 @@ std::string Server::handle_request(const std::string& request,
     counters().errors.add(1);
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     info.ok = false;
-    info.error_class = "parse";
+    info.error_class = "bad_request";
     response = obs::Json::object();
-    response.set("ok", false).set("error", error.what());
+    response.set("v", kRpcVersion);
+    response.set("ok", false).set(
+        "error", obs::Json::object()
+                     .set("code", "bad_request")
+                     .set("message", error.what())
+                     .set("detail", "the frame payload is not valid JSON"));
   }
   counters().inflight.add(-1);
   stats_.inflight.fetch_sub(1, std::memory_order_relaxed);

@@ -187,17 +187,33 @@ JsonValue expect_ok(const std::string& response) {
   return *result;
 }
 
+/// Asserts the structured ftmc.rpc.v1 error shape ({code, message,
+/// detail?}) and returns the message (what tests grep for).
 std::string expect_error(const std::string& response) {
   const JsonValue root = parse_json(response);
   EXPECT_FALSE(root.bool_or("ok", true)) << response;
-  return root.str_or("error", "");
+  EXPECT_EQ(root.str_or("v", ""), serve::kRpcVersion) << response;
+  const JsonValue* error = root.get("error");
+  EXPECT_NE(error, nullptr) << response;
+  if (error == nullptr) return "";
+  EXPECT_TRUE(error->is_object()) << response;
+  EXPECT_FALSE(error->str_or("code", "").empty()) << response;
+  return error->str_or("message", "");
+}
+
+/// The error's taxonomy code alone.
+std::string expect_error_code(const std::string& response) {
+  const JsonValue root = parse_json(response);
+  EXPECT_FALSE(root.bool_or("ok", true)) << response;
+  const JsonValue* error = root.get("error");
+  return error != nullptr ? error->str_or("code", "") : "";
 }
 
 TEST(Server, PingEchoesId) {
   const std::string path = write_demo_system("ping");
   Server server(demo_options(path));
   const std::string response =
-      server.handle(R"({"id": "req-1", "method": "ping"})");
+      server.handle(R"({"v": "ftmc.rpc.v1", "id": "req-1", "method": "ping"})");
   const JsonValue root = parse_json(response);
   EXPECT_EQ(root.str_or("id", ""), "req-1");
   EXPECT_TRUE(expect_ok(response).bool_or("pong", false));
@@ -207,7 +223,7 @@ TEST(Server, AnalyzeOutputMatchesDirectRendering) {
   const std::string path = write_demo_system("analyze");
   Server server(demo_options(path));
   const JsonValue result =
-      expect_ok(server.handle(R"({"id": 1, "method": "analyze"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "analyze"})"));
 
   // The reference: evaluate + render exactly as the one-shot CLI does.
   const io::SystemSpec spec = io::parse_system_file(path);
@@ -227,7 +243,7 @@ TEST(Server, SimulateOutputMatchesDirectRendering) {
   const std::string path = write_demo_system("simulate");
   Server server(demo_options(path));
   const std::string request =
-      R"({"id": 2, "method": "simulate",)"
+      R"({"v": "ftmc.rpc.v1", "id": 2, "method": "simulate",)"
       R"( "params": {"profiles": 60, "fault_prob": "0.25", "seed": 9}})";
   const JsonValue result = expect_ok(server.handle(request));
 
@@ -259,10 +275,10 @@ TEST(Server, EvaluateHitsTheResidentCacheOnRepeat) {
   const std::string path = write_demo_system("evaluate");
   Server server(demo_options(path));
   const JsonValue first =
-      expect_ok(server.handle(R"({"id": 1, "method": "evaluate"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "evaluate"})"));
   EXPECT_FALSE(first.bool_or("cache_hit", true));
   const JsonValue second =
-      expect_ok(server.handle(R"({"id": 2, "method": "evaluate"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 2, "method": "evaluate"})"));
   EXPECT_TRUE(second.bool_or("cache_hit", false));
   EXPECT_EQ(first.num_or("power", -1.0), second.num_or("power", -2.0));
   EXPECT_EQ(first.get("graph_wcrt")->array.size(),
@@ -283,7 +299,7 @@ TEST(Server, PersistentStoreWarmsAFreshServer) {
     options.enable_cache = false;  // isolate the L2
     Server server(std::move(options));
     const JsonValue first =
-        expect_ok(server.handle(R"({"id": 1, "method": "evaluate"})"));
+        expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "evaluate"})"));
     EXPECT_FALSE(first.bool_or("cache_hit", true));
     server.flush();
   }
@@ -292,7 +308,7 @@ TEST(Server, PersistentStoreWarmsAFreshServer) {
   options.enable_cache = false;
   Server server(std::move(options));
   const JsonValue warmed =
-      expect_ok(server.handle(R"({"id": 2, "method": "evaluate"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 2, "method": "evaluate"})"));
   EXPECT_TRUE(warmed.bool_or("cache_hit", false));
 }
 
@@ -304,39 +320,111 @@ TEST(Server, ErrorPathsFailTheRequestNotTheServer) {
   EXPECT_NE(expect_error(server.handle("[1,2]"))
                 .find("must be a JSON object"),
             std::string::npos);
-  EXPECT_NE(expect_error(server.handle(R"({"id": 1})")).find("method"),
+  EXPECT_NE(expect_error(server.handle(R"({"v": "ftmc.rpc.v1", "id": 1})")).find("method"),
             std::string::npos);
-  EXPECT_NE(expect_error(server.handle(R"({"method": "frobnicate"})"))
+  EXPECT_NE(expect_error(server.handle(R"({"v": "ftmc.rpc.v1", "method": "frobnicate"})"))
                 .find("unknown method"),
             std::string::npos);
   EXPECT_NE(expect_error(
-                server.handle(R"({"method": "analyze", "system": "nope"})"))
+                server.handle(R"({"v": "ftmc.rpc.v1", "method": "analyze", "system": "nope"})"))
                 .find("unknown system"),
             std::string::npos);
   EXPECT_NE(
       expect_error(server.handle(
-                       R"({"method": "simulate",)"
+                       R"({"v": "ftmc.rpc.v1", "method": "simulate",)"
                        R"( "params": {"fault_prob": 0.3}})"))
           .find("fault_prob"),
       std::string::npos);
   // The server still answers after five failed requests.
-  EXPECT_TRUE(expect_ok(server.handle(R"({"method": "ping"})"))
+  EXPECT_TRUE(expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})"))
                   .bool_or("pong", false));
+}
+
+TEST(Server, VersionGateRejectsMissingOrWrongVersion) {
+  const std::string path = write_demo_system("version");
+  Server server(demo_options(path));
+  // Every response carries the protocol version, success or failure.
+  const JsonValue ok_root = parse_json(
+      server.handle(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "ping"})"));
+  EXPECT_EQ(ok_root.str_or("v", ""), serve::kRpcVersion);
+  EXPECT_TRUE(ok_root.bool_or("ok", false));
+
+  // Missing v at the top level: rejected before the method is looked at.
+  const std::string missing = server.handle(R"({"id": 2, "method": "ping"})");
+  EXPECT_EQ(expect_error_code(missing), "version_mismatch");
+  EXPECT_NE(expect_error(missing).find("ftmc.rpc.v1"), std::string::npos);
+
+  // Wrong or non-string v: same code, and the detail names what arrived.
+  EXPECT_EQ(expect_error_code(server.handle(
+                R"({"v": "ftmc.rpc.v2", "method": "ping"})")),
+            "version_mismatch");
+  EXPECT_EQ(expect_error_code(server.handle(
+                R"({"v": 1, "method": "ping"})")),
+            "version_mismatch");
+
+  // Batch items inherit the envelope's version; an explicit wrong one
+  // fails that item alone.
+  const JsonValue batch = expect_ok(server.handle(
+      R"({"v": "ftmc.rpc.v1", "method": "batch", "params": {"requests": [)"
+      R"({"id": "i0", "method": "ping"},)"
+      R"({"id": "i1", "v": "ftmc.rpc.v0", "method": "ping"}]}})"));
+  ASSERT_EQ(batch.get("results")->array.size(), 2u);
+  EXPECT_TRUE(batch.get("results")->array[0].bool_or("ok", false));
+  EXPECT_FALSE(batch.get("results")->array[1].bool_or("ok", true));
+  EXPECT_EQ(batch.get("results")->array[1].get("error")->str_or("code", ""),
+            "version_mismatch");
+}
+
+TEST(Server, ErrorCodesFollowTheTaxonomy) {
+  const std::string path = write_demo_system("taxonomy");
+  Server server(demo_options(path));
+  EXPECT_EQ(expect_error_code(server.handle("not json")), "bad_request");
+  EXPECT_EQ(expect_error_code(server.handle(
+                R"({"v": "ftmc.rpc.v1", "method": "frobnicate"})")),
+            "unknown_method");
+  EXPECT_EQ(expect_error_code(server.handle(
+                R"({"v": "ftmc.rpc.v1", "method": "analyze",)"
+                R"( "system": "nope"})")),
+            "bad_request");
+  EXPECT_EQ(expect_error_code(server.handle(
+                R"({"v": "ftmc.rpc.v1", "method": "simulate",)"
+                R"( "params": {"fault_prob": 0.3}})")),
+            "bad_request");
+}
+
+TEST(Server, DrainRefusesWorkMethodsButAnswersIntrospection) {
+  const std::string path = write_demo_system("drain_gate");
+  Server server(demo_options(path));
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "shutdown"})");
+  ASSERT_TRUE(server.stopping());
+  // Work-bearing methods are refused with shutting_down...
+  for (const char* method : {"analyze", "evaluate", "simulate", "batch"}) {
+    const std::string response = server.handle(
+        std::string(R"({"v": "ftmc.rpc.v1", "method": ")") + method + "\"}");
+    EXPECT_EQ(expect_error_code(response), "shutting_down") << method;
+  }
+  // ...while introspection still answers so monitors can watch the drain.
+  for (const char* method :
+       {"ping", "health", "metrics", "stats", "systems", "shutdown"}) {
+    const std::string response = server.handle(
+        std::string(R"({"v": "ftmc.rpc.v1", "method": ")") + method + "\"}");
+    EXPECT_TRUE(parse_json(response).bool_or("ok", false)) << response;
+  }
 }
 
 TEST(Server, StatsAndShutdown) {
   const std::string path = write_demo_system("stats");
   Server server(demo_options(path));
-  (void)server.handle(R"({"method": "ping"})");
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})");
   const JsonValue stats =
-      expect_ok(server.handle(R"({"method": "stats"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "stats"})"));
   EXPECT_GE(stats.u64_or("requests", 0), 2u);
   ASSERT_EQ(stats.get("systems")->array.size(), 1u);
   EXPECT_EQ(stats.get("systems")->array[0].str_or("system", ""), path);
 
   EXPECT_FALSE(server.stopping());
   const JsonValue shutdown =
-      expect_ok(server.handle(R"({"method": "shutdown"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "shutdown"})"));
   EXPECT_TRUE(shutdown.bool_or("stopping", false));
   EXPECT_TRUE(server.stopping());
 }
@@ -348,8 +436,8 @@ TEST(Server, ServeFdDrainsAPrebufferedStream) {
   int in[2], out[2];
   ASSERT_EQ(::pipe(in), 0);
   ASSERT_EQ(::pipe(out), 0);
-  serve::write_frame(in[1], R"({"id": 1, "method": "ping"})");
-  serve::write_frame(in[1], R"({"id": 2, "method": "systems"})");
+  serve::write_frame(in[1], R"({"v": "ftmc.rpc.v1", "id": 1, "method": "ping"})");
+  serve::write_frame(in[1], R"({"v": "ftmc.rpc.v1", "id": 2, "method": "systems"})");
   ::close(in[1]);  // EOF after two requests
 
   EXPECT_EQ(server.serve_fd(in[0], out[1]), 0);
@@ -431,7 +519,7 @@ struct TcpServer {
     // Through handle() directly: works even when every connection slot is
     // occupied (handle is thread-safe; the acceptor polls stopping()).
     if (!server.stopping())
-      (void)server.handle(R"({"method": "shutdown"})");
+      (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "shutdown"})");
     thread.join();
     return exit_code;
   }
@@ -441,10 +529,10 @@ struct TcpServer {
 /// server under test and the serial reference makes cache_hit (and thus the
 /// response bytes) independent of which concurrent request lands first.
 void warm(Server& server) {
-  (void)server.handle(R"({"id": "warm-a", "method": "analyze"})");
-  (void)server.handle(R"({"id": "warm-e", "method": "evaluate"})");
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "id": "warm-a", "method": "analyze"})");
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "id": "warm-e", "method": "evaluate"})");
   (void)server.handle(
-      R"({"id": "warm-s", "method": "simulate",)"
+      R"({"v": "ftmc.rpc.v1", "id": "warm-s", "method": "simulate",)"
       R"( "params": {"profiles": 20, "fault_prob": "0.25", "seed": 9}})");
 }
 
@@ -459,7 +547,7 @@ TEST(Server, TcpConcurrentMixedStreamsMatchSerialReference) {
   for (int c = 0; c < kClients; ++c)
     for (int i = 0; i < kRequests; ++i) {
       const char* method = kMethods[(c + i) % 4];  // mixed, offset per client
-      std::string request = R"({"id": "c)" + std::to_string(c) + "-" +
+      std::string request = R"({"v": "ftmc.rpc.v1", "id": "c)" + std::to_string(c) + "-" +
                             std::to_string(i) + R"(", "method": ")" + method +
                             "\"";
       if (std::string(method) == "simulate")
@@ -511,7 +599,7 @@ TEST(Server, TcpPipelinedRequestsAnswerInOrder) {
   // All frames written before any response is read: the session must still
   // answer strictly in request order.
   for (int i = 0; i < kFrames; ++i)
-    client.send(R"({"id": )" + std::to_string(i) +
+    client.send(R"({"v": "ftmc.rpc.v1", "id": )" + std::to_string(i) +
                 R"(, "method": ")" + (i % 2 == 0 ? "ping" : "evaluate") +
                 "\"}");
   for (int i = 0; i < kFrames; ++i) {
@@ -530,14 +618,14 @@ TEST(Server, TcpBackpressureStillServesQueuedConnections) {
 
   auto first = std::make_unique<TcpClient>(tcp.port());
   ASSERT_GE(first->fd, 0);
-  EXPECT_TRUE(expect_ok(first->call(R"({"id": 1, "method": "ping"})"))
+  EXPECT_TRUE(expect_ok(first->call(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "ping"})"))
                   .bool_or("pong", false));
 
   // At the cap the acceptor stops accepting; the second connection sits in
   // the listen backlog with its request already written...
   TcpClient second(tcp.port());
   ASSERT_GE(second.fd, 0);
-  second.send(R"({"id": 2, "method": "ping"})");
+  second.send(R"({"v": "ftmc.rpc.v1", "id": 2, "method": "ping"})");
 
   // ...and is served as soon as the first connection ends.
   first->close();
@@ -552,10 +640,10 @@ TEST(Server, ShutdownDrainsPipelinedRequestsInFlight) {
   ASSERT_GE(client.fd, 0);
   // Everything up to and including the shutdown answers; later frames are
   // dropped by the drain (the session stops reading, not mid-response).
-  client.send(R"({"id": 0, "method": "ping"})");
-  client.send(R"({"id": 1, "method": "shutdown"})");
-  client.send(R"({"id": 2, "method": "ping"})");
-  client.send(R"({"id": 3, "method": "ping"})");
+  client.send(R"({"v": "ftmc.rpc.v1", "id": 0, "method": "ping"})");
+  client.send(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "shutdown"})");
+  client.send(R"({"v": "ftmc.rpc.v1", "id": 2, "method": "ping"})");
+  client.send(R"({"v": "ftmc.rpc.v1", "id": 3, "method": "ping"})");
   EXPECT_TRUE(expect_ok(client.recv()).bool_or("pong", false));
   EXPECT_TRUE(expect_ok(client.recv()).bool_or("stopping", false));
   EXPECT_EQ(client.recv(), "");  // EOF: drained, not answered
@@ -569,14 +657,14 @@ TEST(Server, BatchFansOutAndPreservesRequestOrder) {
   Server server(demo_options(path));
   warm(server);
 
-  const std::string ping = R"({"id": "b0", "method": "ping"})";
-  const std::string evaluate = R"({"id": "b1", "method": "evaluate"})";
-  const std::string analyze = R"({"id": "b2", "method": "analyze"})";
+  const std::string ping = R"({"v": "ftmc.rpc.v1", "id": "b0", "method": "ping"})";
+  const std::string evaluate = R"({"v": "ftmc.rpc.v1", "id": "b1", "method": "evaluate"})";
+  const std::string analyze = R"({"v": "ftmc.rpc.v1", "id": "b2", "method": "analyze"})";
   const JsonValue expected_evaluate = expect_ok(server.handle(evaluate));
   const JsonValue expected_analyze = expect_ok(server.handle(analyze));
 
   const std::string batch =
-      R"({"id": "batch", "method": "batch", "params": {"requests": [)" +
+      R"({"v": "ftmc.rpc.v1", "id": "batch", "method": "batch", "params": {"requests": [)" +
       ping + "," + evaluate + "," + analyze + "]}}";
   const JsonValue result = expect_ok(server.handle(batch));
   EXPECT_EQ(result.u64_or("count", 0), 3u);
@@ -595,16 +683,17 @@ TEST(Server, BatchFansOutAndPreservesRequestOrder) {
 
   // A failing item fails that item only, and nested batches are rejected.
   const std::string mixed =
-      R"({"method": "batch", "params": {"requests": [)"
-      R"({"id": "x", "method": "frobnicate"},)" +
+      R"({"v": "ftmc.rpc.v1", "method": "batch", "params": {"requests": [)"
+      R"({"v": "ftmc.rpc.v1", "id": "x", "method": "frobnicate"},)" +
       ping +
       R"(, {"id": "n", "method": "batch", "params": {"requests": []}}]}})";
   const JsonValue partial = expect_ok(server.handle(mixed));
   ASSERT_EQ(partial.get("results")->array.size(), 3u);
   EXPECT_FALSE(partial.get("results")->array[0].bool_or("ok", true));
   EXPECT_TRUE(partial.get("results")->array[1].bool_or("ok", false));
-  EXPECT_NE(partial.get("results")->array[2].str_or("error", "").find(
-                "batch"),
+  const JsonValue* nested_error = partial.get("results")->array[2].get("error");
+  ASSERT_NE(nested_error, nullptr);
+  EXPECT_NE(nested_error->str_or("message", "").find("batch"),
             std::string::npos);
 }
 
@@ -626,9 +715,10 @@ TEST(Server, InlineCandidateMatchesResidentEvaluate) {
   const io::SystemSpec spec = io::parse_system_file(path);
 
   const JsonValue resident =
-      expect_ok(server.handle(R"({"id": 1, "method": "evaluate"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 1, "method": "evaluate"})"));
   const std::string request =
       obs::Json::object()
+          .set("v", serve::kRpcVersion)
           .set("id", "inline")
           .set("method", "evaluate")
           .set("params",
@@ -650,9 +740,10 @@ TEST(Server, InlineCandidateMatchesResidentEvaluate) {
 
   // The analyze rendering is equally candidate-driven: inline == resident.
   const JsonValue analyzed =
-      expect_ok(server.handle(R"({"id": 2, "method": "analyze"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "id": 2, "method": "analyze"})"));
   const std::string analyze_inline =
       obs::Json::object()
+          .set("v", serve::kRpcVersion)
           .set("id", "ia")
           .set("method", "analyze")
           .set("params",
@@ -672,7 +763,7 @@ TEST(Server, InlineCandidateServesSystemsWithoutACandidateBlock) {
   }
   Server server(demo_options(path));
   // Without params the request fails and the error names the way out.
-  EXPECT_NE(expect_error(server.handle(R"({"method": "evaluate"})"))
+  EXPECT_NE(expect_error(server.handle(R"({"v": "ftmc.rpc.v1", "method": "evaluate"})"))
                 .find("params.candidate"),
             std::string::npos);
 
@@ -681,6 +772,7 @@ TEST(Server, InlineCandidateServesSystemsWithoutACandidateBlock) {
       io::SystemSpec{arch, apps, candidate});
   const std::string request =
       obs::Json::object()
+          .set("v", serve::kRpcVersion)
           .set("id", 1)
           .set("method", "evaluate")
           .set("params", obs::Json::object().set("candidate", block))
@@ -729,6 +821,7 @@ TEST(Server, ChromosomeEvaluateMatchesInProcessDecode) {
   }
   const std::string request =
       obs::Json::object()
+          .set("v", serve::kRpcVersion)
           .set("id", "chromosome")
           .set("method", "evaluate")
           .set("params", obs::Json::object()
@@ -758,39 +851,39 @@ TEST(Server, CandidateParameterErrorPaths) {
   Server server(demo_options(path));
   EXPECT_NE(
       expect_error(server.handle(
-                       R"({"method": "evaluate", "params":)"
+                       R"({"v": "ftmc.rpc.v1", "method": "evaluate", "params":)"
                        R"( {"candidate": "x", "chromosome": {}}})"))
           .find("not both"),
       std::string::npos);
   EXPECT_NE(expect_error(server.handle(
-                             R"({"method": "evaluate", "params":)"
+                             R"({"v": "ftmc.rpc.v1", "method": "evaluate", "params":)"
                              R"( {"candidate": 17}})"))
                 .find("must be a string"),
             std::string::npos);
   EXPECT_NE(expect_error(server.handle(
-                             R"({"method": "evaluate", "params":)"
+                             R"({"v": "ftmc.rpc.v1", "method": "evaluate", "params":)"
                              R"( {"candidate": "garbage {{{"}})"))
                 .find("params.candidate"),
             std::string::npos);
   EXPECT_NE(expect_error(server.handle(
-                             R"({"method": "evaluate", "params":)"
+                             R"({"v": "ftmc.rpc.v1", "method": "evaluate", "params":)"
                              R"( {"candidate": ""}})"))
                 .find("no candidate block"),
             std::string::npos);
   EXPECT_NE(expect_error(server.handle(
-                             R"({"method": "analyze", "params":)"
+                             R"({"v": "ftmc.rpc.v1", "method": "analyze", "params":)"
                              R"( {"chromosome": {"allocation": [1],)"
                              R"( "keep": [1], "tasks": []}}})"))
                 .find("does not fit"),
             std::string::npos);
   EXPECT_NE(expect_error(server.handle(
-                             R"({"method": "analyze", "params":)"
+                             R"({"v": "ftmc.rpc.v1", "method": "analyze", "params":)"
                              R"( {"chromosome": {"allocation": [1, 1],)"
                              R"( "keep": [1], "tasks": [[0, 1]]}}})"))
                 .find("rows must be"),
             std::string::npos);
   // The server still answers normally afterwards.
-  EXPECT_TRUE(expect_ok(server.handle(R"({"method": "ping"})"))
+  EXPECT_TRUE(expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})"))
                   .bool_or("pong", false));
 }
 
@@ -817,8 +910,9 @@ JsonValue check_access_record(const std::string& line) {
   EXPECT_GT(record.u64_or("ts_ms", 0), 0u) << line;
   EXPECT_FALSE(record.str_or("id", "").empty()) << line;
   // A request that never parsed has no method to record.
-  if (record.str_or("error", "") != "parse")
+  if (record.str_or("error", "") != "bad_request") {
     EXPECT_FALSE(record.str_or("method", "").empty()) << line;
+  }
   const JsonValue* stages = record.get("us");
   EXPECT_NE(stages, nullptr) << line;
   std::uint64_t sum = 0;
@@ -851,13 +945,13 @@ TEST(ServeObservability, ResponsesByteIdenticalWithTelemetryEnabled) {
   warm(traced);
 
   const std::string requests[] = {
-      R"({"id": "x1", "method": "analyze"})",
-      R"({"id": "x2", "method": "evaluate"})",
-      R"({"id": "x3", "method": "simulate",)"
+      R"({"v": "ftmc.rpc.v1", "id": "x1", "method": "analyze"})",
+      R"({"v": "ftmc.rpc.v1", "id": "x2", "method": "evaluate"})",
+      R"({"v": "ftmc.rpc.v1", "id": "x3", "method": "simulate",)"
       R"( "params": {"profiles": 50, "fault_prob": "0.25", "seed": 9}})",
-      R"({"id": 44, "method": "ping"})",
-      R"({"method": "stats"})",
-      R"({"id": "x5", "method": "nope"})",  // error path must match too
+      R"({"v": "ftmc.rpc.v1", "id": 44, "method": "ping"})",
+      R"({"v": "ftmc.rpc.v1", "method": "stats"})",
+      R"({"v": "ftmc.rpc.v1", "id": "x5", "method": "nope"})",  // error path must match too
       R"(not json at all)",                 // parse-error path as well
   };
   for (const std::string& request : requests)
@@ -873,10 +967,10 @@ TEST(ServeObservability, AccessLogRecordsEveryRequestWithStageBreakdown) {
   options.sample_interval_ms = 0;
   {
     Server server(std::move(options));
-    (void)server.handle(R"({"id": "a1", "method": "analyze"})");
-    (void)server.handle(R"({"id": 12, "method": "evaluate"})");
-    (void)server.handle(R"({"method": "ping"})");       // id generated
-    (void)server.handle(R"({"id": "a4", "method": "nope"})");
+    (void)server.handle(R"({"v": "ftmc.rpc.v1", "id": "a1", "method": "analyze"})");
+    (void)server.handle(R"({"v": "ftmc.rpc.v1", "id": 12, "method": "evaluate"})");
+    (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})");       // id generated
+    (void)server.handle(R"({"v": "ftmc.rpc.v1", "id": "a4", "method": "nope"})");
     (void)server.handle(R"(garbage)");                  // parse error
   }  // destructor closes (and flushes) the log fd
 
@@ -900,11 +994,11 @@ TEST(ServeObservability, AccessLogRecordsEveryRequestWithStageBreakdown) {
 
   const JsonValue unknown = check_access_record(lines[3]);
   EXPECT_FALSE(unknown.bool_or("ok", true));
-  EXPECT_EQ(unknown.str_or("error", ""), "request");
+  EXPECT_EQ(unknown.str_or("error", ""), "unknown_method");
 
   const JsonValue garbage = check_access_record(lines[4]);
   EXPECT_FALSE(garbage.bool_or("ok", true));
-  EXPECT_EQ(garbage.str_or("error", ""), "parse");
+  EXPECT_EQ(garbage.str_or("error", ""), "bad_request");
 }
 
 TEST(ServeObservability, BatchLogsOneTopLevelRecordWithClientId) {
@@ -917,9 +1011,9 @@ TEST(ServeObservability, BatchLogsOneTopLevelRecordWithClientId) {
   {
     Server server(std::move(options));
     const JsonValue result = expect_ok(server.handle(
-        R"({"id": "B7", "method": "batch", "params": {"requests": [)"
-        R"({"id": "s1", "method": "ping"},)"
-        R"({"id": "s2", "method": "ping"}]}})"));
+        R"({"v": "ftmc.rpc.v1", "id": "B7", "method": "batch", "params": {"requests": [)"
+        R"({"v": "ftmc.rpc.v1", "id": "s1", "method": "ping"},)"
+        R"({"v": "ftmc.rpc.v1", "id": "s2", "method": "ping"}]}})"));
     EXPECT_EQ(result.u64_or("count", 0), 2u);
   }
   const std::vector<std::string> lines = read_lines(log_path);
@@ -941,7 +1035,7 @@ TEST(ServeObservability, SlowRequestsEscalateToMainLog) {
   // keep doubling the Monte-Carlo profile count until the request trips it.
   for (std::uint64_t profiles = 2000; profiles <= 512000; profiles *= 2) {
     (void)server.handle(
-        R"({"id": "slow", "method": "simulate", "params": {"profiles": )" +
+        R"({"v": "ftmc.rpc.v1", "id": "slow", "method": "simulate", "params": {"profiles": )" +
         std::to_string(profiles) + R"(, "fault_prob": "0.25", "seed": 9}})");
     if (sink.str().find("slow request") != std::string::npos) break;
   }
@@ -955,8 +1049,8 @@ TEST(ServeObservability, MetricsMethodRoundTripsSchema) {
   ServeOptions options = demo_options(path);
   options.sample_interval_ms = 0;  // sampling off: window must be null
   Server server(std::move(options));
-  (void)server.handle(R"({"method": "ping"})");
-  const JsonValue off = expect_ok(server.handle(R"({"method": "metrics"})"));
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})");
+  const JsonValue off = expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "metrics"})"));
   const JsonValue* metrics = off.get("metrics");
   ASSERT_NE(metrics, nullptr);
   EXPECT_EQ(metrics->str_or("schema", ""), "ftmc.metrics.v1");
@@ -965,7 +1059,7 @@ TEST(ServeObservability, MetricsMethodRoundTripsSchema) {
   EXPECT_TRUE(off.get("window")->is_null());
 
   const JsonValue prom = expect_ok(
-      server.handle(R"({"method": "metrics", "params":)"
+      server.handle(R"({"v": "ftmc.rpc.v1", "method": "metrics", "params":)"
                     R"( {"format": "prometheus"}})"));
   EXPECT_EQ(prom.str_or("format", ""), "prometheus");
   ASSERT_NE(prom.get("body"), nullptr);
@@ -974,7 +1068,7 @@ TEST(ServeObservability, MetricsMethodRoundTripsSchema) {
             std::string::npos);
 #endif
   EXPECT_NE(expect_error(server.handle(
-                             R"({"method": "metrics", "params":)"
+                             R"({"v": "ftmc.rpc.v1", "method": "metrics", "params":)"
                              R"( {"format": "xml"}})"))
                 .find("format"),
             std::string::npos);
@@ -985,14 +1079,14 @@ TEST(ServeObservability, MetricsWindowReportsRatesOnceSampled) {
   ServeOptions options = demo_options(path);
   options.sample_interval_ms = 2;
   Server server(std::move(options));
-  (void)server.handle(R"({"method": "ping"})");
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})");
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   std::uint64_t samples = 0;
   JsonValue window;
   while (std::chrono::steady_clock::now() < deadline) {
     const JsonValue result =
-        expect_ok(server.handle(R"({"method": "metrics"})"));
+        expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "metrics"})"));
     const JsonValue* w = result.get("window");
     ASSERT_NE(w, nullptr);
     ASSERT_FALSE(w->is_null());  // sampler on: the window is always present
@@ -1018,9 +1112,9 @@ TEST(ServeObservability, MetricsWindowReportsRatesOnceSampled) {
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   bool saw_ping = false;
   while (!saw_ping && std::chrono::steady_clock::now() < method_deadline) {
-    (void)server.handle(R"({"method": "ping"})");
+    (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})");
     const JsonValue result =
-        expect_ok(server.handle(R"({"method": "metrics"})"));
+        expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "metrics"})"));
     const JsonValue* latency = result.get("window")->get("latency");
     if (latency != nullptr && latency->get("ping") != nullptr) {
       const JsonValue* ping = latency->get("ping");
@@ -1039,7 +1133,7 @@ TEST(ServeObservability, HealthReportsReadyThenDraining) {
   ServeOptions options = demo_options(path);
   options.sample_interval_ms = 0;
   Server server(std::move(options));
-  const JsonValue ready = expect_ok(server.handle(R"({"method": "health"})"));
+  const JsonValue ready = expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "health"})"));
   EXPECT_EQ(ready.str_or("status", ""), "ready");
   EXPECT_GE(ready.num_or("uptime_s", -1.0), 0.0);
   EXPECT_EQ(ready.u64_or("inflight", 99), 1u);  // this very request
@@ -1052,9 +1146,9 @@ TEST(ServeObservability, HealthReportsReadyThenDraining) {
   ASSERT_NE(systems->array[0].get("store_records"), nullptr);
   EXPECT_TRUE(systems->array[0].get("store_records")->is_null());  // no L2
 
-  (void)server.handle(R"({"method": "shutdown"})");
+  (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "shutdown"})");
   const JsonValue draining =
-      expect_ok(server.handle(R"({"method": "health"})"));
+      expect_ok(server.handle(R"({"v": "ftmc.rpc.v1", "method": "health"})"));
   EXPECT_EQ(draining.str_or("status", ""), "draining");
   EXPECT_GE(draining.u64_or("requests", 0), 3u);
 }
@@ -1068,7 +1162,7 @@ TEST(ServeObservability, PromTextfileRewrittenBySampler) {
   options.prom_textfile = prom_path;
   {
     Server server(std::move(options));
-    (void)server.handle(R"({"method": "ping"})");
+    (void)server.handle(R"({"v": "ftmc.rpc.v1", "method": "ping"})");
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(10);
     while (read_lines(prom_path).empty() &&

@@ -35,8 +35,8 @@ Three kinds of input, all optional, each repeatable:
                         record must carry the full schema (ts_ms, id,
                         method, ok, byte counts, the five us.* latency
                         stages) with total_us equal to the stage sum, an
-                        error class only on failures, and non-decreasing
-                        timestamps.
+                        error code from the ftmc.rpc.v1 taxonomy only on
+                        failures, and non-decreasing timestamps.
   --prom FILE           a Prometheus text exposition (the `metrics` method
                         with format=prometheus, or --prom-textfile); every
                         sample line must parse, follow its # TYPE
@@ -256,6 +256,39 @@ def check_bench_output(path: str) -> None:
         return
     if summary["bench"] == "sched_kernel":
         check_sched_kernel_summary(path, summary)
+    elif summary["bench"] == "serve":
+        check_serve_summary(path, summary)
+    elif summary["bench"] == "distributed":
+        check_distributed_summary(path, summary)
+
+
+def gated_speedup(path: str, summary: dict, key: str, floor: float) -> None:
+    """Concurrency speedups only show on hosts with enough cores, so the
+    summary must report hardware_concurrency and the floor applies only
+    when >= 4 cores are available."""
+    cores = summary.get("hardware_concurrency")
+    if not is_count(cores) or cores == 0:
+        fail(path, "summary must report hardware_concurrency")
+        return
+    speedup = summary.get(key)
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        fail(path, f"summary key {key!r} missing or not numeric")
+        return
+    if cores >= 4 and speedup < floor:
+        fail(path, f"{key} = {speedup} < {floor} on a"
+                   f" {cores}-core host")
+
+
+def check_serve_summary(path: str, summary: dict) -> None:
+    if summary.get("identical") is not True:
+        fail(path, "serve responses are not byte-identical across arms")
+    gated_speedup(path, summary, "speedup_8x", 2.0)
+
+
+def check_distributed_summary(path: str, summary: dict) -> None:
+    if summary.get("identical") is not True:
+        fail(path, "distributed fronts are not byte-identical across arms")
+    gated_speedup(path, summary, "speedup", 2.0)
 
 
 def check_sched_kernel_summary(path: str, summary: dict) -> None:
@@ -468,6 +501,16 @@ def check_store(directory: str) -> None:
 
 ACCESS_LOG_STAGES = ("read", "parse", "dispatch", "render", "write")
 
+# The ftmc.rpc.v1 structured error taxonomy (docs/PROTOCOL.md); the access
+# log's `error` field carries exactly the code the response did.
+ACCESS_LOG_ERROR_CODES = (
+    "bad_request",
+    "unknown_method",
+    "version_mismatch",
+    "shutting_down",
+    "internal",
+)
+
 
 def check_access_log(path: str) -> None:
     lines = load_jsonl(path)
@@ -495,12 +538,15 @@ def check_access_log(path: str) -> None:
             continue
         error = record.get("error")
         if ok and error is not None:
-            fail(path, f"{label}: error class on a successful request")
-        if not ok and error not in ("parse", "request"):
-            fail(path, f"{label}: error class {error!r} not parse/request")
+            fail(path, f"{label}: error code on a successful request")
+        if not ok and error not in ACCESS_LOG_ERROR_CODES:
+            fail(path, f"{label}: error code {error!r} not in the"
+                       " ftmc.rpc.v1 taxonomy")
         method = record.get("method")
-        if not isinstance(method, str) or (not method and error != "parse"):
-            fail(path, f"{label}: method missing (and not a parse error)")
+        if not isinstance(method, str) or (
+            not method and error != "bad_request"
+        ):
+            fail(path, f"{label}: method missing (and not a bad_request)")
         cache = record.get("cache")
         if cache is not None and cache not in ("hit", "miss"):
             fail(path, f"{label}: cache outcome {cache!r} not hit/miss")

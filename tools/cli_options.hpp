@@ -108,6 +108,19 @@ class OptionParser {
     return values;
   }
 
+  /// Comma-separated --key=a,b,c of strings (registers `key`; empty items
+  /// are dropped, so a trailing comma is harmless).
+  std::vector<std::string> str_list(const std::string& key) {
+    const std::string value = str(key, "");
+    std::vector<std::string> values;
+    for (std::size_t begin = 0; begin < value.size();) {
+      const std::size_t end = std::min(value.find(',', begin), value.size());
+      if (end > begin) values.push_back(value.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    return values;
+  }
+
   /// Boolean --name (registers `name`).
   bool flag(const std::string& name) {
     flags_.push_back(name);
@@ -196,6 +209,77 @@ struct CommonOptions {
   void finish_telemetry() const {
     ftmc::obs::export_metrics_file(metrics_json);
     ftmc::obs::export_chrome_trace_file(chrome_trace);
+  }
+};
+
+/// The GA-campaign option surface shared by `optimize` and `campaign` —
+/// one strict parser, so every flag spells, defaults, and validates
+/// identically in both subcommands.  `campaign` additionally reads the
+/// coordinator/worker flags (pass distributed = true); `optimize` rejects
+/// them like any other unknown option.
+///
+/// This struct holds raw parsed values only; mapping onto
+/// dse::CampaignOptions (and dist::WorkerFleetOptions) stays in the CLI so
+/// this header needs no heavyweight includes.
+struct CampaignOptions {
+  // GA shape.
+  std::size_t generations = 60;
+  std::size_t population = 40;
+  std::uint64_t seed = 42;
+  std::vector<std::uint64_t> seeds;  ///< one island/shard per seed
+  bool no_cache = false;
+  bool sequential_scenarios = false;
+  bool no_dropping = false;
+  bool power_only = false;
+
+  // Budget / robustness.
+  double max_seconds = 0.0;
+  std::size_t max_evaluations = 0;
+  std::size_t max_retries = 2;
+
+  // Artifacts.
+  std::string telemetry_jsonl;
+  std::string out;
+  std::string front_json;
+  std::string cache_dir;
+
+  // Coordinator/worker surface (campaign only).
+  std::size_t workers = 0;                ///< local `ftmc serve` spawns
+  std::vector<std::string> worker_hosts;  ///< external host:port workers
+  std::size_t worker_threads = 0;         ///< --threads for spawned workers
+  std::size_t migration_every = 0;  ///< generations per island epoch
+  std::size_t migration_size = 4;   ///< migrants per island per barrier
+  double straggler_factor = 3.0;    ///< epoch-EWMA straggler threshold
+
+  static CampaignOptions parse(OptionParser& parser,
+                               bool distributed = false) {
+    CampaignOptions campaign;
+    campaign.generations = parser.size("generations", 60);
+    campaign.population = parser.size("population", 40);
+    campaign.seed = parser.u64("seed", 42);
+    campaign.seeds = parser.u64_list("seeds");
+    campaign.no_cache = parser.flag("no-cache");
+    campaign.sequential_scenarios = parser.flag("sequential-scenarios");
+    campaign.no_dropping = parser.flag("no-dropping");
+    campaign.power_only = parser.flag("power-only");
+    campaign.max_seconds = parser.f64("max-seconds", 0.0);
+    campaign.max_evaluations = parser.size("max-evaluations", 0);
+    campaign.max_retries = parser.size("retries", 2);
+    campaign.telemetry_jsonl = parser.str("telemetry-jsonl", "");
+    campaign.out = parser.str("out", "");
+    campaign.front_json = parser.str("front-json", "");
+    campaign.cache_dir = parser.str("cache-dir", "");
+    if (distributed) {
+      campaign.workers = parser.size("workers", 0);
+      campaign.worker_hosts = parser.str_list("worker-hosts");
+      campaign.worker_threads = parser.size("worker-threads", 0);
+      // Campaigns run the island model by default: a migration barrier
+      // every 10 generations (0 restores independent shards).
+      campaign.migration_every = parser.size("migration-every", 10);
+      campaign.migration_size = parser.size("migration-size", 4);
+      campaign.straggler_factor = parser.f64("straggler-factor", 3.0);
+    }
+    return campaign;
   }
 };
 

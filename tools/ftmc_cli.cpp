@@ -12,6 +12,10 @@
 //       --max-seconds=S --max-evaluations=N --retries=N
 //       --no-cache --sequential-scenarios --no-dropping --power-only
 //       --out=<file> --front-json=<file>
+//   ftmc campaign <system.ftmc> [options]    distributed island campaign
+//       everything optimize takes, plus --workers=N --worker-hosts=H:P,...
+//       --worker-threads=N --migration-every=N (10) --migration-size=N (4)
+//       --straggler-factor=F (3.0)
 //
 // All option parsing goes through cli::OptionParser (tools/cli_options.hpp):
 // each subcommand registers exactly the options it reads and everything
@@ -26,12 +30,16 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cli_options.hpp"
 #include "ftmc/core/eval_store.hpp"
 #include "ftmc/core/evaluator.hpp"
+#include "ftmc/dist/remote_executor.hpp"
+#include "ftmc/dist/worker.hpp"
 #include "ftmc/dse/campaign.hpp"
 #include "ftmc/dse/checkpoint.hpp"
 #include "ftmc/dse/ga.hpp"
@@ -89,7 +97,15 @@ int usage() {
       "            [--max-seconds=S] [--max-evaluations=N] [--retries=N]\n"
       "            [--cache-dir=DIR]  (persistent evaluation store shared\n"
       "            across shards, resumes, and `ftmc serve`)\n"
-      "checkpointing (optimize; SIGINT/SIGTERM drain the in-flight\n"
+      "  campaign  distributed island-model exploration (same options as\n"
+      "            optimize, one island per --seeds entry, plus:)\n"
+      "            [--workers=N]  (spawn N local `ftmc serve` workers)\n"
+      "            [--worker-hosts=H:P,...]  (connect to external workers)\n"
+      "            [--worker-threads=N]  (per spawned worker)\n"
+      "            [--migration-every=N]  (island epoch length, default 10;\n"
+      "            0 = independent shards) [--migration-size=N] (default 4)\n"
+      "            [--straggler-factor=F]  (slow-island EWMA threshold)\n"
+      "checkpointing (optimize/campaign; SIGINT/SIGTERM drain the in-flight\n"
       "generation, write a final snapshot, and exit 0):\n"
       "  --checkpoint=FILE     write ftmc.ckpt.v1 snapshots here\n"
       "  --checkpoint-every=N  snapshot cadence in generations (default 1)\n"
@@ -249,39 +265,84 @@ volatile std::sig_atomic_t g_interrupted = 0;
 
 extern "C" void handle_interrupt(int) { g_interrupted = 1; }
 
-int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
-  cli::OptionParser parser("optimize", argc, argv);
+// Shared implementation of `optimize` (distributed = false) and `campaign`
+// (distributed = true).  Both subcommands parse the same cli::CampaignOptions
+// surface through one strict parser; `campaign` additionally reads the
+// coordinator/worker flags, runs the island model by default
+// (--migration-every=10), and — when --workers/--worker-hosts name a fleet —
+// evaluates on remote `ftmc serve` workers through dist::RemoteExecutor.
+int run_campaign(const io::SystemSpec& spec, int argc, char** argv,
+                 bool distributed) {
+  cli::OptionParser parser(distributed ? "campaign" : "optimize", argc, argv);
   const cli::CommonOptions common =
       cli::CommonOptions::parse(parser, /*with_checkpointing=*/true);
-
-  dse::CampaignOptions campaign_options;
-  dse::GaOptions& options = campaign_options.ga;
-  options.generations = parser.size("generations", 60);
-  options.population = parser.size("population", 40);
-  options.offspring = options.population;
-  options.seed = parser.u64("seed", 42);
-  options.threads = common.threads;
-  options.cache_evaluations = !parser.flag("no-cache");
-  options.parallel_scenarios = !parser.flag("sequential-scenarios");
-  options.optimize_service = !parser.flag("power-only");
-  if (parser.flag("no-dropping")) {
-    options.decoder.allow_dropping = false;
-    options.evaluator.allow_dropping = false;
-  }
-  campaign_options.seeds = parser.u64_list("seeds");
-  campaign_options.max_seconds = parser.f64("max-seconds", 0.0);
-  campaign_options.max_evaluations = parser.size("max-evaluations", 0);
-  campaign_options.max_retries = parser.size("retries", 2);
-  campaign_options.checkpoint_path = common.checkpoint_path();
-  campaign_options.checkpoint_every = common.checkpoint_every;
-  campaign_options.resume = !common.resume.empty();
-  const std::string jsonl_path = parser.str("telemetry-jsonl", "");
-  const std::string out_path = parser.str("out", "");
-  const std::string front_path = parser.str("front-json", "");
-  const std::string cache_dir = parser.str("cache-dir", "");
+  const cli::CampaignOptions cli_options =
+      cli::CampaignOptions::parse(parser, distributed);
   const sched::HolisticAnalysis::Options kernel_options =
       parse_kernel_options(parser);
   parser.finish();
+
+  dse::CampaignOptions campaign_options;
+  dse::GaOptions& options = campaign_options.ga;
+  options.generations = cli_options.generations;
+  options.population = cli_options.population;
+  options.offspring = options.population;
+  options.seed = cli_options.seed;
+  options.threads = common.threads;
+  options.cache_evaluations = !cli_options.no_cache;
+  options.parallel_scenarios = !cli_options.sequential_scenarios;
+  options.optimize_service = !cli_options.power_only;
+  if (cli_options.no_dropping) {
+    options.decoder.allow_dropping = false;
+    options.evaluator.allow_dropping = false;
+  }
+  campaign_options.seeds = cli_options.seeds;
+  campaign_options.max_seconds = cli_options.max_seconds;
+  campaign_options.max_evaluations = cli_options.max_evaluations;
+  campaign_options.max_retries = cli_options.max_retries;
+  campaign_options.checkpoint_path = common.checkpoint_path();
+  campaign_options.checkpoint_every = common.checkpoint_every;
+  campaign_options.resume = !common.resume.empty();
+  campaign_options.migration_every = cli_options.migration_every;
+  campaign_options.migration_size = cli_options.migration_size;
+  campaign_options.straggler_factor = cli_options.straggler_factor;
+  const std::string jsonl_path = cli_options.telemetry_jsonl;
+  const std::string out_path = cli_options.out;
+  const std::string front_path = cli_options.front_json;
+  const std::string cache_dir = cli_options.cache_dir;
+
+  // Worker fleet: spawn local `ftmc serve` processes and/or connect to
+  // external ones, then evaluate every memo miss remotely.  Workers re-run
+  // the same content-seeded decode, so the campaign trajectory — and the
+  // final front — is bitwise identical to the in-process run.
+  std::optional<dist::WorkerFleet> fleet;
+  if (distributed &&
+      (cli_options.workers > 0 || !cli_options.worker_hosts.empty())) {
+    dist::WorkerFleetOptions fleet_options;
+    fleet_options.system_path = argv[2];
+    fleet_options.spawn = cli_options.workers;
+    fleet_options.hosts = cli_options.worker_hosts;
+    fleet_options.worker_threads = cli_options.worker_threads;
+    fleet_options.cache_dir = cache_dir;
+    fleet.emplace(std::move(fleet_options));
+    util::log_info("worker fleet ready: ", fleet->size(), " worker(s)");
+    const std::string system_path = argv[2];
+    const std::vector<std::uint64_t> island_seeds =
+        cli_options.seeds.empty()
+            ? std::vector<std::uint64_t>{cli_options.seed}
+            : cli_options.seeds;
+    campaign_options.executor_factory = [&fleet, system_path,
+                                         island_seeds](std::size_t island) {
+      return std::unique_ptr<dse::Executor>(
+          std::make_unique<dist::RemoteExecutor>(
+              *fleet, fleet->assign(island), system_path,
+              island_seeds[island % island_seeds.size()]));
+    };
+    // Each island drives its own worker; running them concurrently is what
+    // buys the distributed speedup (results are island-indexed, so the
+    // merged front does not depend on completion order).
+    campaign_options.parallel_islands = true;
+  }
 
   // Persistent L2 evaluation store: one store (per system, keyed by the
   // file's content digest) shared by every campaign shard, every resume,
@@ -364,6 +425,9 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
                    s.hits + s.misses, " lookups, ", s.appends,
                    " appends, ", s.records, " records");
   }
+  if (result.migration_epochs > 0)
+    util::log_info("island migration: ", result.migration_epochs,
+                   " barrier(s), ", result.migrants, " migrant(s)");
 
   if (!front_path.empty()) {
     // Deterministic final-front artifact (the kill-and-resume CI job diffs
@@ -428,6 +492,14 @@ int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
   return 0;
 }
 
+int cmd_optimize(const io::SystemSpec& spec, int argc, char** argv) {
+  return run_campaign(spec, argc, argv, /*distributed=*/false);
+}
+
+int cmd_campaign(const io::SystemSpec& spec, int argc, char** argv) {
+  return run_campaign(spec, argc, argv, /*distributed=*/true);
+}
+
 // `ftmc serve`: load the system(s) once, keep evaluator/simulator state
 // resident, answer requests over the framed JSONL protocol.  SIGINT/SIGTERM
 // drain gracefully: sigaction without SA_RESTART so the blocking
@@ -438,13 +510,8 @@ int cmd_serve(int argc, char** argv) {
 
   ftmc::serve::ServeOptions options;
   options.system_paths.emplace_back(argv[2]);
-  const std::string also = parser.str("also", "");
-  for (std::size_t begin = 0; begin < also.size();) {
-    const std::size_t end = std::min(also.find(',', begin), also.size());
-    if (end > begin)
-      options.system_paths.push_back(also.substr(begin, end - begin));
-    begin = end + 1;
-  }
+  for (std::string& path : parser.str_list("also"))
+    options.system_paths.push_back(std::move(path));
   options.threads = common.threads;
   options.cache_dir = parser.str("cache-dir", "");
   options.enable_cache = !parser.flag("no-cache");
@@ -493,7 +560,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const bool known = command == "info" || command == "dot" ||
                      command == "analyze" || command == "simulate" ||
-                     command == "optimize" || command == "serve";
+                     command == "optimize" || command == "campaign" ||
+                     command == "serve";
   if (!known) {
     std::cerr << "error: unknown command '" << command << "'\n";
     return usage();
@@ -526,6 +594,7 @@ int main(int argc, char** argv) {
     if (command == "dot") return cmd_dot(spec, argc, argv);
     if (command == "analyze") return cmd_analyze(spec, argc, argv);
     if (command == "simulate") return cmd_simulate(spec, argc, argv);
+    if (command == "campaign") return cmd_campaign(spec, argc, argv);
     return cmd_optimize(spec, argc, argv);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';

@@ -56,6 +56,8 @@ def recv_frame(sock: socket.socket) -> bytes:
 
 
 def call(sock: socket.socket, request: dict) -> dict:
+    # The server speaks ftmc.rpc.v1 and rejects unversioned requests.
+    request.setdefault("v", "ftmc.rpc.v1")
     send_frame(sock, json.dumps(request).encode())
     return json.loads(recv_frame(sock))
 

@@ -76,9 +76,26 @@ def recv_frame(sock: socket.socket) -> bytes:
     return payload
 
 
+RPC_VERSION = "ftmc.rpc.v1"
+
+
 def call(sock: socket.socket, request: dict) -> dict:
+    # Every request carries the protocol version; the server rejects
+    # unversioned frames with a structured version_mismatch error.
+    request.setdefault("v", RPC_VERSION)
     send_frame(sock, json.dumps(request).encode())
     return json.loads(recv_frame(sock))
+
+
+def error_text(response: dict) -> str:
+    """Human-readable form of a structured {code, message, detail} error."""
+    error = response.get("error")
+    if not isinstance(error, dict):
+        return str(error)
+    text = f"{error.get('code', '?')}: {error.get('message', '')}"
+    if error.get("detail"):
+        text += f" ({error['detail']})"
+    return text
 
 
 def wait_for_port(port_file: Path, daemon: subprocess.Popen,
@@ -151,7 +168,7 @@ def check_response(request: dict, response: dict,
                    references: dict[str, str], errors: list[str]) -> None:
     if response.get("ok") is not True:
         errors.append(f"request {request['id']} ({request['method']})"
-                      f" failed: {response}")
+                      f" failed: {error_text(response)}")
         return
     if response.get("id") != request["id"]:
         errors.append(f"request {request['id']}: id echoed as"
@@ -351,7 +368,7 @@ def run_smoke(args: argparse.Namespace) -> int:
                 response = call(sock, request)
                 if response.get("ok") is not True:
                     print(f"request {i} ({request['method']}) failed:"
-                          f" {response}", file=sys.stderr)
+                          f" {error_text(response)}", file=sys.stderr)
                     failures += 1
                     continue
                 if response.get("id") != i:
